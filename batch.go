@@ -1,0 +1,139 @@
+package rnb
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Batcher merges concurrent GetMulti calls into single planned fetches
+// — cross-request bundling (paper §III-E). Real-world memcached proxies
+// (moxi, spymemcached) do the same to cut transactions; under RnB the
+// merged request is re-planned as a whole, so items from unrelated
+// requests that happen to share replicas bundle too.
+//
+// A batch flushes when MaxBatch requests are pending or MaxDelay has
+// elapsed since the first pending request, whichever comes first.
+// Merging trades a little latency for fewer transactions; the paper
+// also notes (and fig. 9 shows) that merging unrelated requests can
+// dilute request locality, so measure before enabling it everywhere.
+type Batcher struct {
+	client   *Client
+	maxBatch int
+	maxDelay time.Duration
+
+	mu      sync.Mutex
+	pending []*batchCall
+	timer   *time.Timer
+	closed  bool
+}
+
+type batchCall struct {
+	keys []string
+	done chan batchResult
+}
+
+type batchResult struct {
+	items map[string]*Item
+	stats Stats
+	err   error
+}
+
+// ErrBatcherClosed is returned by GetMulti after Close.
+var ErrBatcherClosed = errors.New("rnb: batcher closed")
+
+// NewBatcher wraps the client in a cross-request batcher. maxBatch < 1
+// is treated as 1 (no count-based batching); maxDelay <= 0 flushes
+// every request immediately (useful only for tests).
+func (c *Client) NewBatcher(maxBatch int, maxDelay time.Duration) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	return &Batcher{client: c, maxBatch: maxBatch, maxDelay: maxDelay}
+}
+
+// GetMulti enqueues the keys and blocks until the batch containing them
+// is flushed, returning this call's slice of the merged result. The
+// reported Stats are those of the whole merged fetch (shared by every
+// call in the batch).
+func (b *Batcher) GetMulti(keys []string) (map[string]*Item, Stats, error) {
+	call := &batchCall{keys: keys, done: make(chan batchResult, 1)}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, Stats{}, ErrBatcherClosed
+	}
+	b.pending = append(b.pending, call)
+	switch {
+	case len(b.pending) >= b.maxBatch || b.maxDelay <= 0:
+		b.flushLocked()
+	case b.timer == nil:
+		b.timer = time.AfterFunc(b.maxDelay, func() {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			b.flushLocked()
+		})
+	}
+	b.mu.Unlock()
+	res := <-call.done
+	return res.items, res.stats, res.err
+}
+
+// Flush forces any pending batch out immediately.
+func (b *Batcher) Flush() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.flushLocked()
+}
+
+// Close flushes pending work and rejects future calls.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.flushLocked()
+	b.closed = true
+}
+
+// flushLocked takes the pending calls and executes them as one merged
+// fetch. Called with b.mu held; the fetch itself runs without the lock
+// on a separate goroutine so new calls can queue meanwhile.
+func (b *Batcher) flushLocked() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	calls := b.pending
+	b.pending = nil
+	if len(calls) == 0 {
+		return
+	}
+	go runBatch(b.client, calls)
+}
+
+func runBatch(client *Client, calls []*batchCall) {
+	// Merge with deduplication; remember which calls want each key.
+	var merged []string
+	seen := make(map[string]bool)
+	for _, call := range calls {
+		for _, k := range call.keys {
+			if !seen[k] {
+				seen[k] = true
+				merged = append(merged, k)
+			}
+		}
+	}
+	items, stats, err := client.GetMulti(merged)
+	for _, call := range calls {
+		if err != nil {
+			call.done <- batchResult{err: err}
+			continue
+		}
+		mine := make(map[string]*Item, len(call.keys))
+		for _, k := range call.keys {
+			if it, ok := items[k]; ok {
+				mine[k] = it
+			}
+		}
+		call.done <- batchResult{items: mine, stats: stats}
+	}
+}

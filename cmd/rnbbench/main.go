@@ -1,0 +1,71 @@
+// Command rnbbench runs the memcached micro-benchmark of the paper's
+// Appendix A (figs. 13–14): an in-process memcached clone on loopback
+// TCP slammed by memaslap-style clients with a swept multi-get
+// transaction size. It prints items/s per transaction size and the
+// fitted affine cost model used to calibrate the simulator.
+//
+// Usage:
+//
+//	rnbbench one        # fig 13: one client
+//	rnbbench two        # fig 14: two concurrent clients
+//	rnbbench -clients 4 # any client count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rnb/internal/calibrate"
+	"rnb/internal/sim"
+	"rnb/internal/textplot"
+)
+
+func main() {
+	var (
+		clients = flag.Int("clients", 0, "number of concurrent clients (overrides the positional mode)")
+		items   = flag.Int("items", 200000, "items fetched per sweep point")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	n := *clients
+	if n == 0 {
+		switch flag.Arg(0) {
+		case "", "one":
+			n = 1
+		case "two":
+			n = 2
+		default:
+			fmt.Fprintf(os.Stderr, "rnbbench: unknown mode %q (want one or two)\n", flag.Arg(0))
+			os.Exit(2)
+		}
+	}
+	cfg := sim.Config{Seed: *seed, Requests: *items / 25}
+	table, err := sim.Microbench(cfg, n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rnbbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(textplot.Render(table))
+
+	// Fit the affine cost model from the measured sweep: this is the
+	// calibration step of §III-B.
+	var pts []calibrate.Point
+	s := table.Series[0]
+	for i := range s.X {
+		k := int(s.X[i])
+		if s.Y[i] > 0 {
+			pts = append(pts, calibrate.Point{K: k, TxnPerSec: s.Y[i] / float64(k)})
+		}
+	}
+	model, err := calibrate.Fit(pts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rnbbench: fit: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nfitted cost model: %.2f us/transaction + %.3f us/item\n",
+		model.Fixed*1e6, model.PerItem*1e6)
+	fmt.Printf("(simulator default: %.2f us/transaction + %.3f us/item)\n",
+		calibrate.DefaultModel.Fixed*1e6, calibrate.DefaultModel.PerItem*1e6)
+}

@@ -1,0 +1,86 @@
+// Command rnbgraph generates and inspects the social graphs behind the
+// RnB workloads (paper figs. 4–5).
+//
+// Usage:
+//
+//	rnbgraph slashdot            # degree histogram of the Slashdot-like graph
+//	rnbgraph epinions            # same for the Epinions-like graph
+//	rnbgraph -stats <file>       # histogram of a SNAP edge-list file
+//	rnbgraph -out g.txt slashdot # also write the graph as a SNAP edge list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rnb/internal/graph"
+	"rnb/internal/textplot"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "generator seed")
+		scale = flag.Int("scale", 1, "downscale factor (1 = paper-sized)")
+		out   = flag.String("out", "", "write the generated graph to this SNAP edge-list file")
+		stats = flag.String("stats", "", "read a SNAP edge-list file instead of generating")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch {
+	case *stats != "":
+		f, err := os.Open(*stats)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		parsed, err := graph.ReadEdgeList(f, *stats)
+		if err != nil {
+			fatal(err)
+		}
+		g = parsed
+	default:
+		switch flag.Arg(0) {
+		case "slashdot", "":
+			g = graph.ScaledSlashdotLike(*seed, *scale)
+		case "epinions":
+			g = graph.ScaledEpinionsLike(*seed, *scale)
+		default:
+			fmt.Fprintf(os.Stderr, "rnbgraph: unknown graph %q (want slashdot or epinions)\n", flag.Arg(0))
+			os.Exit(2)
+		}
+	}
+
+	st := graph.OutDegreeStats(g)
+	fmt.Printf("graph %s: %d nodes, %d edges, mean out-degree %.2f (min %d, max %d)\n",
+		g.Name(), g.NumNodes(), g.NumEdges(), st.Mean, st.Min, st.Max)
+	var xs, ys []float64
+	for _, b := range graph.LogBuckets(st.Histogram) {
+		xs = append(xs, float64(b.Lo))
+		ys = append(ys, float64(b.Count))
+	}
+	fmt.Printf("degree histogram (log buckets): %s\n", textplot.Sparkline(ys))
+	for i := range xs {
+		fmt.Printf("  degree >= %-6.0f %8.0f nodes\n", xs[i], ys[i])
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := graph.WriteEdgeList(f, g); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rnbgraph: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command rnbmemd is a standalone RnB-memcached server: a
+// memcached-text-protocol daemon with LRU-bounded memory and the RnB
+// "setp" pinning extension for distinguished copies (paper §IV).
+//
+// Usage:
+//
+//	rnbmemd -addr :11211 -memory 256MB
+//
+// Point any memcached client at it, or an rnb.Client for the full
+// Replicate-and-Bundle path. Stats are served via the standard "stats"
+// command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"rnb/internal/memcache"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:11211", "listen address (TCP; serves text and binary protocols)")
+		udpAddr = flag.String("udp", "", "optional UDP listen address (e.g. 127.0.0.1:11211)")
+		memory  = flag.String("memory", "64MB", "memory budget (e.g. 512KB, 256MB, 2GB; 0 = unbounded)")
+	)
+	flag.Parse()
+
+	capacity, err := parseSize(*memory)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rnbmemd: %v\n", err)
+		os.Exit(2)
+	}
+	srv := memcache.NewServer(memcache.NewStore(capacity))
+
+	var udp *memcache.UDPServer
+	if *udpAddr != "" {
+		udp = memcache.NewUDPServer(srv, 0)
+		go func() {
+			if err := udp.ListenAndServe(*udpAddr); err != nil {
+				fmt.Fprintf(os.Stderr, "rnbmemd: udp: %v\n", err)
+			}
+		}()
+		fmt.Printf("rnbmemd: also serving UDP on %s\n", *udpAddr)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "rnbmemd: shutting down")
+		if udp != nil {
+			udp.Close()
+		}
+		srv.Close()
+	}()
+
+	fmt.Printf("rnbmemd: serving memcached protocol on %s (memory %s)\n", *addr, *memory)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "rnbmemd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseSize parses "512KB" / "256MB" / "2GB" / plain bytes.
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	for _, suffix := range []struct {
+		tag string
+		m   int64
+	}{{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30}, {"B", 1}} {
+		if strings.HasSuffix(s, suffix.tag) {
+			mult = suffix.m
+			s = strings.TrimSuffix(s, suffix.tag)
+			break
+		}
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative size %d", v)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,71 @@
+// Command rnbproxy is an RnB-aware memcached proxy: legacy clients
+// speak plain memcached to it, and it replicates writes and bundles
+// multi-gets across the backend tier (paper §I-C: "relatively easy to
+// incorporate in existing systems" — repoint the memcached address,
+// change nothing else).
+//
+// Usage:
+//
+//	rnbproxy -listen :11211 -replicas 3 10.0.0.1:11211 10.0.0.2:11211 ...
+//
+// Backend servers should be this repository's rnbmemd (for the "setp"
+// distinguished-copy pinning extension); pass -no-pin for stock
+// memcached backends.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rnb"
+	"rnb/internal/memcache"
+	"rnb/internal/proxy"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:11222", "address to serve legacy clients on")
+		replicas = flag.Int("replicas", 3, "logical replication level")
+		noPin    = flag.Bool("no-pin", false, "backends are stock memcached (no setp pinning)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "backend operation timeout")
+	)
+	flag.Parse()
+	backends := flag.Args()
+	if len(backends) == 0 {
+		fmt.Fprintln(os.Stderr, "rnbproxy: need at least one backend address")
+		os.Exit(2)
+	}
+
+	opts := []rnb.Option{
+		rnb.WithReplicas(*replicas),
+		rnb.WithTimeout(*timeout),
+	}
+	if *noPin {
+		opts = append(opts, rnb.WithPinnedDistinguished(false))
+	}
+	client, err := rnb.NewClient(backends, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rnbproxy: %v\n", err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	srv := memcache.NewServerBackend(proxy.New(client))
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "rnbproxy: shutting down")
+		srv.Close()
+	}()
+
+	fmt.Printf("rnbproxy: %s -> %d backends, %d replicas\n", *listen, len(backends), *replicas)
+	if err := srv.ListenAndServe(*listen); err != nil {
+		fmt.Fprintf(os.Stderr, "rnbproxy: %v\n", err)
+		os.Exit(1)
+	}
+}

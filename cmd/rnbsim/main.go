@@ -1,0 +1,69 @@
+// Command rnbsim regenerates the RnB paper's simulation figures.
+//
+// Usage:
+//
+//	rnbsim [flags] <experiment>...
+//	rnbsim -list
+//	rnbsim all
+//
+// Experiments are the paper's figure ids: fig2, fig3, fig4, fig5,
+// fig6, fig8, fig9, fig10, fig11, fig12, fig13, fig14. The defaults
+// run scaled-down graphs for interactive latency; use -scale 1
+// -requests 20000 for paper-sized runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rnb/internal/sim"
+	"rnb/internal/textplot"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "random seed (equal seeds give equal tables)")
+		scale    = flag.Int("scale", 8, "social graph downscale factor (1 = paper-sized)")
+		requests = flag.Int("requests", 4000, "measured requests per data point")
+		warmup   = flag.Int("warmup", 4000, "warm-up requests per data point")
+		graph    = flag.String("graph", "slashdot", "workload graph: slashdot or epinions")
+		live     = flag.Bool("live", false, "calibrate the throughput model from a live micro-benchmark (fig3)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range sim.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: rnbsim [flags] <experiment>... (or: rnbsim -list)")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = sim.IDs()
+	}
+	cfg := sim.Config{
+		Seed:          *seed,
+		Scale:         *scale,
+		Requests:      *requests,
+		Warmup:        *warmup,
+		Graph:         *graph,
+		CalibrateLive: *live,
+	}
+	for _, id := range args {
+		start := time.Now()
+		table, err := sim.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rnbsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(textplot.Render(table))
+		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,199 @@
+package rnb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestReadFailoverToSurvivingReplicas kills one backend server and
+// verifies multi-gets keep returning every item via the surviving
+// replicas and acting-distinguished copies.
+func TestReadFailoverToSurvivingReplicas(t *testing.T) {
+	cl, servers := newTestClient(t, 4, WithReplicas(3),
+		WithFailureCooldown(30*time.Second))
+	ks := keys(40)
+	for _, k := range ks {
+		if err := cl.Set(&Item{Key: k, Value: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill backend 1 hard.
+	servers[1].Close()
+
+	// Batch fetch: everything must come back via surviving replicas (3
+	// replicas on 4 servers leave >= 2 live copies per key). Whether
+	// this particular plan touches the dead server depends on the
+	// (port-derived) ring, so the failure counter is checked later.
+	items, stats, err := cl.GetMulti(ks)
+	if err != nil {
+		t.Fatalf("fetch during failure: %v", err)
+	}
+	if len(items) != len(ks) {
+		t.Fatalf("only %d/%d items during failover (stats %+v)", len(items), len(ks), stats)
+	}
+
+	// Single-key fetches route to each key's distinguished server;
+	// ~1/4 of the keys are homed on the dead one, so this reliably
+	// exercises the failure path.
+	for _, k := range ks {
+		one, _, err := cl.GetMulti([]string{k})
+		if err != nil {
+			t.Fatalf("single fetch %s: %v", k, err)
+		}
+		if len(one) != 1 {
+			t.Fatalf("key %s lost during failover", k)
+		}
+	}
+	if cl.Failures() == 0 {
+		t.Fatal("failure not recorded after touching every distinguished server")
+	}
+
+	// Subsequent fetches plan around the quarantined server: no new
+	// failures, everything served in round 1 or 2.
+	for trial := 0; trial < 3; trial++ {
+		items, stats, err = cl.GetMulti(ks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(items) != len(ks) {
+			t.Fatalf("trial %d: %d/%d items", trial, len(items), len(ks))
+		}
+		if stats.Failed != 0 {
+			t.Fatalf("trial %d: %d failed txns though the server is quarantined", trial, stats.Failed)
+		}
+	}
+}
+
+// TestReadFailoverWithLoaderCoversOrphans kills a server while running
+// with 1 replica: orphaned keys must be served by the loader.
+func TestReadFailoverWithLoaderCoversOrphans(t *testing.T) {
+	loader := func(missing []string) (map[string][]byte, error) {
+		out := map[string][]byte{}
+		for _, k := range missing {
+			out[k] = []byte("db:" + k)
+		}
+		return out, nil
+	}
+	cl, servers := newTestClient(t, 4, WithReplicas(1),
+		WithFailureCooldown(30*time.Second), WithLoader(loader))
+	ks := keys(40)
+	for _, k := range ks {
+		if err := cl.Set(&Item{Key: k, Value: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	servers[2].Close()
+
+	// First fetch trips the failure; by the second fetch the planner
+	// avoids the server entirely and the loader fills the orphans.
+	if _, _, err := cl.GetMulti(ks); err != nil {
+		t.Fatalf("fetch during failure: %v", err)
+	}
+	items, stats, err := cl.GetMulti(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(ks) {
+		t.Fatalf("%d/%d items with loader failover", len(items), len(ks))
+	}
+	if stats.Failed != 0 {
+		t.Fatalf("failed txns after quarantine: %+v", stats)
+	}
+	// Some keys were homed on the dead server and must show DB values;
+	// loader writes could not be replicated onto the dead server, so
+	// they keep coming from the loader or a live cache write.
+	dbServed := 0
+	for _, it := range items {
+		if string(it.Value[:3]) == "db:" {
+			dbServed++
+		}
+	}
+	if dbServed == 0 {
+		t.Fatal("no keys served from the loader though their only replica died")
+	}
+}
+
+// TestCooldownExpiresAndServerReturns verifies a quarantined server
+// comes back after the cooldown.
+func TestCooldownExpiresAndServerReturns(t *testing.T) {
+	cl, _ := newTestClient(t, 2, WithReplicas(2),
+		WithFailureCooldown(50*time.Millisecond))
+	cl.markDown(0)
+	if !cl.isDown(0) {
+		t.Fatal("server not quarantined")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if cl.isDown(0) {
+		t.Fatal("quarantine did not expire")
+	}
+}
+
+// TestFailureTrackingDisabled verifies cooldown <= 0 disables
+// quarantining.
+func TestFailureTrackingDisabled(t *testing.T) {
+	cl, _ := newTestClient(t, 2, WithFailureCooldown(0))
+	cl.markDown(0)
+	if cl.isDown(0) {
+		t.Fatal("server quarantined with tracking disabled")
+	}
+	if cl.Failures() != 1 {
+		t.Fatal("failure counter should still count")
+	}
+}
+
+// TestWriteFailureSurfacesAndQuarantines: writes must report errors
+// (durability is the caller's concern) but also quarantine.
+func TestWriteFailureSurfacesAndQuarantines(t *testing.T) {
+	cl, servers := newTestClient(t, 2, WithReplicas(2),
+		WithFailureCooldown(30*time.Second))
+	servers[0].Close()
+	servers[1].Close()
+	err := cl.Set(&Item{Key: "k", Value: []byte("v")})
+	if err == nil {
+		t.Fatal("write to dead tier succeeded")
+	}
+	if cl.Failures() == 0 {
+		t.Fatal("write failure not recorded")
+	}
+}
+
+// TestFailoverConcurrent hammers GetMulti from several goroutines while
+// a server dies mid-run; no request may error and all items must be
+// accounted for (present or absent, never a hard failure).
+func TestFailoverConcurrent(t *testing.T) {
+	cl, servers := newTestClient(t, 4, WithReplicas(3),
+		WithFailureCooldown(30*time.Second))
+	ks := keys(30)
+	for _, k := range ks {
+		if err := cl.Set(&Item{Key: k, Value: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 8)
+	kill := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			var err error
+			for i := 0; i < 40; i++ {
+				if g == 0 && i == 10 {
+					close(kill)
+				}
+				if _, _, e := cl.GetMulti(ks); e != nil {
+					err = fmt.Errorf("goroutine %d iter %d: %w", g, i, e)
+					break
+				}
+			}
+			done <- err
+		}(g)
+	}
+	go func() {
+		<-kill
+		servers[3].Close()
+	}()
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

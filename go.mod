@@ -1,0 +1,3 @@
+module rnb
+
+go 1.22

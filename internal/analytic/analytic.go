@@ -1,0 +1,74 @@
+// Package analytic implements the closed-form urn-model results of
+// paper §II-A that quantify the multi-get hole for randomly placed
+// data.
+//
+// With M requested items spread uniformly at random over N servers,
+// the probability that a given server must be contacted equals the
+// probability that an urn is non-empty after throwing M balls into N
+// urns: W(N,M) = 1 − (1 − 1/N)^M. The expected transactions per
+// request (TPR) is N·W(N,M) and the per-server rate (TPRPS) is W(N,M).
+// The scaling factor when doubling the server count — ideally 2 — is
+// W(N,M)/W(2N,M), which collapses toward 1 as M grows past N: the
+// multi-get hole.
+package analytic
+
+import "math"
+
+// W returns the probability that a given one of n servers is contacted
+// by a request for m random items: 1 - (1 - 1/n)^m.
+func W(n, m int) float64 {
+	if n <= 0 || m <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-1/float64(n), float64(m))
+}
+
+// TPR returns the expected transactions per request: n * W(n, m).
+func TPR(n, m int) float64 { return float64(n) * W(n, m) }
+
+// TPRPS returns the expected transactions per request per server,
+// which equals W(n, m).
+func TPRPS(n, m int) float64 { return W(n, m) }
+
+// DoublingScalingFactor returns the TPRPS scaling factor achieved when
+// doubling the number of servers from n to 2n for m-item requests:
+// W(n,m)/W(2n,m). 2 is ideal; values near 1 mean adding servers buys
+// nothing (fig. 2).
+func DoublingScalingFactor(n, m int) float64 {
+	denom := W(2*n, m)
+	if denom == 0 {
+		return 0
+	}
+	return W(n, m) / denom
+}
+
+// ScalingFactor generalizes DoublingScalingFactor to an arbitrary grown
+// server count n2 >= n1: W(n1,m)/W(n2,m), the factor by which
+// per-server work shrinks — equivalently, the throughput gain factor
+// when the per-transaction cost dominates.
+func ScalingFactor(n1, n2, m int) float64 {
+	denom := W(n2, m)
+	if denom == 0 {
+		return 0
+	}
+	return W(n1, m) / denom
+}
+
+// ThroughputRelative returns the throughput of an n-server system
+// relative to a single server, for m-item requests, assuming the
+// per-transaction cost dominates (the multi-get-hole regime): a single
+// server handles the request in one transaction, n servers in
+// n·W(n,m) transactions spread over n servers, so the relative
+// throughput is n / (n·W(n,m)) · n ... reduced: n / TPR(n,m) · 1 =
+// 1/W(n,m). Ideal scaling would be n (fig. 3's dashed line).
+func ThroughputRelative(n, m int) float64 {
+	w := W(n, m)
+	if w == 0 {
+		return 0
+	}
+	return 1 / w
+}
+
+// ExpectedDistinctServers is an alias of TPR with clearer intent for
+// callers reasoning about coverage rather than cost.
+func ExpectedDistinctServers(n, m int) float64 { return TPR(n, m) }

@@ -1,0 +1,138 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestWEdgeCases(t *testing.T) {
+	if W(0, 5) != 0 || W(5, 0) != 0 || W(-1, 3) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+	if W(1, 1) != 1 {
+		t.Fatalf("W(1,1) = %g, want 1", W(1, 1))
+	}
+	if got := W(2, 1); got != 0.5 {
+		t.Fatalf("W(2,1) = %g, want 0.5", got)
+	}
+}
+
+func TestWMonotonicity(t *testing.T) {
+	// W decreases in n (more servers -> each less likely contacted) and
+	// increases in m.
+	for n := 1; n < 50; n++ {
+		if W(n, 10) < W(n+1, 10) {
+			t.Fatalf("W not decreasing in n at n=%d", n)
+		}
+	}
+	for m := 1; m < 50; m++ {
+		if W(10, m) > W(10, m+1) {
+			t.Fatalf("W not increasing in m at m=%d", m)
+		}
+	}
+}
+
+func TestTPRLimits(t *testing.T) {
+	// M >> N: every server contacted, TPR ≈ N.
+	if got := TPR(4, 1000); !almost(got, 4, 1e-6) {
+		t.Fatalf("TPR(4,1000) = %g, want ~4", got)
+	}
+	// N >> M: TPR ≈ M.
+	if got := TPR(100000, 10); !almost(got, 10, 0.01) {
+		t.Fatalf("TPR(1e5,10) = %g, want ~10", got)
+	}
+}
+
+func TestTPRMatchesMonteCarlo(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	const n, m, trials = 16, 30, 30000
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		var used [n]bool
+		distinct := 0
+		for i := 0; i < m; i++ {
+			s := r.Intn(n)
+			if !used[s] {
+				used[s] = true
+				distinct++
+			}
+		}
+		sum += float64(distinct)
+	}
+	mc := sum / trials
+	if got := TPR(n, m); !almost(got, mc, 0.1) {
+		t.Fatalf("TPR(%d,%d) = %.3f, Monte Carlo says %.3f", n, m, got, mc)
+	}
+}
+
+func TestDoublingScalingFactorSingleItem(t *testing.T) {
+	// Paper: W(N,1)/W(2N,1) = 2 exactly — ideal scaling for M=1.
+	for _, n := range []int{1, 2, 8, 64} {
+		if got := DoublingScalingFactor(n, 1); !almost(got, 2, 1e-9) {
+			t.Fatalf("doubling factor for M=1, N=%d = %g, want 2", n, got)
+		}
+	}
+}
+
+func TestDoublingScalingFactorEqualNM(t *testing.T) {
+	// Paper: when N == M, doubling the servers gains only ~50%.
+	got := DoublingScalingFactor(50, 50)
+	if got < 1.4 || got > 1.65 {
+		t.Fatalf("doubling factor at N=M=50 is %.3f, want ~1.5", got)
+	}
+}
+
+func TestDoublingScalingFactorCollapsesForLargeM(t *testing.T) {
+	// N << M: doubling servers buys almost nothing (factor -> 1).
+	got := DoublingScalingFactor(4, 1000)
+	if got > 1.01 {
+		t.Fatalf("doubling factor for N=4,M=1000 is %.4f, want ~1", got)
+	}
+	// And the factor grows toward 2 as N grows past M.
+	if DoublingScalingFactor(4, 100) >= DoublingScalingFactor(400, 100) {
+		t.Fatal("doubling factor not increasing in N")
+	}
+}
+
+func TestScalingFactorGeneral(t *testing.T) {
+	if got := ScalingFactor(10, 20, 50); !almost(got, DoublingScalingFactor(10, 50), 1e-12) {
+		t.Fatalf("ScalingFactor(10,20) = %g != doubling", got)
+	}
+	if got := ScalingFactor(10, 10, 50); !almost(got, 1, 1e-12) {
+		t.Fatalf("ScalingFactor(n,n) = %g, want 1", got)
+	}
+	if got := ScalingFactor(10, 40, 1); !almost(got, 4, 1e-9) {
+		t.Fatalf("quadrupling servers with M=1 scales %gx, want 4x", got)
+	}
+	if ScalingFactor(0, 0, 0) != 0 {
+		t.Fatal("degenerate scaling factor")
+	}
+}
+
+func TestThroughputRelative(t *testing.T) {
+	// One server: relative throughput 1.
+	if got := ThroughputRelative(1, 50); !almost(got, 1, 1e-9) {
+		t.Fatalf("ThroughputRelative(1) = %g", got)
+	}
+	// Far more servers than items: throughput ~ n/m.
+	if got := ThroughputRelative(1000, 10); !almost(got, 100, 1.0) {
+		t.Fatalf("ThroughputRelative(1000,10) = %g, want ~100", got)
+	}
+	// The multi-get hole: with m=50 items, going from 1 to 8 servers
+	// yields far less than 8x.
+	if got := ThroughputRelative(8, 50); got > 2 {
+		t.Fatalf("ThroughputRelative(8,50) = %g; hole should cap it near 1", got)
+	}
+	if ThroughputRelative(0, 5) != 0 {
+		t.Fatal("degenerate input")
+	}
+}
+
+func TestExpectedDistinctServersAlias(t *testing.T) {
+	if ExpectedDistinctServers(7, 13) != TPR(7, 13) {
+		t.Fatal("alias mismatch")
+	}
+}

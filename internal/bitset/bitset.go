@@ -1,0 +1,280 @@
+// Package bitset implements dense bit sets over uint64 words.
+//
+// The RnB bundling heuristic (paper §IV, "Heuristic for minimum set
+// cover") is built on bit sets: each candidate server is represented by
+// the set of requested items it holds, and greedy cover repeatedly picks
+// the set with the largest intersection against the remaining items.
+// Those inner loops are popcount-bound, so the representation matters.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit set. The zero value is an empty set of length 0.
+// Sets grow automatically on Set; read-only operations on out-of-range
+// indices behave as if the bit were zero.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set pre-sized to hold bits [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a set with exactly the given bits set.
+func FromIndices(idx ...int) *Set {
+	s := &Set{}
+	for _, i := range idx {
+		s.Set(i)
+	}
+	return s
+}
+
+func (s *Set) grow(word int) {
+	if word < len(s.words) {
+		return
+	}
+	w := make([]uint64, word+1)
+	copy(w, s.words)
+	s.words = w
+}
+
+// Set sets bit i to 1.
+func (s *Set) Set(i int) {
+	if i < 0 {
+		panic("bitset: negative index")
+	}
+	w := i / wordBits
+	s.grow(w)
+	s.words[w] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear sets bit i to 0.
+func (s *Set) Clear(i int) {
+	if i < 0 {
+		panic("bitset: negative index")
+	}
+	w := i / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << (uint(i) % wordBits)
+	}
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	if i < 0 {
+		return false
+	}
+	w := i / wordBits
+	return w < len(s.words) && s.words[w]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom makes s an exact copy of o, reusing s's storage when possible.
+func (s *Set) CopyFrom(o *Set) {
+	if cap(s.words) < len(o.words) {
+		s.words = make([]uint64, len(o.words))
+	} else {
+		s.words = s.words[:len(o.words)]
+	}
+	copy(s.words, o.words)
+}
+
+// Reset clears every bit, keeping capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// UnionWith sets s = s ∪ o.
+func (s *Set) UnionWith(o *Set) {
+	s.grow(len(o.words) - 1)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith sets s = s ∩ o.
+func (s *Set) IntersectWith(o *Set) {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &= o.words[i]
+	}
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
+// DifferenceWith sets s = s \ o.
+func (s *Set) DifferenceWith(o *Set) {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// IntersectionCount returns |s ∩ o| without allocating.
+func (s *Set) IntersectionCount(o *Set) int {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] & o.words[i])
+	}
+	return c
+}
+
+// Intersects reports whether s ∩ o is non-empty.
+func (s *Set) Intersects(o *Set) bool {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every bit of s is also set in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	for i, w := range s.words {
+		var ow uint64
+		if i < len(o.words) {
+			ow = o.words[i]
+		}
+		if w&^ow != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o contain exactly the same bits.
+func (s *Set) Equal(o *Set) bool {
+	n := len(s.words)
+	if len(o.words) > n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(s.words) {
+			a = s.words[i]
+		}
+		if i < len(o.words) {
+			b = o.words[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// NextSet returns the index of the first set bit at or after i, and
+// whether one exists.
+func (s *Set) NextSet(i int) (int, bool) {
+	if i < 0 {
+		i = 0
+	}
+	w := i / wordBits
+	if w >= len(s.words) {
+		return 0, false
+	}
+	word := s.words[w] >> (uint(i) % wordBits)
+	if word != 0 {
+		return i + bits.TrailingZeros64(word), true
+	}
+	for w++; w < len(s.words); w++ {
+		if s.words[w] != 0 {
+			return w*wordBits + bits.TrailingZeros64(s.words[w]), true
+		}
+	}
+	return 0, false
+}
+
+// ForEach calls fn for every set bit in ascending order. It stops early
+// if fn returns false.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Indices returns the indices of all set bits in ascending order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// String renders the set as "{1, 5, 9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,314 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	s := New(10)
+	if s.Test(3) {
+		t.Fatal("new set has bit 3")
+	}
+	s.Set(3)
+	if !s.Test(3) {
+		t.Fatal("bit 3 not set")
+	}
+	s.Clear(3)
+	if s.Test(3) {
+		t.Fatal("bit 3 not cleared")
+	}
+	// Clearing out-of-range must be a no-op, not a panic.
+	s.Clear(10_000)
+}
+
+func TestGrowOnSet(t *testing.T) {
+	s := New(0)
+	s.Set(1000)
+	if !s.Test(1000) {
+		t.Fatal("grow on Set failed")
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+}
+
+func TestTestOutOfRange(t *testing.T) {
+	s := New(4)
+	if s.Test(100) || s.Test(-1) {
+		t.Fatal("out-of-range Test should be false")
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Set":   func() { New(1).Set(-1) },
+		"Clear": func() { New(1).Clear(-1) },
+		"New":   func() { New(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(-1) did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromIndices(t *testing.T) {
+	s := FromIndices(1, 64, 65, 200)
+	want := []int{1, 64, 65, 200}
+	if got := s.Indices(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+}
+
+func TestEmptyAndReset(t *testing.T) {
+	s := FromIndices(7, 99)
+	if s.Empty() {
+		t.Fatal("set with bits reports Empty")
+	}
+	s.Reset()
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestUnionIntersectDifference(t *testing.T) {
+	a := FromIndices(1, 2, 3, 100)
+	b := FromIndices(2, 3, 4, 200)
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got, want := u.Indices(), []int{1, 2, 3, 4, 100, 200}; !reflect.DeepEqual(got, want) {
+		t.Errorf("union = %v, want %v", got, want)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got, want := i.Indices(), []int{2, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("intersect = %v, want %v", got, want)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if got, want := d.Indices(), []int{1, 100}; !reflect.DeepEqual(got, want) {
+		t.Errorf("difference = %v, want %v", got, want)
+	}
+}
+
+func TestIntersectWithShorter(t *testing.T) {
+	a := FromIndices(1, 500)
+	b := FromIndices(1)
+	a.IntersectWith(b)
+	if got, want := a.Indices(), []int{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("intersect = %v, want %v", got, want)
+	}
+}
+
+func TestIntersectionCount(t *testing.T) {
+	a := FromIndices(1, 2, 3, 64, 128)
+	b := FromIndices(2, 64, 999)
+	if got := a.IntersectionCount(b); got != 2 {
+		t.Fatalf("IntersectionCount = %d, want 2", got)
+	}
+	if got := b.IntersectionCount(a); got != 2 {
+		t.Fatalf("IntersectionCount reversed = %d, want 2", got)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromIndices(5)
+	b := FromIndices(6)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets report Intersects")
+	}
+	b.Set(5)
+	if !a.Intersects(b) {
+		t.Fatal("overlapping sets report no intersection")
+	}
+}
+
+func TestSubsetEqual(t *testing.T) {
+	a := FromIndices(1, 2)
+	b := FromIndices(1, 2, 3)
+	if !a.SubsetOf(b) {
+		t.Fatal("a ⊆ b expected")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b ⊆ a unexpected")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone not Equal")
+	}
+	// Equal must ignore trailing zero words.
+	c := New(1024)
+	c.Set(1)
+	c.Set(2)
+	if !a.Equal(c) || !c.Equal(a) {
+		t.Fatal("Equal sensitive to capacity")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := FromIndices(3, 64, 130)
+	cases := []struct {
+		from, want int
+		ok         bool
+	}{
+		{0, 3, true}, {3, 3, true}, {4, 64, true},
+		{64, 64, true}, {65, 130, true}, {131, 0, false},
+		{-5, 3, true},
+	}
+	for _, c := range cases {
+		got, ok := s.NextSet(c.from)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("NextSet(%d) = %d,%v want %d,%v", c.from, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromIndices(1, 2, 3, 4)
+	n := 0
+	s.ForEach(func(int) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("visited %d bits, want 2", n)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromIndices(1, 5).String(); got != "{1, 5}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(8).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromIndices(1, 2, 3)
+	b := FromIndices(500)
+	a.CopyFrom(b)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	b.Set(7)
+	if a.Test(7) {
+		t.Fatal("CopyFrom aliases storage")
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+// randomIndices is the generator domain for quick tests.
+func randomIndices(r *rand.Rand, n, max int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(max)
+	}
+	return out
+}
+
+func TestQuickUnionCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := FromIndices(randomIndices(r, 40, 512)...)
+		b := FromIndices(randomIndices(r, 40, 512)...)
+		ab := a.Clone()
+		ab.UnionWith(b)
+		ba := b.Clone()
+		ba.UnionWith(a)
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// |a ∪ b| = |a| + |b| - |a ∩ b|
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := FromIndices(randomIndices(r, 60, 300)...)
+		b := FromIndices(randomIndices(r, 60, 300)...)
+		u := a.Clone()
+		u.UnionWith(b)
+		return u.Count() == a.Count()+b.Count()-a.IntersectionCount(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDifferenceDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := FromIndices(randomIndices(r, 50, 400)...)
+		b := FromIndices(randomIndices(r, 50, 400)...)
+		d := a.Clone()
+		d.DifferenceWith(b)
+		return !d.Intersects(b) && d.SubsetOf(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIndicesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := FromIndices(randomIndices(r, 30, 1000)...)
+		return FromIndices(s.Indices()...).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNextSetMatchesForEach(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := FromIndices(randomIndices(r, 25, 700)...)
+		var viaNext []int
+		for i, ok := s.NextSet(0); ok; i, ok = s.NextSet(i + 1) {
+			viaNext = append(viaNext, i)
+		}
+		return reflect.DeepEqual(viaNext, s.Indices()) ||
+			(len(viaNext) == 0 && s.Count() == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIntersectionCount(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := FromIndices(randomIndices(r, 200, 4096)...)
+	y := FromIndices(randomIndices(r, 200, 4096)...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.IntersectionCount(y)
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	x := FromIndices(randomIndices(r, 500, 8192)...)
+	b.ReportAllocs()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		x.ForEach(func(i int) bool { sum += i; return true })
+	}
+	_ = sum
+}

@@ -1,0 +1,137 @@
+// Package calibrate converts simulated transaction-size histograms
+// into throughput estimates, the way the paper calibrates its
+// simulator with memaslap micro-benchmarks (§III-B, App. A).
+//
+// The micro-benchmarks show that for small items the time a memcached
+// server spends on a transaction is affine in the number of items
+// aboard: t(k) = Fixed + PerItem·k, with Fixed ≫ PerItem — that gap is
+// the multi-get hole. Given the affine model and a histogram of
+// transaction sizes per request, the cluster's maximum request rate is
+// the point where the servers' aggregate CPU seconds per second are
+// exhausted.
+package calibrate
+
+import (
+	"fmt"
+	"math"
+
+	"rnb/internal/metrics"
+)
+
+// CostModel is the affine per-transaction cost model, in seconds.
+type CostModel struct {
+	// Fixed is the per-transaction cost (parsing, syscalls, scheduling).
+	Fixed float64
+	// PerItem is the additional cost per item aboard the transaction.
+	PerItem float64
+}
+
+// DefaultModel is a representative model for a mid-2010s memcached
+// server on 1 GbE with tiny values, shaped to the paper's fig. 13:
+// ~55k single-item transactions/s, items/s growing near-linearly with
+// transaction size until the per-item cost takes over around a few
+// hundred items.
+var DefaultModel = CostModel{Fixed: 18e-6, PerItem: 0.55e-6}
+
+// Validate reports whether the model is usable.
+func (m CostModel) Validate() error {
+	if m.Fixed <= 0 || m.PerItem < 0 {
+		return fmt.Errorf("calibrate: invalid model %+v", m)
+	}
+	return nil
+}
+
+// TxnTime returns the server time consumed by one k-item transaction.
+func (m CostModel) TxnTime(k int) float64 {
+	if k < 0 {
+		k = 0
+	}
+	return m.Fixed + m.PerItem*float64(k)
+}
+
+// TransactionsPerSecond returns the rate at which one server can
+// process k-item transactions.
+func (m CostModel) TransactionsPerSecond(k int) float64 {
+	return 1 / m.TxnTime(k)
+}
+
+// ItemsPerSecond returns the item fetch rate of one server processing
+// k-item transactions back to back — the quantity plotted in fig. 13.
+func (m CostModel) ItemsPerSecond(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return float64(k) / m.TxnTime(k)
+}
+
+// Point is one micro-benchmark observation: at transaction size K the
+// server sustained TxnPerSec transactions per second.
+type Point struct {
+	K         int
+	TxnPerSec float64
+}
+
+// Fit least-squares fits the affine model t(k) = Fixed + PerItem·k to
+// observed per-transaction times 1/TxnPerSec. At least two distinct K
+// values are required.
+func Fit(points []Point) (CostModel, error) {
+	if len(points) < 2 {
+		return CostModel{}, fmt.Errorf("calibrate: need >= 2 points, got %d", len(points))
+	}
+	var sx, sy, sxx, sxy float64
+	n := 0
+	distinct := map[int]bool{}
+	for _, p := range points {
+		if p.K < 0 || p.TxnPerSec <= 0 {
+			return CostModel{}, fmt.Errorf("calibrate: invalid point %+v", p)
+		}
+		x := float64(p.K)
+		y := 1 / p.TxnPerSec
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+		distinct[p.K] = true
+	}
+	if len(distinct) < 2 {
+		return CostModel{}, fmt.Errorf("calibrate: need >= 2 distinct transaction sizes")
+	}
+	fn := float64(n)
+	denom := fn*sxx - sx*sx
+	perItem := (fn*sxy - sx*sy) / denom
+	fixed := (sy - perItem*sx) / fn
+	if perItem < 0 {
+		// Noise can drive the slope slightly negative; clamp, keeping the
+		// mean time as the fixed cost.
+		perItem = 0
+		fixed = sy / fn
+	}
+	if fixed <= 0 {
+		return CostModel{}, fmt.Errorf("calibrate: fit produced non-positive fixed cost %g", fixed)
+	}
+	m := CostModel{Fixed: fixed, PerItem: perItem}
+	return m, m.Validate()
+}
+
+// Throughput estimates the maximum requests/second an n-server cluster
+// sustains for a workload whose per-request transaction sizes are
+// distributed as hist (hist covers tally.Requests requests). The model
+// assumes transactions spread evenly over servers — true in aggregate
+// under pseudo-random placement — so capacity is n server-seconds per
+// second divided by the CPU time one request costs.
+func Throughput(model CostModel, hist *metrics.IntHist, requests uint64, n int) float64 {
+	if requests == 0 || n <= 0 {
+		return 0
+	}
+	var cpuPerReq float64
+	for _, b := range hist.Buckets() {
+		k, count := int(b[0]), float64(b[1])
+		cpuPerReq += model.TxnTime(k) * count
+	}
+	cpuPerReq /= float64(requests)
+	if cpuPerReq == 0 {
+		return math.Inf(1)
+	}
+	return float64(n) / cpuPerReq
+}

@@ -1,0 +1,172 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+
+	"rnb/internal/metrics"
+)
+
+func TestTxnTimeAndRates(t *testing.T) {
+	m := CostModel{Fixed: 10e-6, PerItem: 1e-6}
+	if got := m.TxnTime(10); math.Abs(got-20e-6) > 1e-12 {
+		t.Fatalf("TxnTime(10) = %g", got)
+	}
+	if got := m.TxnTime(-5); got != m.Fixed {
+		t.Fatalf("TxnTime(-5) = %g, want Fixed", got)
+	}
+	if got := m.TransactionsPerSecond(10); math.Abs(got-50000) > 1e-6 {
+		t.Fatalf("TPS(10) = %g", got)
+	}
+	if got := m.ItemsPerSecond(10); math.Abs(got-500000) > 1e-6 {
+		t.Fatalf("items/s(10) = %g", got)
+	}
+	if m.ItemsPerSecond(0) != 0 {
+		t.Fatal("items/s(0) should be 0")
+	}
+}
+
+func TestItemsPerSecondShape(t *testing.T) {
+	// Fig. 13's shape: items/s grows with k, near-linearly while the
+	// fixed cost dominates, then flattens toward 1/PerItem.
+	m := DefaultModel
+	prev := 0.0
+	for k := 1; k <= 1024; k *= 2 {
+		cur := m.ItemsPerSecond(k)
+		if cur <= prev {
+			t.Fatalf("items/s not increasing at k=%d", k)
+		}
+		prev = cur
+	}
+	// Near-linear early: rate(8)/rate(1) should be close to 8.
+	ratio := m.ItemsPerSecond(8) / m.ItemsPerSecond(1)
+	if ratio < 6.5 {
+		t.Fatalf("early growth ratio %.2f, want near 8 (fixed cost dominates)", ratio)
+	}
+	// Saturating late: bounded by 1/PerItem.
+	if m.ItemsPerSecond(100000) > 1/m.PerItem {
+		t.Fatal("items/s exceeded asymptote")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if (CostModel{Fixed: 1e-6, PerItem: 0}).Validate() != nil {
+		t.Fatal("valid model rejected")
+	}
+	if (CostModel{Fixed: 0, PerItem: 1}).Validate() == nil {
+		t.Fatal("zero fixed accepted")
+	}
+	if (CostModel{Fixed: 1, PerItem: -1}).Validate() == nil {
+		t.Fatal("negative per-item accepted")
+	}
+}
+
+func TestFitRecoversModel(t *testing.T) {
+	truth := CostModel{Fixed: 15e-6, PerItem: 0.8e-6}
+	var pts []Point
+	for _, k := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		pts = append(pts, Point{K: k, TxnPerSec: truth.TransactionsPerSecond(k)})
+	}
+	got, err := Fit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Fixed-truth.Fixed)/truth.Fixed > 0.01 {
+		t.Fatalf("Fixed = %g, want %g", got.Fixed, truth.Fixed)
+	}
+	if math.Abs(got.PerItem-truth.PerItem)/truth.PerItem > 0.01 {
+		t.Fatalf("PerItem = %g, want %g", got.PerItem, truth.PerItem)
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	truth := CostModel{Fixed: 20e-6, PerItem: 1e-6}
+	noise := []float64{1.02, 0.98, 1.01, 0.99, 1.03, 0.97}
+	var pts []Point
+	for i, k := range []int{1, 4, 16, 64, 128, 256} {
+		pts = append(pts, Point{K: k, TxnPerSec: truth.TransactionsPerSecond(k) * noise[i]})
+	}
+	got, err := Fit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Fixed-truth.Fixed)/truth.Fixed > 0.15 {
+		t.Fatalf("noisy Fixed = %g, want ~%g", got.Fixed, truth.Fixed)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if _, err := Fit([]Point{{1, 100}}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := Fit([]Point{{1, 100}, {1, 90}}); err == nil {
+		t.Fatal("single distinct K accepted")
+	}
+	if _, err := Fit([]Point{{1, 100}, {2, 0}}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Fit([]Point{{-1, 100}, {2, 50}}); err == nil {
+		t.Fatal("negative K accepted")
+	}
+}
+
+func TestFitClampsNegativeSlope(t *testing.T) {
+	// Rates that improve with k (slope < 0) are noise; the fit clamps
+	// PerItem to 0 rather than producing nonsense.
+	pts := []Point{{1, 1000}, {100, 1100}}
+	got, err := Fit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PerItem != 0 || got.Fixed <= 0 {
+		t.Fatalf("clamped fit = %+v", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	model := CostModel{Fixed: 10e-6, PerItem: 0}
+	var h metrics.IntHist
+	// 100 requests, each costing exactly 2 transactions.
+	h.AddN(5, 200)
+	got := Throughput(model, &h, 100, 4)
+	// Each request costs 2*10µs = 20µs of CPU; 4 servers give 4 CPU-sec
+	// per sec -> 200k requests/s.
+	if math.Abs(got-200000) > 1 {
+		t.Fatalf("Throughput = %g, want 200000", got)
+	}
+}
+
+func TestThroughputScalesWithServers(t *testing.T) {
+	var h metrics.IntHist
+	h.AddN(3, 50)
+	a := Throughput(DefaultModel, &h, 10, 2)
+	b := Throughput(DefaultModel, &h, 10, 4)
+	if math.Abs(b/a-2) > 1e-9 {
+		t.Fatalf("throughput not linear in servers: %g vs %g", a, b)
+	}
+}
+
+func TestThroughputDegenerate(t *testing.T) {
+	var h metrics.IntHist
+	if Throughput(DefaultModel, &h, 0, 4) != 0 {
+		t.Fatal("zero requests")
+	}
+	if Throughput(DefaultModel, &h, 10, 0) != 0 {
+		t.Fatal("zero servers")
+	}
+	if got := Throughput(DefaultModel, &h, 10, 4); !math.IsInf(got, 1) {
+		t.Fatalf("no transactions should mean unbounded throughput, got %g", got)
+	}
+}
+
+func TestDefaultModelMagnitudes(t *testing.T) {
+	// Sanity: single-item transaction rate in the tens of thousands per
+	// second, like the paper's fig. 13 micro-benchmark.
+	tps := DefaultModel.TransactionsPerSecond(1)
+	if tps < 20000 || tps > 200000 {
+		t.Fatalf("default single-item rate %.0f/s implausible", tps)
+	}
+}

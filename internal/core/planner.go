@@ -1,0 +1,360 @@
+// Package core implements the RnB planner: the client-side algorithm
+// that turns a multi-item request into a minimal set of per-server
+// transactions (paper §III).
+//
+// Given the replica locations of every requested item (from a
+// hashring.Placement), the planner runs the greedy minimum-set-cover
+// heuristic to choose which servers to contact, assigns each item to
+// the first chosen server holding one of its replicas, and optionally
+//
+//   - redirects items that would travel alone to their *distinguished*
+//     copy, so single-item fetches never pollute other servers' LRU
+//     caches (§III-C-1),
+//   - piggybacks "hitchhiker" copies of requested items onto
+//     transactions that are already being sent to a server holding one
+//     of their replicas (§III-C-2), raising the hit probability under
+//     overbooking at zero transaction cost,
+//   - stops covering once a LIMIT target is reached (§III-F).
+//
+// The planner is stateless and deterministic: equal requests yield
+// equal plans, which is what creates the request-locality effect the
+// paper's overbooking relies on (fig. 7) — similar requests keep using
+// the same replicas, so the unused ones go cold and get evicted.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rnb/internal/bitset"
+	"rnb/internal/hashring"
+	"rnb/internal/setcover"
+	"rnb/internal/xhash"
+)
+
+// Options configures plan construction.
+type Options struct {
+	// Hitchhike piggybacks redundant item requests onto transactions
+	// already planned for other items (§III-C-2).
+	Hitchhike bool
+	// DistinguishedSingles redirects any item that would be fetched in
+	// a single-item transaction to its distinguished copy (§III-C-1).
+	DistinguishedSingles bool
+	// BalanceTieBreak rotates the candidate-server ordering by a
+	// per-request fingerprint instead of always preferring low server
+	// ids. Identical requests still produce identical plans, but equal-
+	// coverage ties spread across the cluster instead of piling onto
+	// server 0 — trading the cross-request replica locality that
+	// overbooking exploits (fig. 7) for better load balance and tail
+	// latency (cf. the Mitzenmacher load-balancing contrast, §V-A).
+	// Leave it off for memory-constrained overbooked deployments; turn
+	// it on when memory is plentiful and latency matters.
+	BalanceTieBreak bool
+	// Cover selects the set-cover heuristic. Nil selects eager greedy.
+	Cover CoverFunc
+}
+
+// CoverFunc computes a (partial) set cover; see setcover.GreedyPartial.
+type CoverFunc func(universe *bitset.Set, sets []*bitset.Set, target int) setcover.Result
+
+// Transaction is one planned server round-trip.
+type Transaction struct {
+	// Server is the destination server index.
+	Server int
+	// Primary holds the items the cover assigned to this server.
+	Primary []uint64
+	// Hitchhikers holds extra requested items that have a logical
+	// replica on this server but are primarily fetched elsewhere (or
+	// were dropped by a LIMIT plan).
+	Hitchhikers []uint64
+}
+
+// Size returns the number of items carried by the transaction.
+func (t *Transaction) Size() int { return len(t.Primary) + len(t.Hitchhikers) }
+
+// Plan is the planned round-1 fetch for a request.
+type Plan struct {
+	// Transactions lists one entry per contacted server, in pick order.
+	Transactions []Transaction
+	// Items echoes the request's item ids.
+	Items []uint64
+	// ItemServer[i] is the server assigned to fetch Items[i], or -1 if
+	// the item was dropped by a LIMIT plan.
+	ItemServer []int
+	// Replicas[i] is the logical replica set of Items[i]; Replicas[i][0]
+	// is the distinguished copy.
+	Replicas [][]int
+	// Assigned counts items with an assigned server.
+	Assigned int
+}
+
+// NumTransactions returns the number of planned round-1 transactions.
+func (p *Plan) NumTransactions() int { return len(p.Transactions) }
+
+// Planner builds fetch plans against a fixed replica placement.
+type Planner struct {
+	placement hashring.Placement
+	opts      Options
+	cover     CoverFunc
+}
+
+// NewPlanner builds a planner over the given placement.
+func NewPlanner(p hashring.Placement, opts Options) *Planner {
+	cover := opts.Cover
+	if cover == nil {
+		cover = setcover.GreedyPartial
+	}
+	return &Planner{placement: p, opts: opts, cover: cover}
+}
+
+// Placement returns the planner's placement.
+func (p *Planner) Placement() hashring.Placement { return p.placement }
+
+// Options returns the planner's options.
+func (p *Planner) Options() Options { return p.opts }
+
+// Build plans a fetch of items with the given LIMIT target (target <= 0
+// or >= len(items) means fetch everything). Duplicate items are
+// rejected: requests are sets.
+func (p *Planner) Build(items []uint64, target int) (*Plan, error) {
+	return p.buildFiltered(items, target, 0, nil)
+}
+
+// BuildAvoiding is Build with a server filter: candidate servers for
+// which avoid returns true (failed, draining, overloaded) are excluded
+// from the plan. Items whose every replica is avoided end up
+// unassigned (ItemServer -1) — callers fall back to the authoritative
+// store for those. The distinguished-single redirect targets the first
+// non-avoided replica (the "acting distinguished").
+func (p *Planner) BuildAvoiding(items []uint64, target int, avoid func(server int) bool) (*Plan, error) {
+	return p.buildFiltered(items, target, 0, avoid)
+}
+
+// BuildBudget plans a fetch that maximizes item coverage within at most
+// maxTransactions round-1 transactions — the "fetch as many items as
+// possible within a budget" request form (§III-F, thesis variant).
+// maxTransactions <= 0 yields an empty plan.
+func (p *Planner) BuildBudget(items []uint64, maxTransactions int) (*Plan, error) {
+	if maxTransactions <= 0 {
+		return &Plan{Items: items}, nil
+	}
+	return p.buildFiltered(items, len(items), maxTransactions, nil)
+}
+
+func (p *Planner) buildFiltered(items []uint64, target, budget int, avoid func(int) bool) (*Plan, error) {
+	m := len(items)
+	if m == 0 {
+		return &Plan{}, nil
+	}
+	if target <= 0 || target > m {
+		target = m
+	}
+	seen := make(map[uint64]struct{}, m)
+	for _, it := range items {
+		if _, dup := seen[it]; dup {
+			return nil, fmt.Errorf("core: duplicate item %d in request", it)
+		}
+		seen[it] = struct{}{}
+	}
+
+	plan := &Plan{
+		Items:      items,
+		ItemServer: make([]int, m),
+		Replicas:   make([][]int, m),
+	}
+
+	// Locate all replicas and group request items by candidate server,
+	// excluding avoided (failed/draining) servers from candidacy.
+	serverItems := make(map[int]*bitset.Set)
+	for i, it := range items {
+		plan.ItemServer[i] = -1
+		plan.Replicas[i] = p.placement.Replicas(it, nil)
+		for _, s := range plan.Replicas[i] {
+			if avoid != nil && avoid(s) {
+				continue
+			}
+			set, ok := serverItems[s]
+			if !ok {
+				set = bitset.New(m)
+				serverItems[s] = set
+			}
+			set.Set(i)
+		}
+	}
+
+	// Stable candidate ordering (ascending server id) so that greedy
+	// tie-breaking is identical across similar requests — the source of
+	// the request-locality effect (fig. 7). With BalanceTieBreak the
+	// order is rotated by a request fingerprint: still deterministic
+	// per request, but ties no longer always favor low server ids.
+	servers := make([]int, 0, len(serverItems))
+	for s := range serverItems {
+		servers = append(servers, s)
+	}
+	sort.Ints(servers)
+	if p.opts.BalanceTieBreak && p.placement.NumServers() > 0 {
+		var fp uint64
+		for _, it := range items {
+			fp ^= xhash.Uint64(it)
+		}
+		offset := int(xhash.Mix64(fp) % uint64(p.placement.NumServers()))
+		n := p.placement.NumServers()
+		sort.Slice(servers, func(a, b int) bool {
+			ra := (servers[a] - offset + n) % n
+			rb := (servers[b] - offset + n) % n
+			return ra < rb
+		})
+	}
+	sets := make([]*bitset.Set, len(servers))
+	for i, s := range servers {
+		sets[i] = serverItems[s]
+	}
+
+	universe := bitset.New(m)
+	for i := 0; i < m; i++ {
+		universe.Set(i)
+	}
+	var res setcover.Result
+	if budget > 0 {
+		res = setcover.GreedyBudget(universe, sets, budget)
+	} else {
+		res = p.cover(universe, sets, target)
+	}
+
+	// Assign each item to the first picked server that holds it.
+	txnOf := make(map[int]int, len(res.Picked)) // server -> txn index
+	for _, pick := range res.Picked {
+		s := servers[pick]
+		txnOf[s] = len(plan.Transactions)
+		plan.Transactions = append(plan.Transactions, Transaction{Server: s})
+	}
+	assignedSet := bitset.New(m)
+	for _, pick := range res.Picked {
+		s := servers[pick]
+		t := &plan.Transactions[txnOf[s]]
+		sets[pick].ForEach(func(i int) bool {
+			if !assignedSet.Test(i) {
+				assignedSet.Set(i)
+				plan.ItemServer[i] = s
+				t.Primary = append(t.Primary, items[i])
+				plan.Assigned++
+			}
+			return true
+		})
+	}
+
+	if p.opts.DistinguishedSingles {
+		// Under a transaction budget, redirection may only merge into
+		// transactions that already exist — creating one would bust the
+		// budget.
+		p.redirectSingles(plan, txnOf, budget == 0, avoid)
+	}
+	if p.opts.Hitchhike {
+		p.addHitchhikers(plan)
+	}
+	return plan, nil
+}
+
+// redirectSingles moves every single-item transaction's item to its
+// distinguished server, merging with an existing transaction to that
+// server when possible. Transactions left empty are dropped. When
+// allowNew is false, redirects that would require a new transaction
+// are skipped.
+func (p *Planner) redirectSingles(plan *Plan, txnOf map[int]int, allowNew bool, avoid func(int) bool) {
+	m := len(plan.Items)
+	indexOf := make(map[uint64]int, m)
+	for i, it := range plan.Items {
+		indexOf[it] = i
+	}
+	for ti := range plan.Transactions {
+		t := &plan.Transactions[ti]
+		if len(t.Primary) != 1 {
+			continue
+		}
+		it := t.Primary[0]
+		i := indexOf[it]
+		dist, ok := ActingDistinguished(plan.Replicas[i], avoid)
+		if !ok || dist == t.Server {
+			continue // already fetching the distinguished copy
+		}
+		// Move the item to the distinguished server's transaction.
+		if dj, ok := txnOf[dist]; ok {
+			t.Primary = t.Primary[:0]
+			plan.ItemServer[i] = dist
+			plan.Transactions[dj].Primary = append(plan.Transactions[dj].Primary, it)
+			continue
+		}
+		if !allowNew {
+			continue
+		}
+		t.Primary = t.Primary[:0]
+		plan.ItemServer[i] = dist
+		txnOf[dist] = len(plan.Transactions)
+		plan.Transactions = append(plan.Transactions, Transaction{Server: dist, Primary: []uint64{it}})
+	}
+	// Compact out transactions emptied by redirection.
+	kept := plan.Transactions[:0]
+	for _, t := range plan.Transactions {
+		if len(t.Primary) > 0 {
+			kept = append(kept, t)
+		}
+	}
+	plan.Transactions = kept
+}
+
+// addHitchhikers appends, to every planned transaction, the other
+// requested items that have a logical replica on that server.
+func (p *Planner) addHitchhikers(plan *Plan) {
+	for ti := range plan.Transactions {
+		t := &plan.Transactions[ti]
+		for i, it := range plan.Items {
+			if plan.ItemServer[i] == t.Server {
+				continue // primary here already
+			}
+			for _, s := range plan.Replicas[i] {
+				if s == t.Server {
+					t.Hitchhikers = append(t.Hitchhikers, it)
+					break
+				}
+			}
+		}
+	}
+}
+
+// ActingDistinguished returns the first replica server not excluded by
+// avoid — the distinguished copy itself when its server is up, else
+// the survivor that takes over its role. ok is false when every
+// replica is avoided.
+func ActingDistinguished(replicas []int, avoid func(int) bool) (server int, ok bool) {
+	for _, s := range replicas {
+		if avoid == nil || !avoid(s) {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// SecondRound bundles the given missed items into transactions against
+// their distinguished servers (§III-D). Distinguished copies are pinned
+// and never miss, so one bundled round always completes the request.
+// The caller passes the items that were not obtained in round 1 and
+// whose distinguished server was not already queried with the item
+// aboard; this function only groups them by distinguished server.
+// replicas must be parallel to items (replicas[i][0] is the
+// distinguished server of items[i]).
+func SecondRound(items []uint64, replicas [][]int) []Transaction {
+	byServer := make(map[int][]uint64)
+	var order []int
+	for i, it := range items {
+		dist := replicas[i][0]
+		if _, ok := byServer[dist]; !ok {
+			order = append(order, dist)
+		}
+		byServer[dist] = append(byServer[dist], it)
+	}
+	out := make([]Transaction, 0, len(order))
+	for _, s := range order {
+		out = append(out, Transaction{Server: s, Primary: byServer[s]})
+	}
+	return out
+}

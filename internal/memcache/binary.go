@@ -1,0 +1,368 @@
+package memcache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary protocol support (the memcached binary wire format, which
+// libmemcached-based tools such as memaslap use by default). The
+// server sniffs the first byte of each connection: 0x80 selects the
+// binary handler, anything else the text handler, mirroring memcached
+// serving both protocols on one port.
+//
+// Multi-get in the binary protocol is a pipeline of quiet gets
+// (GetQ/GetKQ) terminated by a Noop. The server accumulates the quiet
+// batch and issues ONE Backend.GetMulti for it, so RnB bundling (and
+// the proxy) work identically under both protocols.
+
+const (
+	binMagicReq = 0x80
+	binMagicRes = 0x81
+
+	binHeaderLen = 24
+)
+
+// Binary opcodes (subset).
+const (
+	binOpGet     = 0x00
+	binOpSet     = 0x01
+	binOpAdd     = 0x02
+	binOpReplace = 0x03
+	binOpDelete  = 0x04
+	binOpFlush   = 0x08
+	binOpGetQ    = 0x09
+	binOpNoop    = 0x0a
+	binOpVersion = 0x0b
+	binOpGetK    = 0x0c
+	binOpGetKQ   = 0x0d
+	binOpStat    = 0x10
+	binOpTouch   = 0x1c
+	binOpQuit    = 0x17
+	// binOpSetP is this repository's pinning extension ("setp" in the
+	// text protocol); chosen from the unused range.
+	binOpSetP = 0xf0
+)
+
+// Binary status codes (subset).
+const (
+	binStatusOK          = 0x0000
+	binStatusNotFound    = 0x0001
+	binStatusExists      = 0x0002
+	binStatusTooLarge    = 0x0003
+	binStatusInvalidArgs = 0x0004
+	binStatusNotStored   = 0x0005
+	binStatusUnknownCmd  = 0x0081
+	binStatusInternal    = 0x0084
+)
+
+// binHeader is a decoded request/response header.
+type binHeader struct {
+	magic    byte
+	opcode   byte
+	keyLen   uint16
+	extraLen uint8
+	status   uint16 // vbucket id in requests
+	bodyLen  uint32
+	opaque   uint32
+	cas      uint64
+}
+
+func (h *binHeader) decode(buf []byte) error {
+	if len(buf) < binHeaderLen {
+		return fmt.Errorf("memcache: short binary header")
+	}
+	h.magic = buf[0]
+	h.opcode = buf[1]
+	h.keyLen = binary.BigEndian.Uint16(buf[2:4])
+	h.extraLen = buf[4]
+	// buf[5] is the data type, always 0.
+	h.status = binary.BigEndian.Uint16(buf[6:8])
+	h.bodyLen = binary.BigEndian.Uint32(buf[8:12])
+	h.opaque = binary.BigEndian.Uint32(buf[12:16])
+	h.cas = binary.BigEndian.Uint64(buf[16:24])
+	if uint32(h.keyLen)+uint32(h.extraLen) > h.bodyLen {
+		return fmt.Errorf("memcache: binary header key+extras exceed body")
+	}
+	return nil
+}
+
+func (h *binHeader) encode(buf []byte) {
+	buf[0] = h.magic
+	buf[1] = h.opcode
+	binary.BigEndian.PutUint16(buf[2:4], h.keyLen)
+	buf[4] = h.extraLen
+	buf[5] = 0
+	binary.BigEndian.PutUint16(buf[6:8], h.status)
+	binary.BigEndian.PutUint32(buf[8:12], h.bodyLen)
+	binary.BigEndian.PutUint32(buf[12:16], h.opaque)
+	binary.BigEndian.PutUint64(buf[16:24], h.cas)
+}
+
+// binRequest is a fully read request.
+type binRequest struct {
+	binHeader
+	extras []byte
+	key    string
+	value  []byte
+}
+
+// readBinRequest reads one request (header already partially peeked is
+// the caller's concern; here we read from scratch).
+func readBinRequest(r *bufio.Reader) (*binRequest, error) {
+	var hdr [binHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	req := &binRequest{}
+	if err := req.decode(hdr[:]); err != nil {
+		return nil, err
+	}
+	if req.magic != binMagicReq {
+		return nil, fmt.Errorf("memcache: bad binary magic 0x%02x", req.magic)
+	}
+	if req.bodyLen > MaxValueLen+uint32(req.keyLen)+uint32(req.extraLen) {
+		return nil, fmt.Errorf("memcache: binary body too large (%d)", req.bodyLen)
+	}
+	body := make([]byte, req.bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	req.extras = body[:req.extraLen]
+	req.key = string(body[req.extraLen : uint32(req.extraLen)+uint32(req.keyLen)])
+	req.value = body[uint32(req.extraLen)+uint32(req.keyLen):]
+	return req, nil
+}
+
+// writeBinResponse emits one response frame.
+func writeBinResponse(w *bufio.Writer, opcode byte, status uint16, opaque uint32,
+	cas uint64, extras []byte, key string, value []byte) error {
+	h := binHeader{
+		magic:    binMagicRes,
+		opcode:   opcode,
+		keyLen:   uint16(len(key)),
+		extraLen: uint8(len(extras)),
+		status:   status,
+		bodyLen:  uint32(len(extras) + len(key) + len(value)),
+		opaque:   opaque,
+		cas:      cas,
+	}
+	var hdr [binHeaderLen]byte
+	h.encode(hdr[:])
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(extras); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(key); err != nil {
+		return err
+	}
+	_, err := w.Write(value)
+	return err
+}
+
+// pendingQuietGet is a buffered GetQ/GetKQ awaiting its batch flush.
+type pendingQuietGet struct {
+	opcode byte
+	key    string
+	opaque uint32
+}
+
+// serveBinary runs the binary-protocol loop on a connection.
+func (s *Server) serveBinary(r *bufio.Reader, w *bufio.Writer) {
+	var quiet []pendingQuietGet
+	for {
+		req, err := readBinRequest(r)
+		if err != nil {
+			return
+		}
+		s.stats.Transactions.Add(1)
+		switch req.opcode {
+		case binOpGetQ, binOpGetKQ:
+			// Quiet gets batch until a blocking command; no flush yet.
+			quiet = append(quiet, pendingQuietGet{opcode: req.opcode, key: req.key, opaque: req.opaque})
+			continue
+		case binOpNoop:
+			if err := s.flushQuiet(w, &quiet); err != nil {
+				return
+			}
+			if err := writeBinResponse(w, binOpNoop, binStatusOK, req.opaque, 0, nil, "", nil); err != nil {
+				return
+			}
+		case binOpQuit:
+			_ = s.flushQuiet(w, &quiet)
+			_ = writeBinResponse(w, binOpQuit, binStatusOK, req.opaque, 0, nil, "", nil)
+			_ = w.Flush()
+			return
+		default:
+			if err := s.flushQuiet(w, &quiet); err != nil {
+				return
+			}
+			if err := s.dispatchBinary(req, w); err != nil {
+				return
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// flushQuiet executes the buffered quiet gets as ONE backend multi-get
+// and emits responses for hits only (quiet semantics).
+func (s *Server) flushQuiet(w *bufio.Writer, quiet *[]pendingQuietGet) error {
+	batch := *quiet
+	if len(batch) == 0 {
+		return nil
+	}
+	*quiet = (*quiet)[:0]
+	keys := make([]string, len(batch))
+	for i, q := range batch {
+		keys[i] = q.key
+	}
+	s.stats.CmdGet.Add(uint64(len(keys)))
+	items, err := s.backend.GetMulti(keys)
+	if err != nil {
+		// Report the failure on each pending opaque so the client does
+		// not hang waiting for hits that will never come.
+		for _, q := range batch {
+			if werr := writeBinResponse(w, q.opcode, binStatusInternal, q.opaque, 0, nil, "", nil); werr != nil {
+				return werr
+			}
+		}
+		return nil
+	}
+	var extras [4]byte
+	for _, q := range batch {
+		it, ok := items[q.key]
+		if !ok {
+			s.stats.GetMisses.Add(1)
+			continue // quiet: misses are silent
+		}
+		s.stats.GetHits.Add(1)
+		binary.BigEndian.PutUint32(extras[:], it.Flags)
+		key := ""
+		if q.opcode == binOpGetKQ {
+			key = q.key
+		}
+		if err := writeBinResponse(w, q.opcode, binStatusOK, q.opaque, it.CAS, extras[:], key, it.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatchBinary handles one blocking (non-quiet) request.
+func (s *Server) dispatchBinary(req *binRequest, w *bufio.Writer) error {
+	fail := func(status uint16) error {
+		return writeBinResponse(w, req.opcode, status, req.opaque, 0, nil, "", nil)
+	}
+	switch req.opcode {
+	case binOpGet, binOpGetK:
+		s.stats.CmdGet.Add(1)
+		items, err := s.backend.GetMulti([]string{req.key})
+		if err != nil {
+			return fail(binStatusInternal)
+		}
+		it, ok := items[req.key]
+		if !ok {
+			s.stats.GetMisses.Add(1)
+			return fail(binStatusNotFound)
+		}
+		s.stats.GetHits.Add(1)
+		var extras [4]byte
+		binary.BigEndian.PutUint32(extras[:], it.Flags)
+		key := ""
+		if req.opcode == binOpGetK {
+			key = req.key
+		}
+		return writeBinResponse(w, req.opcode, binStatusOK, req.opaque, it.CAS, extras[:], key, it.Value)
+
+	case binOpSet, binOpAdd, binOpReplace, binOpSetP:
+		s.stats.CmdSet.Add(1)
+		if len(req.extras) != 8 || req.key == "" {
+			return fail(binStatusInvalidArgs)
+		}
+		it := &Item{
+			Key:        req.key,
+			Value:      req.value,
+			Flags:      binary.BigEndian.Uint32(req.extras[0:4]),
+			Expiration: int32(binary.BigEndian.Uint32(req.extras[4:8])),
+		}
+		var err error
+		switch req.opcode {
+		case binOpSet:
+			if req.cas != 0 {
+				it.CAS = req.cas
+				err = s.backend.CompareAndSwap(it)
+			} else {
+				err = s.backend.Set(it)
+			}
+		case binOpSetP:
+			err = s.backend.SetPinned(it)
+		case binOpAdd:
+			err = s.backend.Add(it)
+		case binOpReplace:
+			err = s.backend.Replace(it)
+		}
+		switch {
+		case err == nil:
+			return writeBinResponse(w, req.opcode, binStatusOK, req.opaque, 0, nil, "", nil)
+		case err == ErrNotStored:
+			return fail(binStatusNotStored)
+		case err == ErrCASConflict:
+			return fail(binStatusExists)
+		case err == ErrCacheMiss:
+			return fail(binStatusNotFound)
+		case err == ErrTooLarge:
+			return fail(binStatusTooLarge)
+		case err == ErrBadKey:
+			return fail(binStatusInvalidArgs)
+		default:
+			return fail(binStatusInternal)
+		}
+
+	case binOpDelete:
+		if req.key == "" {
+			return fail(binStatusInvalidArgs)
+		}
+		if err := s.backend.Delete(req.key); err != nil {
+			return fail(binStatusNotFound)
+		}
+		return writeBinResponse(w, req.opcode, binStatusOK, req.opaque, 0, nil, "", nil)
+
+	case binOpTouch:
+		if len(req.extras) != 4 || req.key == "" {
+			return fail(binStatusInvalidArgs)
+		}
+		exp := int32(binary.BigEndian.Uint32(req.extras))
+		if err := s.backend.Touch(req.key, exp); err != nil {
+			return fail(binStatusNotFound)
+		}
+		return writeBinResponse(w, req.opcode, binStatusOK, req.opaque, 0, nil, "", nil)
+
+	case binOpFlush:
+		if err := s.backend.FlushAll(); err != nil {
+			return fail(binStatusInternal)
+		}
+		return writeBinResponse(w, req.opcode, binStatusOK, req.opaque, 0, nil, "", nil)
+
+	case binOpVersion:
+		return writeBinResponse(w, req.opcode, binStatusOK, req.opaque, 0, nil, "", []byte("rnb-memcache/1.0"))
+
+	case binOpStat:
+		for k, v := range s.backend.BackendStats() {
+			if err := writeBinResponse(w, binOpStat, binStatusOK, req.opaque, 0, nil, k, []byte(v)); err != nil {
+				return err
+			}
+		}
+		// Terminator: empty key and value.
+		return writeBinResponse(w, binOpStat, binStatusOK, req.opaque, 0, nil, "", nil)
+
+	default:
+		return fail(binStatusUnknownCmd)
+	}
+}

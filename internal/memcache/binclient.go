@@ -1,0 +1,367 @@
+package memcache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// BinClient is a memcached binary-protocol client for a single server.
+// Multi-gets are pipelined quiet gets (GetKQ…Noop) in one write — one
+// transaction on the wire, like libmemcached's behavior that the
+// paper's micro-benchmarks rely on.
+type BinClient struct {
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	opaque uint32
+
+	transactions uint64
+}
+
+// DialBinary connects a binary-protocol client to addr.
+func DialBinary(addr string, timeout time.Duration) (*BinClient, error) {
+	c := &BinClient{addr: addr, timeout: timeout}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *BinClient) connect() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 64<<10)
+	c.w = bufio.NewWriterSize(conn, 64<<10)
+	return nil
+}
+
+// Close tears down the connection.
+func (c *BinClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Addr returns the server address.
+func (c *BinClient) Addr() string { return c.addr }
+
+// Transactions returns the number of wire round-trips issued.
+func (c *BinClient) Transactions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.transactions
+}
+
+func (c *BinClient) roundTrip(fn func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return err
+		}
+	}
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	c.transactions++
+	if err := fn(); err != nil {
+		c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// writeReq emits one request frame.
+func (c *BinClient) writeReq(opcode byte, opaque uint32, cas uint64, extras []byte, key string, value []byte) error {
+	h := binHeader{
+		magic:    binMagicReq,
+		opcode:   opcode,
+		keyLen:   uint16(len(key)),
+		extraLen: uint8(len(extras)),
+		bodyLen:  uint32(len(extras) + len(key) + len(value)),
+		opaque:   opaque,
+		cas:      cas,
+	}
+	var hdr [binHeaderLen]byte
+	h.encode(hdr[:])
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(extras); err != nil {
+		return err
+	}
+	if _, err := c.w.WriteString(key); err != nil {
+		return err
+	}
+	_, err := c.w.Write(value)
+	return err
+}
+
+// readRes reads one response frame.
+func (c *BinClient) readRes() (*binRequest, error) {
+	var hdr [binHeaderLen]byte
+	if _, err := readFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	res := &binRequest{}
+	if err := res.decode(hdr[:]); err != nil {
+		return nil, err
+	}
+	if res.magic != binMagicRes {
+		return nil, fmt.Errorf("memcache: bad response magic 0x%02x", res.magic)
+	}
+	body := make([]byte, res.bodyLen)
+	if _, err := readFull(c.r, body); err != nil {
+		return nil, err
+	}
+	res.extras = body[:res.extraLen]
+	res.key = string(body[res.extraLen : uint32(res.extraLen)+uint32(res.keyLen)])
+	res.value = body[uint32(res.extraLen)+uint32(res.keyLen):]
+	return res, nil
+}
+
+func statusError(status uint16) error {
+	switch status {
+	case binStatusOK:
+		return nil
+	case binStatusNotFound:
+		return ErrCacheMiss
+	case binStatusExists:
+		return ErrCASConflict
+	case binStatusNotStored:
+		return ErrNotStored
+	case binStatusTooLarge:
+		return ErrTooLarge
+	case binStatusInvalidArgs:
+		return ErrBadKey
+	default:
+		return fmt.Errorf("memcache: binary status 0x%04x", status)
+	}
+}
+
+// GetMulti fetches keys as one pipelined quiet-get transaction.
+func (c *BinClient) GetMulti(keys []string) (map[string]*Item, error) {
+	if len(keys) == 0 {
+		return map[string]*Item{}, nil
+	}
+	for _, k := range keys {
+		if !validKey(k) {
+			return nil, ErrBadKey
+		}
+	}
+	out := make(map[string]*Item, len(keys))
+	err := c.roundTrip(func() error {
+		base := c.opaque
+		for i, k := range keys {
+			if err := c.writeReq(binOpGetKQ, base+uint32(i), 0, nil, k, nil); err != nil {
+				return err
+			}
+		}
+		noopOpaque := base + uint32(len(keys))
+		c.opaque = noopOpaque + 1
+		if err := c.writeReq(binOpNoop, noopOpaque, 0, nil, "", nil); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		for {
+			res, err := c.readRes()
+			if err != nil {
+				return err
+			}
+			if res.opcode == binOpNoop {
+				return nil
+			}
+			if res.opcode != binOpGetKQ || res.status != binStatusOK {
+				continue // errored quiet get: treated as a miss
+			}
+			it := &Item{Key: res.key, Value: res.value, CAS: res.cas}
+			if len(res.extras) >= 4 {
+				it.Flags = binary.BigEndian.Uint32(res.extras[:4])
+			}
+			out[it.Key] = it
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Get fetches one key.
+func (c *BinClient) Get(key string) (*Item, error) {
+	items, err := c.GetMulti([]string{key})
+	if err != nil {
+		return nil, err
+	}
+	it, ok := items[key]
+	if !ok {
+		return nil, ErrCacheMiss
+	}
+	return it, nil
+}
+
+func (c *BinClient) store(opcode byte, it *Item, cas uint64) error {
+	if !validKey(it.Key) {
+		return ErrBadKey
+	}
+	if len(it.Value) > MaxValueLen {
+		return ErrTooLarge
+	}
+	var status uint16
+	err := c.roundTrip(func() error {
+		var extras [8]byte
+		binary.BigEndian.PutUint32(extras[0:4], it.Flags)
+		binary.BigEndian.PutUint32(extras[4:8], uint32(it.Expiration))
+		op := c.opaque
+		c.opaque++
+		if err := c.writeReq(opcode, op, cas, extras[:], it.Key, it.Value); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		res, err := c.readRes()
+		if err != nil {
+			return err
+		}
+		status = res.status
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return statusError(status)
+}
+
+// Set stores unconditionally (or CAS-conditionally when it.CAS != 0,
+// per binary-protocol semantics).
+func (c *BinClient) Set(it *Item) error { return c.store(binOpSet, it, it.CAS) }
+
+// SetPinned stores via the RnB pinning extension opcode.
+func (c *BinClient) SetPinned(it *Item) error { return c.store(binOpSetP, it, 0) }
+
+// Add stores only if absent.
+func (c *BinClient) Add(it *Item) error { return c.store(binOpAdd, it, 0) }
+
+// Replace stores only if present.
+func (c *BinClient) Replace(it *Item) error { return c.store(binOpReplace, it, 0) }
+
+// simpleOp issues a keyed request with optional extras and maps the
+// response status.
+func (c *BinClient) simpleOp(opcode byte, key string, extras []byte) error {
+	var status uint16
+	err := c.roundTrip(func() error {
+		op := c.opaque
+		c.opaque++
+		if err := c.writeReq(opcode, op, 0, extras, key, nil); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		res, err := c.readRes()
+		if err != nil {
+			return err
+		}
+		status = res.status
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return statusError(status)
+}
+
+// Delete removes a key.
+func (c *BinClient) Delete(key string) error {
+	if !validKey(key) {
+		return ErrBadKey
+	}
+	return c.simpleOp(binOpDelete, key, nil)
+}
+
+// Touch updates a key's expiration.
+func (c *BinClient) Touch(key string, exp int32) error {
+	if !validKey(key) {
+		return ErrBadKey
+	}
+	var extras [4]byte
+	binary.BigEndian.PutUint32(extras[:], uint32(exp))
+	return c.simpleOp(binOpTouch, key, extras[:])
+}
+
+// FlushAll wipes the server.
+func (c *BinClient) FlushAll() error { return c.simpleOp(binOpFlush, "", nil) }
+
+// Version returns the server version banner.
+func (c *BinClient) Version() (string, error) {
+	var out string
+	err := c.roundTrip(func() error {
+		op := c.opaque
+		c.opaque++
+		if err := c.writeReq(binOpVersion, op, 0, nil, "", nil); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		res, err := c.readRes()
+		if err != nil {
+			return err
+		}
+		out = string(res.value)
+		return statusError(res.status)
+	})
+	return out, err
+}
+
+// Stats fetches the server's stats map.
+func (c *BinClient) Stats() (map[string]string, error) {
+	out := map[string]string{}
+	err := c.roundTrip(func() error {
+		op := c.opaque
+		c.opaque++
+		if err := c.writeReq(binOpStat, op, 0, nil, "", nil); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		for {
+			res, err := c.readRes()
+			if err != nil {
+				return err
+			}
+			if err := statusError(res.status); err != nil {
+				return err
+			}
+			if res.key == "" {
+				return nil // terminator
+			}
+			out[res.key] = string(res.value)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

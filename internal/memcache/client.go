@@ -1,0 +1,491 @@
+package memcache
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client is a memcached text-protocol client for a single server. It
+// multiplexes all calls over one connection guarded by a mutex —
+// adequate for benchmarking and the RnB proof of concept, where each
+// load-generator goroutine owns its own Client.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+
+	// Transactions counts protocol round-trips issued — the quantity
+	// RnB minimizes.
+	transactions uint64
+}
+
+// Dial connects to a server at addr. timeout <= 0 means no I/O
+// deadline.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	c := &Client{addr: addr, timeout: timeout}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 64<<10)
+	c.w = bufio.NewWriterSize(conn, 64<<10)
+	return nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Addr returns the server address.
+func (c *Client) Addr() string { return c.addr }
+
+// Transactions returns the number of round-trips issued so far.
+func (c *Client) Transactions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.transactions
+}
+
+func (c *Client) deadline() {
+	if c.timeout > 0 && c.conn != nil {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+// roundTrip runs fn under the connection lock, counting a transaction.
+func (c *Client) roundTrip(fn func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return err
+		}
+	}
+	c.deadline()
+	c.transactions++
+	if err := fn(); err != nil {
+		// Connection state is unknown after an I/O error; drop it.
+		c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Get fetches a single key.
+func (c *Client) Get(key string) (*Item, error) {
+	items, err := c.GetMulti([]string{key})
+	if err != nil {
+		return nil, err
+	}
+	it, ok := items[key]
+	if !ok {
+		return nil, ErrCacheMiss
+	}
+	return it, nil
+}
+
+// GetMulti fetches any number of keys in ONE transaction (a memcached
+// multi-get) and returns the found items. Missing keys are simply
+// absent from the result.
+func (c *Client) GetMulti(keys []string) (map[string]*Item, error) {
+	return c.getMulti("get", keys)
+}
+
+// GetsMulti is GetMulti with CAS tokens populated.
+func (c *Client) GetsMulti(keys []string) (map[string]*Item, error) {
+	return c.getMulti("gets", keys)
+}
+
+func (c *Client) getMulti(verb string, keys []string) (map[string]*Item, error) {
+	if len(keys) == 0 {
+		return map[string]*Item{}, nil
+	}
+	for _, k := range keys {
+		if !validKey(k) {
+			return nil, ErrBadKey
+		}
+	}
+	out := make(map[string]*Item, len(keys))
+	err := c.roundTrip(func() error {
+		var sb strings.Builder
+		sb.WriteString(verb)
+		for _, k := range keys {
+			sb.WriteByte(' ')
+			sb.WriteString(k)
+		}
+		sb.WriteString("\r\n")
+		if _, err := c.w.WriteString(sb.String()); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		for {
+			line, err := readLine(c.r)
+			if err != nil {
+				return err
+			}
+			if bytes.Equal(line, []byte("END")) {
+				return nil
+			}
+			it, err := c.parseValue(line, verb == "gets")
+			if err != nil {
+				return err
+			}
+			out[it.Key] = it
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *Client) parseValue(line []byte, withCAS bool) (*Item, error) {
+	fields := strings.Fields(string(line))
+	want := 4
+	if withCAS {
+		want = 5
+	}
+	if len(fields) != want || fields[0] != "VALUE" {
+		return nil, fmt.Errorf("memcache: unexpected response line %q", line)
+	}
+	flags, err := parseUint(fields[2], 32)
+	if err != nil {
+		return nil, err
+	}
+	size, err := parseUint(fields[3], 31)
+	if err != nil {
+		return nil, err
+	}
+	it := &Item{Key: fields[1], Flags: uint32(flags)}
+	if withCAS {
+		if it.CAS, err = parseUint(fields[4], 64); err != nil {
+			return nil, err
+		}
+	}
+	data := make([]byte, size+2)
+	if _, err := readFull(c.r, data); err != nil {
+		return nil, err
+	}
+	if !bytes.HasSuffix(data, []byte("\r\n")) {
+		return nil, fmt.Errorf("memcache: corrupt data block for %s", it.Key)
+	}
+	it.Value = data[:size]
+	return it, nil
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Set stores an item unconditionally.
+func (c *Client) Set(it *Item) error { return c.store("set", it, 0) }
+
+// SetPinned stores an item exempt from LRU eviction, via this server's
+// RnB "setp" protocol extension. Distinguished copies are stored this
+// way so they can never miss (paper §III-C-1). Not supported by stock
+// memcached.
+func (c *Client) SetPinned(it *Item) error { return c.store("setp", it, 0) }
+
+// Add stores an item only if absent.
+func (c *Client) Add(it *Item) error { return c.store("add", it, 0) }
+
+// Replace stores an item only if present.
+func (c *Client) Replace(it *Item) error { return c.store("replace", it, 0) }
+
+// CompareAndSwap stores an item only if its CAS token still matches.
+func (c *Client) CompareAndSwap(it *Item) error { return c.store("cas", it, it.CAS) }
+
+// Append concatenates data after an existing value.
+func (c *Client) Append(key string, data []byte) error {
+	return c.store("append", &Item{Key: key, Value: data}, 0)
+}
+
+// Prepend concatenates data before an existing value.
+func (c *Client) Prepend(key string, data []byte) error {
+	return c.store("prepend", &Item{Key: key, Value: data}, 0)
+}
+
+// Incr adds delta to a decimal value, returning the new value.
+func (c *Client) Incr(key string, delta uint64) (uint64, error) {
+	return c.incrDecr("incr", key, delta)
+}
+
+// Decr subtracts delta from a decimal value (clamped at zero),
+// returning the new value.
+func (c *Client) Decr(key string, delta uint64) (uint64, error) {
+	return c.incrDecr("decr", key, delta)
+}
+
+func (c *Client) incrDecr(verb, key string, delta uint64) (uint64, error) {
+	if !validKey(key) {
+		return 0, ErrBadKey
+	}
+	var status string
+	err := c.roundTrip(func() error {
+		if _, err := fmt.Fprintf(c.w, "%s %s %d\r\n", verb, key, delta); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		line, err := readLine(c.r)
+		if err != nil {
+			return err
+		}
+		status = string(line)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if status == "NOT_FOUND" {
+		return 0, ErrCacheMiss
+	}
+	if strings.HasPrefix(status, "CLIENT_ERROR") || strings.HasPrefix(status, "SERVER_ERROR") {
+		return 0, fmt.Errorf("memcache: server answered %q", status)
+	}
+	v, perr := strconv.ParseUint(status, 10, 64)
+	if perr != nil {
+		return 0, fmt.Errorf("memcache: unexpected %s response %q", verb, status)
+	}
+	return v, nil
+}
+
+func (c *Client) store(verb string, it *Item, cas uint64) error {
+	if !validKey(it.Key) {
+		return ErrBadKey
+	}
+	if len(it.Value) > MaxValueLen {
+		return ErrTooLarge
+	}
+	var status string
+	err := c.roundTrip(func() error {
+		var sb strings.Builder
+		sb.WriteString(verb)
+		sb.WriteByte(' ')
+		sb.WriteString(it.Key)
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatUint(uint64(it.Flags), 10))
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatInt(int64(it.Expiration), 10))
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.Itoa(len(it.Value)))
+		if verb == "cas" {
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.FormatUint(cas, 10))
+		}
+		sb.WriteString("\r\n")
+		if _, err := c.w.WriteString(sb.String()); err != nil {
+			return err
+		}
+		if _, err := c.w.Write(it.Value); err != nil {
+			return err
+		}
+		if _, err := c.w.WriteString("\r\n"); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		line, err := readLine(c.r)
+		if err != nil {
+			return err
+		}
+		status = string(line)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	switch status {
+	case "STORED":
+		return nil
+	case "NOT_STORED":
+		return ErrNotStored
+	case "EXISTS":
+		return ErrCASConflict
+	case "NOT_FOUND":
+		return ErrCacheMiss
+	default:
+		return fmt.Errorf("memcache: server answered %q", status)
+	}
+}
+
+// Touch updates a key's expiration time.
+func (c *Client) Touch(key string, exp int32) error {
+	if !validKey(key) {
+		return ErrBadKey
+	}
+	var status string
+	err := c.roundTrip(func() error {
+		if _, err := fmt.Fprintf(c.w, "touch %s %d\r\n", key, exp); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		line, err := readLine(c.r)
+		if err != nil {
+			return err
+		}
+		status = string(line)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	switch status {
+	case "TOUCHED":
+		return nil
+	case "NOT_FOUND":
+		return ErrCacheMiss
+	default:
+		return fmt.Errorf("memcache: server answered %q", status)
+	}
+}
+
+// Delete removes a key.
+func (c *Client) Delete(key string) error {
+	if !validKey(key) {
+		return ErrBadKey
+	}
+	var status string
+	err := c.roundTrip(func() error {
+		if _, err := fmt.Fprintf(c.w, "delete %s\r\n", key); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		line, err := readLine(c.r)
+		if err != nil {
+			return err
+		}
+		status = string(line)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	switch status {
+	case "DELETED":
+		return nil
+	case "NOT_FOUND":
+		return ErrCacheMiss
+	default:
+		return fmt.Errorf("memcache: server answered %q", status)
+	}
+}
+
+// FlushAll wipes the server.
+func (c *Client) FlushAll() error {
+	var status string
+	err := c.roundTrip(func() error {
+		if _, err := c.w.WriteString("flush_all\r\n"); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		line, err := readLine(c.r)
+		if err != nil {
+			return err
+		}
+		status = string(line)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if status != "OK" {
+		return fmt.Errorf("memcache: server answered %q", status)
+	}
+	return nil
+}
+
+// Version returns the server version banner.
+func (c *Client) Version() (string, error) {
+	var banner string
+	err := c.roundTrip(func() error {
+		if _, err := c.w.WriteString("version\r\n"); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		line, err := readLine(c.r)
+		if err != nil {
+			return err
+		}
+		banner = strings.TrimPrefix(string(line), "VERSION ")
+		return nil
+	})
+	return banner, err
+}
+
+// Stats fetches the server's stats map.
+func (c *Client) Stats() (map[string]string, error) {
+	out := map[string]string{}
+	err := c.roundTrip(func() error {
+		if _, err := c.w.WriteString("stats\r\n"); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		for {
+			line, err := readLine(c.r)
+			if err != nil {
+				return err
+			}
+			if bytes.Equal(line, []byte("END")) {
+				return nil
+			}
+			fields := strings.SplitN(string(line), " ", 3)
+			if len(fields) == 3 && fields[0] == "STAT" {
+				out[fields[1]] = fields[2]
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package memcache
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// fuzzTarget sends an arbitrary byte stream to a live server and
+// verifies the server neither panics nor wedges: a well-behaved client
+// must still be served afterwards.
+func fuzzTarget(t *testing.T, data []byte) {
+	srv := NewServer(NewStore(1 << 20))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(300 * time.Millisecond))
+	_, _ = conn.Write(data)
+	buf := make([]byte, 4096)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break
+		}
+	}
+	conn.Close()
+
+	cl, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("server unreachable after fuzz input: %v", err)
+	}
+	defer cl.Close()
+	if err := cl.Set(&Item{Key: "alive", Value: []byte("yes")}); err != nil {
+		t.Fatalf("server broken after fuzz input: %v", err)
+	}
+}
+
+func FuzzTextProtocol(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("get a b c\r\n"),
+		[]byte("set k 0 0 3\r\nabc\r\n"),
+		[]byte("set k 0 0 999999999\r\n"),
+		[]byte("gets \r\ncas k 1 2 3 4\r\nxxx\r\n"),
+		[]byte("delete\r\nstats\r\nversion\r\nquit\r\n"),
+		[]byte("touch k -1\r\nflush_all noreply\r\n"),
+		{0x80, 0x01, 0, 3, 8, 0, 0, 0, 0, 0, 0, 14, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		{0x80, 0xff, 0xff, 0xff},
+		[]byte("set k 0 0 5 noreply\r\nab"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		fuzzTarget(t, data)
+	})
+}
+
+func FuzzStoreKeys(f *testing.F) {
+	f.Add("key", "value")
+	f.Add("", "")
+	f.Add("a b", "v")
+	f.Add(string([]byte{0, 1, 2}), "v")
+	f.Fuzz(func(t *testing.T, key, value string) {
+		s := NewStore(1 << 16)
+		// Whatever the inputs, the store must not panic and must keep
+		// its byte budget.
+		_ = s.Set(&Item{Key: key, Value: []byte(value)})
+		_, _ = s.Get(key)
+		_ = s.Delete(key)
+		if s.Bytes() > 1<<16 {
+			t.Fatalf("store exceeded capacity: %d", s.Bytes())
+		}
+	})
+}

@@ -1,0 +1,589 @@
+package memcache
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ServerStats are the counters exposed via the "stats" command.
+type ServerStats struct {
+	CmdGet       atomic.Uint64
+	CmdSet       atomic.Uint64
+	GetHits      atomic.Uint64
+	GetMisses    atomic.Uint64
+	Transactions atomic.Uint64 // one per client command line processed
+	CurrConns    atomic.Int64
+	TotalConns   atomic.Uint64
+}
+
+// Backend is what a protocol Server serves from: the local Store, or —
+// for an RnB proxy — a whole replicated cluster. GetMulti receives the
+// complete key list of a get/gets command so a proxy can bundle it.
+type Backend interface {
+	GetMulti(keys []string) (map[string]*Item, error)
+	// GetsMulti is GetMulti with authoritative CAS tokens: an RnB proxy
+	// must read from distinguished copies here, because only their
+	// tokens are valid for a subsequent cas.
+	GetsMulti(keys []string) (map[string]*Item, error)
+	Set(it *Item) error
+	// SetPinned services the RnB "setp" extension.
+	SetPinned(it *Item) error
+	Add(it *Item) error
+	Replace(it *Item) error
+	CompareAndSwap(it *Item) error
+	Append(key string, data []byte) error
+	Prepend(key string, data []byte) error
+	// Increment adjusts a decimal value by delta (negative decrements,
+	// clamping at zero) and returns the new value.
+	Increment(key string, delta int64) (uint64, error)
+	Delete(key string) error
+	Touch(key string, exp int32) error
+	FlushAll() error
+	// BackendStats returns extra "STAT <key> <value>" lines.
+	BackendStats() map[string]string
+}
+
+// storeBackend adapts a Store to the Backend interface.
+type storeBackend struct{ s *Store }
+
+func (b storeBackend) GetMulti(keys []string) (map[string]*Item, error) {
+	out := make(map[string]*Item, len(keys))
+	for _, k := range keys {
+		if it, err := b.s.Get(k); err == nil {
+			out[k] = it
+		}
+	}
+	return out, nil
+}
+func (b storeBackend) GetsMulti(keys []string) (map[string]*Item, error) {
+	return b.GetMulti(keys) // local tokens are always authoritative
+}
+func (b storeBackend) Set(it *Item) error                    { return b.s.Set(it) }
+func (b storeBackend) SetPinned(it *Item) error              { return b.s.SetPinned(it, true) }
+func (b storeBackend) Add(it *Item) error                    { return b.s.Add(it) }
+func (b storeBackend) Replace(it *Item) error                { return b.s.Replace(it) }
+func (b storeBackend) CompareAndSwap(it *Item) error         { return b.s.CompareAndSwap(it) }
+func (b storeBackend) Append(key string, data []byte) error  { return b.s.Append(key, data) }
+func (b storeBackend) Prepend(key string, data []byte) error { return b.s.Prepend(key, data) }
+func (b storeBackend) Increment(key string, delta int64) (uint64, error) {
+	return b.s.Increment(key, delta)
+}
+func (b storeBackend) Delete(key string) error { return b.s.Delete(key) }
+func (b storeBackend) Touch(key string, exp int32) error {
+	return b.s.Touch(key, exp)
+}
+func (b storeBackend) FlushAll() error { b.s.FlushAll(); return nil }
+func (b storeBackend) BackendStats() map[string]string {
+	return map[string]string{
+		"curr_items": fmt.Sprintf("%d", b.s.Len()),
+		"bytes":      fmt.Sprintf("%d", b.s.Bytes()),
+		"evictions":  fmt.Sprintf("%d", b.s.Evictions()),
+	}
+}
+
+// Server is a memcached text-protocol server over a Backend.
+type Server struct {
+	store   *Store // nil when serving a non-Store backend
+	backend Backend
+	stats   ServerStats
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a Store in a protocol server.
+func NewServer(store *Store) *Server {
+	return &Server{
+		store:   store,
+		backend: storeBackend{s: store},
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// NewServerBackend serves an arbitrary Backend (e.g. an RnB proxy).
+func NewServerBackend(b Backend) *Server {
+	return &Server{backend: b, conns: make(map[net.Conn]struct{})}
+}
+
+// Store returns the server's storage engine, or nil when serving a
+// custom backend.
+func (s *Server) Store() *Store { return s.store }
+
+// Stats returns the server's counters.
+func (s *Server) Stats() *ServerStats { return &s.stats }
+
+// ListenAndServe listens on addr ("host:port"; ":0" picks a free port)
+// and serves until Close. It returns the bound address via Addr once
+// listening.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("memcache: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.stats.CurrConns.Add(1)
+		s.stats.TotalConns.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Addr returns the listener address, or "" before Serve.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Close stops the listener, closes live connections, and waits for
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+	s.stats.CurrConns.Add(-1)
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	// Protocol sniff, as memcached does on a shared port: binary
+	// requests always start with the 0x80 magic, which is not a
+	// printable text-command byte.
+	if first, err := r.Peek(1); err == nil && first[0] == binMagicReq {
+		s.serveBinary(r, w)
+		return
+	}
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		if len(line) == 0 {
+			continue
+		}
+		s.stats.Transactions.Add(1)
+		quit, err := s.dispatch(line, r, w)
+		if err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// readLine reads one \r\n- (or \n-) terminated line without the
+// terminator.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = bytes.TrimRight(line, "\r\n")
+	return line, nil
+}
+
+// dispatch processes one command line. It returns quit=true for the
+// "quit" command and a non-nil error for connection-fatal conditions.
+func (s *Server) dispatch(line []byte, r *bufio.Reader, w *bufio.Writer) (quit bool, err error) {
+	fields := strings.Fields(string(line))
+	if len(fields) == 0 {
+		_, err = w.WriteString("ERROR\r\n")
+		return false, err
+	}
+	switch fields[0] {
+	case "get":
+		return false, s.handleGet(fields[1:], w, false)
+	case "gets":
+		return false, s.handleGet(fields[1:], w, true)
+	case "set", "add", "replace", "setp", "append", "prepend":
+		return false, s.handleStore(fields[0], fields[1:], r, w)
+	case "cas":
+		return false, s.handleCas(fields[1:], r, w)
+	case "incr", "decr":
+		return false, s.handleIncrDecr(fields[0] == "decr", fields[1:], w)
+	case "delete":
+		return false, s.handleDelete(fields[1:], w)
+	case "touch":
+		return false, s.handleTouch(fields[1:], w)
+	case "flush_all":
+		ferr := s.backend.FlushAll()
+		if !hasNoreply(fields[1:]) {
+			if ferr != nil {
+				_, err = fmt.Fprintf(w, "SERVER_ERROR %s\r\n", ferr)
+			} else {
+				_, err = w.WriteString("OK\r\n")
+			}
+		}
+		return false, err
+	case "version":
+		_, err = w.WriteString("VERSION rnb-memcache/1.0\r\n")
+		return false, err
+	case "stats":
+		return false, s.handleStats(w)
+	case "quit":
+		return true, nil
+	default:
+		_, err = w.WriteString("ERROR\r\n")
+		return false, err
+	}
+}
+
+func hasNoreply(fields []string) bool {
+	return len(fields) > 0 && fields[len(fields)-1] == "noreply"
+}
+
+func (s *Server) handleGet(keys []string, w *bufio.Writer, withCAS bool) error {
+	if len(keys) == 0 {
+		_, err := w.WriteString("ERROR\r\n")
+		return err
+	}
+	s.stats.CmdGet.Add(uint64(len(keys)))
+	var items map[string]*Item
+	var gerr error
+	if withCAS {
+		items, gerr = s.backend.GetsMulti(keys)
+	} else {
+		items, gerr = s.backend.GetMulti(keys)
+	}
+	if gerr != nil {
+		_, err := fmt.Fprintf(w, "SERVER_ERROR %s\r\n", gerr)
+		return err
+	}
+	for _, key := range keys {
+		it, ok := items[key]
+		if !ok {
+			s.stats.GetMisses.Add(1)
+			continue
+		}
+		s.stats.GetHits.Add(1)
+		if withCAS {
+			fmt.Fprintf(w, "VALUE %s %d %d %d\r\n", it.Key, it.Flags, len(it.Value), it.CAS)
+		} else {
+			fmt.Fprintf(w, "VALUE %s %d %d\r\n", it.Key, it.Flags, len(it.Value))
+		}
+		if _, err := w.Write(it.Value); err != nil {
+			return err
+		}
+		if _, err := w.WriteString("\r\n"); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("END\r\n")
+	return err
+}
+
+// readStorePayload parses "<key> <flags> <exptime> <bytes> [noreply]"
+// plus the data block. On a malformed command line it still consumes
+// the client's data block (by declared size when parseable, otherwise
+// one line) so the connection stays in sync, as memcached does.
+func readStorePayload(fields []string, extra int, r *bufio.Reader) (it *Item, casID uint64, noreply bool, cerr string, err error) {
+	// discard swallows the pending data block after a client error when
+	// its size is known; with an unparseable size nothing is consumed
+	// (the client cannot have meant a well-formed block).
+	discard := func(size int64, sized bool) error {
+		if !sized {
+			return nil
+		}
+		_, derr := io.CopyN(io.Discard, r, size+2)
+		return derr
+	}
+
+	want := 4 + extra
+	if len(fields) == want+1 && fields[want] == "noreply" {
+		noreply = true
+		fields = fields[:want]
+	}
+	var size uint64
+	var sizeOK bool
+	if len(fields) >= 4 {
+		if v, serr := parseUint(fields[3], 31); serr == nil && v <= MaxValueLen {
+			size, sizeOK = v, true
+		}
+	}
+	fail := func(msg string) (*Item, uint64, bool, string, error) {
+		return nil, 0, noreply, msg, discard(int64(size), sizeOK)
+	}
+	if len(fields) != want {
+		return fail("bad command line format")
+	}
+	flags, ferr := parseUint(fields[1], 32)
+	if ferr != nil {
+		return fail("bad flags")
+	}
+	exp, eerr := parseInt32(fields[2])
+	if eerr != nil {
+		return fail("bad exptime")
+	}
+	if !sizeOK {
+		return fail("bad data chunk size")
+	}
+	if extra == 1 {
+		if casID, err = parseUint(fields[4], 64); err != nil {
+			return fail("bad cas id")
+		}
+	}
+	data := make([]byte, size+2)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, 0, noreply, "", err
+	}
+	if !bytes.HasSuffix(data, []byte("\r\n")) {
+		return nil, 0, noreply, "bad data chunk", nil
+	}
+	return &Item{
+		Key:        fields[0],
+		Value:      data[:size],
+		Flags:      uint32(flags),
+		Expiration: exp,
+	}, casID, noreply, "", nil
+}
+
+func (s *Server) handleStore(cmd string, fields []string, r *bufio.Reader, w *bufio.Writer) error {
+	s.stats.CmdSet.Add(1)
+	it, _, noreply, cerr, err := readStorePayload(fields, 0, r)
+	if err != nil {
+		return err
+	}
+	if cerr != "" {
+		_, err := fmt.Fprintf(w, "CLIENT_ERROR %s\r\n", cerr)
+		return err
+	}
+	var serr error
+	switch cmd {
+	case "set":
+		serr = s.backend.Set(it)
+	case "setp":
+		// RnB extension (§IV): a pinned set. The stored copy is exempt
+		// from LRU eviction — used for distinguished copies so they can
+		// never miss. Not part of stock memcached.
+		serr = s.backend.SetPinned(it)
+	case "add":
+		serr = s.backend.Add(it)
+	case "replace":
+		serr = s.backend.Replace(it)
+	case "append":
+		serr = s.backend.Append(it.Key, it.Value)
+	case "prepend":
+		serr = s.backend.Prepend(it.Key, it.Value)
+	}
+	if noreply {
+		return nil
+	}
+	switch {
+	case serr == nil:
+		_, err = w.WriteString("STORED\r\n")
+	case errors.Is(serr, ErrNotStored):
+		_, err = w.WriteString("NOT_STORED\r\n")
+	case errors.Is(serr, ErrBadKey):
+		_, err = w.WriteString("CLIENT_ERROR bad key\r\n")
+	case errors.Is(serr, ErrTooLarge):
+		_, err = w.WriteString("SERVER_ERROR object too large for cache\r\n")
+	default:
+		_, err = fmt.Fprintf(w, "SERVER_ERROR %s\r\n", serr)
+	}
+	return err
+}
+
+func (s *Server) handleCas(fields []string, r *bufio.Reader, w *bufio.Writer) error {
+	s.stats.CmdSet.Add(1)
+	it, casID, noreply, cerr, err := readStorePayload(fields, 1, r)
+	if err != nil {
+		return err
+	}
+	if cerr != "" {
+		_, err := fmt.Fprintf(w, "CLIENT_ERROR %s\r\n", cerr)
+		return err
+	}
+	it.CAS = casID
+	serr := s.backend.CompareAndSwap(it)
+	if noreply {
+		return nil
+	}
+	switch {
+	case serr == nil:
+		_, err = w.WriteString("STORED\r\n")
+	case errors.Is(serr, ErrCASConflict):
+		_, err = w.WriteString("EXISTS\r\n")
+	case errors.Is(serr, ErrCacheMiss):
+		_, err = w.WriteString("NOT_FOUND\r\n")
+	default:
+		_, err = fmt.Fprintf(w, "SERVER_ERROR %s\r\n", serr)
+	}
+	return err
+}
+
+func (s *Server) handleIncrDecr(decr bool, fields []string, w *bufio.Writer) error {
+	noreply := hasNoreply(fields)
+	if noreply {
+		fields = fields[:len(fields)-1]
+	}
+	if len(fields) != 2 {
+		_, err := w.WriteString("CLIENT_ERROR bad command line format\r\n")
+		return err
+	}
+	delta, derr := parseUint(fields[1], 63)
+	if derr != nil {
+		_, err := w.WriteString("CLIENT_ERROR invalid numeric delta argument\r\n")
+		return err
+	}
+	d := int64(delta)
+	if decr {
+		d = -d
+	}
+	val, serr := s.backend.Increment(fields[0], d)
+	if noreply {
+		return nil
+	}
+	var err error
+	switch {
+	case serr == nil:
+		_, err = fmt.Fprintf(w, "%d\r\n", val)
+	case errors.Is(serr, ErrCacheMiss):
+		_, err = w.WriteString("NOT_FOUND\r\n")
+	default:
+		_, err = fmt.Fprintf(w, "CLIENT_ERROR %s\r\n", serr)
+	}
+	return err
+}
+
+func (s *Server) handleDelete(fields []string, w *bufio.Writer) error {
+	noreply := hasNoreply(fields)
+	if noreply {
+		fields = fields[:len(fields)-1]
+	}
+	if len(fields) != 1 {
+		_, err := w.WriteString("CLIENT_ERROR bad command line format\r\n")
+		return err
+	}
+	serr := s.backend.Delete(fields[0])
+	if noreply {
+		return nil
+	}
+	var err error
+	if serr == nil {
+		_, err = w.WriteString("DELETED\r\n")
+	} else {
+		_, err = w.WriteString("NOT_FOUND\r\n")
+	}
+	return err
+}
+
+func (s *Server) handleTouch(fields []string, w *bufio.Writer) error {
+	noreply := hasNoreply(fields)
+	if noreply {
+		fields = fields[:len(fields)-1]
+	}
+	if len(fields) != 2 {
+		_, err := w.WriteString("CLIENT_ERROR bad command line format\r\n")
+		return err
+	}
+	exp, err := parseInt32(fields[1])
+	if err != nil {
+		_, werr := w.WriteString("CLIENT_ERROR bad exptime\r\n")
+		return werr
+	}
+	serr := s.backend.Touch(fields[0], exp)
+	if noreply {
+		return nil
+	}
+	var werr error
+	if serr == nil {
+		_, werr = w.WriteString("TOUCHED\r\n")
+	} else {
+		_, werr = w.WriteString("NOT_FOUND\r\n")
+	}
+	return werr
+}
+
+func (s *Server) handleStats(w *bufio.Writer) error {
+	fmt.Fprintf(w, "STAT cmd_get %d\r\n", s.stats.CmdGet.Load())
+	fmt.Fprintf(w, "STAT cmd_set %d\r\n", s.stats.CmdSet.Load())
+	fmt.Fprintf(w, "STAT get_hits %d\r\n", s.stats.GetHits.Load())
+	fmt.Fprintf(w, "STAT get_misses %d\r\n", s.stats.GetMisses.Load())
+	fmt.Fprintf(w, "STAT transactions %d\r\n", s.stats.Transactions.Load())
+	fmt.Fprintf(w, "STAT curr_connections %d\r\n", s.stats.CurrConns.Load())
+	fmt.Fprintf(w, "STAT total_connections %d\r\n", s.stats.TotalConns.Load())
+	extra := s.backend.BackendStats()
+	keys := make([]string, 0, len(extra))
+	for k := range extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "STAT %s %s\r\n", k, extra[k])
+	}
+	_, err := w.WriteString("END\r\n")
+	return err
+}

@@ -1,0 +1,387 @@
+package memcache
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// UDP transport, in memcached's framing: every datagram carries an
+// 8-byte header — request id, sequence number, total datagrams,
+// reserved — followed by (a fragment of) the text protocol stream.
+//
+// The paper's Appendix A tried UDP for the micro-benchmarks and
+// abandoned it: "the benchmark program suffered, as expected, from
+// considerable packet loss issues when attempting to communicate with
+// the server as fast as possible over a protocol without flow
+// control." This implementation exists to make that trade-off
+// reproducible: the UDP client detects datagram loss (gaps in the
+// sequence) and reports ErrUDPLoss instead of hanging, and the
+// transport is deliberately request/response only (no retransmission),
+// exactly like memcached's.
+
+// udpHeaderLen is the memcached UDP frame header size.
+const udpHeaderLen = 8
+
+// DefaultUDPPayload is the per-datagram payload budget. 1400 fits a
+// standard MTU; the paper's setup used 8KB jumbo frames.
+const DefaultUDPPayload = 1400
+
+// ErrUDPLoss reports a response with missing datagrams.
+var ErrUDPLoss = errors.New("memcache: udp response datagrams lost")
+
+func putUDPHeader(buf []byte, reqID, seq, total uint16) {
+	binary.BigEndian.PutUint16(buf[0:2], reqID)
+	binary.BigEndian.PutUint16(buf[2:4], seq)
+	binary.BigEndian.PutUint16(buf[4:6], total)
+	binary.BigEndian.PutUint16(buf[6:8], 0)
+}
+
+func parseUDPHeader(buf []byte) (reqID, seq, total uint16, err error) {
+	if len(buf) < udpHeaderLen {
+		return 0, 0, 0, fmt.Errorf("memcache: short udp frame (%d bytes)", len(buf))
+	}
+	return binary.BigEndian.Uint16(buf[0:2]),
+		binary.BigEndian.Uint16(buf[2:4]),
+		binary.BigEndian.Uint16(buf[4:6]),
+		nil
+}
+
+// UDPServer serves the text protocol over UDP datagrams, one request
+// per datagram, responses split across framed datagrams.
+type UDPServer struct {
+	srv     *Server // reuses the text dispatch over the same backend
+	conn    *net.UDPConn
+	payload int
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewUDPServer wraps the given (TCP) protocol server's backend for
+// UDP. payload <= 0 selects DefaultUDPPayload.
+func NewUDPServer(srv *Server, payload int) *UDPServer {
+	if payload <= 0 {
+		payload = DefaultUDPPayload
+	}
+	return &UDPServer{srv: srv, payload: payload}
+}
+
+// ListenAndServe binds addr ("127.0.0.1:0" picks a port) and serves
+// until Close.
+func (u *UDPServer) ListenAndServe(addr string) error {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		conn.Close()
+		return errors.New("memcache: udp server closed")
+	}
+	u.conn = conn
+	u.mu.Unlock()
+
+	buf := make([]byte, 64<<10)
+	for {
+		n, raddr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			u.mu.Lock()
+			closed := u.closed
+			u.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		u.mu.Lock()
+		if u.closed {
+			u.mu.Unlock()
+			return nil
+		}
+		u.wg.Add(1)
+		u.mu.Unlock()
+		go func() {
+			defer u.wg.Done()
+			u.handlePacket(pkt, raddr)
+		}()
+	}
+}
+
+// Addr returns the bound address, or "" before ListenAndServe.
+func (u *UDPServer) Addr() string {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.conn == nil {
+		return ""
+	}
+	return u.conn.LocalAddr().String()
+}
+
+// Close stops the server.
+func (u *UDPServer) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	conn := u.conn
+	u.mu.Unlock()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	u.wg.Wait()
+	return err
+}
+
+// handlePacket processes one request datagram and sends the framed
+// response.
+func (u *UDPServer) handlePacket(pkt []byte, raddr *net.UDPAddr) {
+	reqID, seq, total, err := parseUDPHeader(pkt)
+	if err != nil || seq != 0 || total != 1 {
+		return // multi-datagram requests are not part of the protocol
+	}
+	body := pkt[udpHeaderLen:]
+	r := bufio.NewReader(bytes.NewReader(body))
+	line, err := readLine(r)
+	if err != nil || len(line) == 0 {
+		return
+	}
+	var out bytes.Buffer
+	w := bufio.NewWriter(&out)
+	u.srv.stats.Transactions.Add(1)
+	if _, err := u.srv.dispatch(line, r, w); err != nil {
+		return
+	}
+	if err := w.Flush(); err != nil {
+		return
+	}
+	u.sendResponse(reqID, out.Bytes(), raddr)
+}
+
+func (u *UDPServer) sendResponse(reqID uint16, payload []byte, raddr *net.UDPAddr) {
+	chunks := (len(payload) + u.payload - 1) / u.payload
+	if chunks == 0 {
+		chunks = 1
+	}
+	if chunks > 0xffff {
+		return // cannot be represented; drop, as memcached does
+	}
+	frame := make([]byte, udpHeaderLen+u.payload)
+	for i := 0; i < chunks; i++ {
+		lo := i * u.payload
+		hi := lo + u.payload
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		putUDPHeader(frame, reqID, uint16(i), uint16(chunks))
+		n := copy(frame[udpHeaderLen:], payload[lo:hi])
+		u.conn.WriteToUDP(frame[:udpHeaderLen+n], raddr)
+	}
+}
+
+// UDPClient is a minimal text-protocol client over UDP. One in-flight
+// request at a time (guarded); no retransmission — lost datagrams
+// surface as ErrUDPLoss or a timeout, reproducing the paper's
+// observation about flow control.
+type UDPClient struct {
+	mu      sync.Mutex
+	conn    *net.UDPConn
+	timeout time.Duration
+	reqID   uint16
+	// Losses counts responses abandoned due to missing datagrams or
+	// timeouts.
+	losses uint64
+}
+
+// DialUDP connects (in the UDP sense) to addr.
+func DialUDP(addr string, timeout time.Duration) (*UDPClient, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	return &UDPClient{conn: conn, timeout: timeout}, nil
+}
+
+// Close releases the socket.
+func (c *UDPClient) Close() error { return c.conn.Close() }
+
+// Losses reports how many responses were lost or incomplete.
+func (c *UDPClient) Losses() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.losses
+}
+
+// roundTrip sends one framed text command and reassembles the framed
+// response.
+func (c *UDPClient) roundTrip(cmd []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reqID++
+	id := c.reqID
+
+	frame := make([]byte, udpHeaderLen+len(cmd))
+	putUDPHeader(frame, id, 0, 1)
+	copy(frame[udpHeaderLen:], cmd)
+	if _, err := c.conn.Write(frame); err != nil {
+		return nil, err
+	}
+
+	deadline := time.Now().Add(c.timeout)
+	buf := make([]byte, 64<<10)
+	var parts [][]byte
+	total := -1
+	received := 0
+	for {
+		c.conn.SetReadDeadline(deadline)
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			c.losses++
+			return nil, fmt.Errorf("%w: %v", ErrUDPLoss, err)
+		}
+		reqID, seq, tot, err := parseUDPHeader(buf[:n])
+		if err != nil {
+			continue
+		}
+		if reqID != id {
+			continue // stale response from a previous (lost) request
+		}
+		if total == -1 {
+			total = int(tot)
+			parts = make([][]byte, total)
+		}
+		if int(seq) >= total || parts[seq] != nil {
+			continue
+		}
+		parts[seq] = append([]byte(nil), buf[udpHeaderLen:n]...)
+		received++
+		if received == total {
+			break
+		}
+	}
+	var out bytes.Buffer
+	for _, p := range parts {
+		out.Write(p)
+	}
+	return out.Bytes(), nil
+}
+
+// Get fetches keys over UDP in one request datagram.
+func (c *UDPClient) Get(keys ...string) (map[string]*Item, error) {
+	if len(keys) == 0 {
+		return map[string]*Item{}, nil
+	}
+	for _, k := range keys {
+		if !validKey(k) {
+			return nil, ErrBadKey
+		}
+	}
+	var cmd bytes.Buffer
+	cmd.WriteString("get")
+	for _, k := range keys {
+		cmd.WriteByte(' ')
+		cmd.WriteString(k)
+	}
+	cmd.WriteString("\r\n")
+	resp, err := c.roundTrip(cmd.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return parseTextValues(resp)
+}
+
+// Set stores an item over UDP. Responses are awaited (no noreply), so
+// the caller learns about loss.
+func (c *UDPClient) Set(it *Item) error {
+	if !validKey(it.Key) {
+		return ErrBadKey
+	}
+	if len(it.Value) > MaxValueLen {
+		return ErrTooLarge
+	}
+	var cmd bytes.Buffer
+	fmt.Fprintf(&cmd, "set %s %d %d %d\r\n", it.Key, it.Flags, it.Expiration, len(it.Value))
+	cmd.Write(it.Value)
+	cmd.WriteString("\r\n")
+	resp, err := c.roundTrip(cmd.Bytes())
+	if err != nil {
+		return err
+	}
+	status := string(bytes.TrimRight(resp, "\r\n"))
+	if status != "STORED" {
+		return fmt.Errorf("memcache: udp set answered %q", status)
+	}
+	return nil
+}
+
+// Version fetches the server banner over UDP.
+func (c *UDPClient) Version() (string, error) {
+	resp, err := c.roundTrip([]byte("version\r\n"))
+	if err != nil {
+		return "", err
+	}
+	line := string(bytes.TrimRight(resp, "\r\n"))
+	return string(bytes.TrimPrefix([]byte(line), []byte("VERSION "))), nil
+}
+
+// parseTextValues parses a VALUE.../END response buffer.
+func parseTextValues(resp []byte) (map[string]*Item, error) {
+	out := map[string]*Item{}
+	r := bufio.NewReader(bytes.NewReader(resp))
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return nil, fmt.Errorf("memcache: truncated udp response")
+		}
+		if bytes.Equal(line, []byte("END")) {
+			return out, nil
+		}
+		fields := bytes.Fields(line)
+		if len(fields) != 4 || !bytes.Equal(fields[0], []byte("VALUE")) {
+			return nil, fmt.Errorf("memcache: unexpected udp line %q", line)
+		}
+		size, err := parseUint(string(fields[3]), 31)
+		if err != nil {
+			return nil, err
+		}
+		flags, err := parseUint(string(fields[2]), 32)
+		if err != nil {
+			return nil, err
+		}
+		data := make([]byte, size+2)
+		if _, err := readFull(r, data); err != nil {
+			return nil, fmt.Errorf("memcache: truncated udp data block")
+		}
+		if !bytes.HasSuffix(data, []byte("\r\n")) {
+			return nil, fmt.Errorf("memcache: corrupt udp data block")
+		}
+		out[string(fields[1])] = &Item{
+			Key:   string(fields[1]),
+			Value: data[:size],
+			Flags: uint32(flags),
+		}
+	}
+}

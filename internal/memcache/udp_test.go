@@ -1,0 +1,124 @@
+package memcache
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startUDPServer(t *testing.T, payload int) (*UDPServer, *UDPClient) {
+	t.Helper()
+	srv := NewServer(NewStore(0))
+	udp := NewUDPServer(srv, payload)
+	errCh := make(chan error, 1)
+	go func() { errCh <- udp.ListenAndServe("127.0.0.1:0") }()
+	// Wait for bind.
+	for i := 0; i < 100 && udp.Addr() == ""; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if udp.Addr() == "" {
+		t.Fatal("udp server did not bind")
+	}
+	t.Cleanup(func() { udp.Close() })
+	cl, err := DialUDP(udp.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return udp, cl
+}
+
+func TestUDPSetGet(t *testing.T) {
+	_, cl := startUDPServer(t, 0)
+	if err := cl.Set(&Item{Key: "k", Value: []byte("v"), Flags: 3}); err != nil {
+		t.Fatal(err)
+	}
+	items, err := cl.Get("k", "missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || string(items["k"].Value) != "v" || items["k"].Flags != 3 {
+		t.Fatalf("udp get: %v", items)
+	}
+}
+
+func TestUDPVersion(t *testing.T) {
+	_, cl := startUDPServer(t, 0)
+	v, err := cl.Version()
+	if err != nil || !strings.Contains(v, "rnb-memcache") {
+		t.Fatalf("version: %q %v", v, err)
+	}
+}
+
+func TestUDPMultiDatagramResponse(t *testing.T) {
+	// A tiny payload budget forces the response to span many datagrams;
+	// reassembly must produce the exact value.
+	_, cl := startUDPServer(t, 100)
+	big := []byte(strings.Repeat("x", 2000))
+	if err := cl.Set(&Item{Key: "big", Value: big}); err != nil {
+		t.Fatal(err)
+	}
+	items, err := cl.Get("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(items["big"].Value) != string(big) {
+		t.Fatal("multi-datagram reassembly corrupted the value")
+	}
+}
+
+func TestUDPLossSurfacesAsError(t *testing.T) {
+	// Query a dead port: no response datagrams -> timeout -> ErrUDPLoss.
+	cl, err := DialUDP("127.0.0.1:9", 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Get("k"); !errors.Is(err, ErrUDPLoss) {
+		t.Fatalf("want ErrUDPLoss, got %v", err)
+	}
+	if cl.Losses() != 1 {
+		t.Fatalf("losses = %d", cl.Losses())
+	}
+}
+
+func TestUDPBadKey(t *testing.T) {
+	_, cl := startUDPServer(t, 0)
+	if _, err := cl.Get("bad key"); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("bad key: %v", err)
+	}
+	if err := cl.Set(&Item{Key: "bad key", Value: []byte("v")}); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("bad key set: %v", err)
+	}
+}
+
+func TestUDPManySequentialRequests(t *testing.T) {
+	// Sequential request/response over loopback should be loss-free and
+	// exercise request-id matching.
+	_, cl := startUDPServer(t, 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		if err := cl.Set(&Item{Key: key, Value: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+		items, err := cl.Get(key)
+		if err != nil || len(items) != 1 {
+			t.Fatalf("iteration %d: %v %v", i, items, err)
+		}
+	}
+	if cl.Losses() != 0 {
+		t.Fatalf("sequential loopback lost %d responses", cl.Losses())
+	}
+}
+
+func TestUDPServerCloseIdempotent(t *testing.T) {
+	udp, _ := startUDPServer(t, 0)
+	if err := udp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := udp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

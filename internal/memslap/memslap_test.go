@@ -1,0 +1,153 @@
+package memslap
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"rnb/internal/memcache"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv := memcache.NewServer(memcache.NewStore(0))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+func TestPreloadAndRun(t *testing.T) {
+	addr := startServer(t)
+	if err := Preload(addr, 500, 10, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Addr: addr, Concurrency: 2, TxnSize: 10, Keys: 500,
+		Transactions: 100, SetPerItems: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions != 100 {
+		t.Fatalf("transactions = %d, want 100", res.Transactions)
+	}
+	// Random keys within a preloaded universe: every key hits, but a
+	// transaction may pick the same key twice (the server returns it
+	// once), so fetched <= issued.
+	if res.ItemsFetched == 0 || res.ItemsFetched > 1000 {
+		t.Fatalf("items fetched = %d", res.ItemsFetched)
+	}
+	if res.Sets == 0 {
+		t.Fatal("no sets issued despite SetPerItems")
+	}
+	if res.ItemsPerSecond() <= 0 || res.TransactionsPerSecond() <= 0 {
+		t.Fatal("rates not positive")
+	}
+}
+
+func TestRunCountsMisses(t *testing.T) {
+	addr := startServer(t)
+	// No preload: everything misses.
+	res, err := Run(Config{
+		Addr: addr, Concurrency: 1, TxnSize: 5, Keys: 100,
+		Transactions: 20, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ItemsFetched != 0 {
+		t.Fatalf("fetched %d items from empty server", res.ItemsFetched)
+	}
+	if res.Misses != 100 {
+		t.Fatalf("misses = %d, want 100", res.Misses)
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	addr := startServer(t)
+	if err := Preload(addr, 100, 10, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Zero values everywhere: defaults kick in; Keys defaults to 10000
+	// while only 100 are loaded, so expect partial hits but no error.
+	res, err := Run(Config{Addr: addr, Transactions: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions != 10 {
+		t.Fatalf("transactions = %d", res.Transactions)
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	if _, err := Run(Config{Addr: "127.0.0.1:1", Transactions: 1, Timeout: 200 * time.Millisecond}); err == nil {
+		t.Fatal("connecting to a closed port succeeded")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	addr := startServer(t)
+	if err := Preload(addr, 1000, 10, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	points, err := Sweep(Config{Addr: addr, Concurrency: 2, Keys: 1000, Seed: 3},
+		[]int{1, 4, 16}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Result.Transactions == 0 {
+			t.Fatalf("txn size %d ran nothing", p.TxnSize)
+		}
+	}
+	// The paper's headline shape: larger transactions fetch items
+	// faster. Loopback TCP is noisy in CI, so require only that the
+	// largest size beats the smallest.
+	if points[2].Result.ItemsPerSecond() <= points[0].Result.ItemsPerSecond() {
+		t.Logf("warning: items/s not increasing (%f vs %f) — noisy environment?",
+			points[0].Result.ItemsPerSecond(), points[2].Result.ItemsPerSecond())
+	}
+}
+
+func TestRunBinaryProtocol(t *testing.T) {
+	addr := startServer(t)
+	if err := Preload(addr, 300, 10, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Addr: addr, Concurrency: 2, TxnSize: 8, Keys: 300,
+		Transactions: 50, SetPerItems: 100, Seed: 4, Binary: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions != 50 {
+		t.Fatalf("transactions = %d", res.Transactions)
+	}
+	if res.ItemsFetched == 0 {
+		t.Fatal("binary run fetched nothing")
+	}
+	if res.Sets == 0 {
+		t.Fatal("binary run issued no sets")
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	if Key(7) != "key-00000007" {
+		t.Fatalf("Key(7) = %q", Key(7))
+	}
+}
+
+func TestResultZeroElapsed(t *testing.T) {
+	var r Result
+	if r.ItemsPerSecond() != 0 || r.TransactionsPerSecond() != 0 {
+		t.Fatal("zero-elapsed rates should be 0")
+	}
+}

@@ -1,0 +1,242 @@
+// Package metrics provides the counters and histograms the simulator
+// reports: transactions per request (TPR), per-server rates (TPRPS),
+// and the transaction-size histogram that calibration converts into
+// throughput estimates (paper §III-B).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// IntHist is a histogram over small non-negative integers (e.g. the
+// number of items in a transaction). The zero value is ready to use.
+type IntHist struct {
+	counts []uint64
+	n      uint64
+	sum    uint64
+}
+
+// Add records one observation of value v (>= 0).
+func (h *IntHist) Add(v int) {
+	if v < 0 {
+		panic("metrics: negative histogram value")
+	}
+	if v >= len(h.counts) {
+		grown := make([]uint64, v+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[v]++
+	h.n++
+	h.sum += uint64(v)
+}
+
+// AddN records c observations of value v.
+func (h *IntHist) AddN(v int, c uint64) {
+	if v < 0 {
+		panic("metrics: negative histogram value")
+	}
+	if v >= len(h.counts) {
+		grown := make([]uint64, v+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[v] += c
+	h.n += c
+	h.sum += uint64(v) * c
+}
+
+// Count returns the number of observations.
+func (h *IntHist) Count() uint64 { return h.n }
+
+// Sum returns the sum of all observed values.
+func (h *IntHist) Sum() uint64 { return h.sum }
+
+// Mean returns the mean observation, or 0 with no data.
+func (h *IntHist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max returns the largest observed value, or 0 with no data.
+func (h *IntHist) Max() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// Quantile returns the smallest value v such that at least q of the
+// observations are <= v. q is clamped to [0,1].
+func (h *IntHist) Quantile(q float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := uint64(math.Ceil(q * float64(h.n)))
+	if need == 0 {
+		need = 1
+	}
+	var acc uint64
+	for v, c := range h.counts {
+		acc += c
+		if acc >= need {
+			return v
+		}
+	}
+	return len(h.counts) - 1
+}
+
+// CountOf returns the number of observations equal to v.
+func (h *IntHist) CountOf(v int) uint64 {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// Buckets returns (value, count) pairs for all non-empty buckets,
+// ascending by value.
+func (h *IntHist) Buckets() [][2]uint64 {
+	var out [][2]uint64
+	for v, c := range h.counts {
+		if c > 0 {
+			out = append(out, [2]uint64{uint64(v), c})
+		}
+	}
+	return out
+}
+
+// Merge adds all of o's observations into h.
+func (h *IntHist) Merge(o *IntHist) {
+	for v, c := range o.counts {
+		if c > 0 {
+			h.AddN(v, c)
+		}
+	}
+}
+
+// String renders a compact summary.
+func (h *IntHist) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%d p99=%d max=%d",
+		h.n, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// Tally accumulates per-request simulation counters.
+type Tally struct {
+	Requests     uint64
+	Transactions uint64 // round-1 + round-2 transactions
+	Round2       uint64 // transactions issued to fetch distinguished copies after misses
+	ItemsWanted  uint64 // items requested
+	ItemsFetched uint64 // items obtained (≥ wanted is possible with hitchhikers... no: obtained ≤ wanted)
+	Misses       uint64 // items that missed in round 1
+	HitchhikeHit uint64 // items obtained via a hitchhiker rather than their primary copy
+	DBFetches    uint64 // items that fell through to the authoritative store (server failures)
+
+	// TxnSize is the histogram of items per transaction (primary +
+	// hitchhikers actually transferred), the input to calibration.
+	TxnSize IntHist
+	// TPRHist is the histogram of transactions per request.
+	TPRHist IntHist
+}
+
+// TPR returns mean transactions per request.
+func (t *Tally) TPR() float64 {
+	if t.Requests == 0 {
+		return 0
+	}
+	return float64(t.Transactions) / float64(t.Requests)
+}
+
+// TPRPS returns mean transactions per request per server.
+func (t *Tally) TPRPS(servers int) float64 {
+	if servers <= 0 {
+		return 0
+	}
+	return t.TPR() / float64(servers)
+}
+
+// MissRate returns round-1 misses per requested item.
+func (t *Tally) MissRate() float64 {
+	if t.ItemsWanted == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.ItemsWanted)
+}
+
+// Merge adds o's counters into t.
+func (t *Tally) Merge(o *Tally) {
+	t.Requests += o.Requests
+	t.Transactions += o.Transactions
+	t.Round2 += o.Round2
+	t.ItemsWanted += o.ItemsWanted
+	t.ItemsFetched += o.ItemsFetched
+	t.Misses += o.Misses
+	t.HitchhikeHit += o.HitchhikeHit
+	t.DBFetches += o.DBFetches
+	t.TxnSize.Merge(&o.TxnSize)
+	t.TPRHist.Merge(&o.TPRHist)
+}
+
+// String renders the headline numbers.
+func (t *Tally) String() string {
+	return fmt.Sprintf("requests=%d tpr=%.3f round2=%d missRate=%.4f dbFetches=%d txn[%s]",
+		t.Requests, t.TPR(), t.Round2, t.MissRate(), t.DBFetches, t.TxnSize.String())
+}
+
+// Summary holds order statistics for a float series (used by sweep
+// outputs and EXPERIMENTS.md tables).
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P95       float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	s.P50 = quantileSorted(sorted, 0.5)
+	s.P95 = quantileSorted(sorted, 0.95)
+	return s
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

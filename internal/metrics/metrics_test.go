@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntHistBasics(t *testing.T) {
+	var h IntHist
+	for _, v := range []int{1, 2, 2, 3, 10} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Sum() != 18 {
+		t.Fatalf("Sum = %d", h.Sum())
+	}
+	if h.Mean() != 3.6 {
+		t.Fatalf("Mean = %g", h.Mean())
+	}
+	if h.Max() != 10 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if h.CountOf(2) != 2 || h.CountOf(99) != 0 || h.CountOf(-1) != 0 {
+		t.Fatal("CountOf wrong")
+	}
+}
+
+func TestIntHistQuantile(t *testing.T) {
+	var h IntHist
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	if q := h.Quantile(0.5); q != 50 {
+		t.Fatalf("p50 = %d", q)
+	}
+	if q := h.Quantile(0.99); q != 99 {
+		t.Fatalf("p99 = %d", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("p0 = %d", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("p100 = %d", q)
+	}
+	if q := h.Quantile(-3); q != 1 {
+		t.Fatalf("clamped low = %d", q)
+	}
+	if q := h.Quantile(7); q != 100 {
+		t.Fatalf("clamped high = %d", q)
+	}
+}
+
+func TestIntHistEmpty(t *testing.T) {
+	var h IntHist
+	if h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty hist not zeroed")
+	}
+}
+
+func TestIntHistNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var h IntHist
+	h.Add(-1)
+}
+
+func TestIntHistAddN(t *testing.T) {
+	var h IntHist
+	h.AddN(5, 10)
+	if h.Count() != 10 || h.Sum() != 50 {
+		t.Fatalf("AddN: count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestIntHistBuckets(t *testing.T) {
+	var h IntHist
+	h.Add(2)
+	h.Add(2)
+	h.Add(5)
+	got := h.Buckets()
+	if len(got) != 2 || got[0] != [2]uint64{2, 2} || got[1] != [2]uint64{5, 1} {
+		t.Fatalf("Buckets = %v", got)
+	}
+}
+
+func TestIntHistMerge(t *testing.T) {
+	var a, b IntHist
+	a.Add(1)
+	b.Add(2)
+	b.Add(2)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Sum() != 5 {
+		t.Fatalf("merged: count=%d sum=%d", a.Count(), a.Sum())
+	}
+}
+
+func TestQuickHistMeanMatchesDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var h IntHist
+		sum, n := 0, 40
+		for i := 0; i < n; i++ {
+			v := r.Intn(50)
+			h.Add(v)
+			sum += v
+		}
+		return h.Mean() == float64(sum)/float64(n) && h.Count() == uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTally(t *testing.T) {
+	var ta Tally
+	ta.Requests = 10
+	ta.Transactions = 35
+	if ta.TPR() != 3.5 {
+		t.Fatalf("TPR = %g", ta.TPR())
+	}
+	if ta.TPRPS(7) != 0.5 {
+		t.Fatalf("TPRPS = %g", ta.TPRPS(7))
+	}
+	if ta.TPRPS(0) != 0 {
+		t.Fatal("TPRPS(0) should be 0")
+	}
+	ta.ItemsWanted = 100
+	ta.Misses = 25
+	if ta.MissRate() != 0.25 {
+		t.Fatalf("MissRate = %g", ta.MissRate())
+	}
+	var empty Tally
+	if empty.TPR() != 0 || empty.MissRate() != 0 {
+		t.Fatal("empty tally not zeroed")
+	}
+}
+
+func TestTallyMerge(t *testing.T) {
+	var a, b Tally
+	a.Requests, a.Transactions = 1, 2
+	b.Requests, b.Transactions = 3, 4
+	b.TxnSize.Add(7)
+	a.Merge(&b)
+	if a.Requests != 4 || a.Transactions != 6 {
+		t.Fatalf("merge: %+v", a)
+	}
+	if a.TxnSize.Count() != 1 {
+		t.Fatal("hist not merged")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.P50 != 2.5 {
+		t.Fatalf("P50 = %g", s.P50)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Fatal("empty summarize")
+	}
+}
+
+func TestStringersDoNotPanic(t *testing.T) {
+	var h IntHist
+	h.Add(3)
+	_ = h.String()
+	var ta Tally
+	ta.Requests = 1
+	ta.Transactions = 2
+	_ = ta.String()
+}

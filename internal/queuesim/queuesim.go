@@ -1,0 +1,211 @@
+// Package queuesim is a discrete-event queueing simulator for the
+// memcached tier, answering the RnB paper's explicit future-work
+// question (§V-B: "measuring the impact of RnB on the latency and
+// throughput metrics of real and simulated systems").
+//
+// Model: each server is a FIFO queue with deterministic service time
+// t(k) = Fixed + PerItem·k for a k-item transaction (the calibrated
+// cost model of the micro-benchmarks). User requests arrive as a
+// Poisson process; each request fans out its planned transactions to
+// the servers simultaneously and completes when the last one finishes.
+// Request latency is therefore the max over its transactions of
+// (queueing delay + service time).
+//
+// The interesting comparison: at equal offered load, RnB requests use
+// fewer, larger transactions. Since the per-transaction cost dominates
+// for small items, total server work per request falls, so queues
+// saturate at a much higher request rate — and below saturation the
+// tail latency is lower despite individual transactions being slightly
+// longer.
+package queuesim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rnb/internal/calibrate"
+)
+
+// Txn is one planned server transaction: destination and item count.
+type Txn struct {
+	Server int
+	Items  int
+}
+
+// PlanSource yields the transaction plan for each successive request.
+// Plans may be recycled; the simulator copies what it needs.
+type PlanSource interface {
+	NextPlan() []Txn
+}
+
+// PlanFunc adapts a function to PlanSource.
+type PlanFunc func() []Txn
+
+// NextPlan implements PlanSource.
+func (f PlanFunc) NextPlan() []Txn { return f() }
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Servers is the number of server queues.
+	Servers int
+	// ArrivalRate is the Poisson request arrival rate (requests/sec).
+	ArrivalRate float64
+	// Requests is the number of requests to simulate.
+	Requests int
+	// Warmup requests are simulated but excluded from the statistics.
+	Warmup int
+	// Model is the per-transaction cost model (zero value selects
+	// calibrate.DefaultModel).
+	Model calibrate.CostModel
+	// Seed drives the arrival process.
+	Seed int64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Requests measured (after warm-up).
+	Requests int
+	// MeanLatency, P50, P95, P99 and Max are request latencies in
+	// seconds.
+	MeanLatency, P50, P95, P99, Max float64
+	// MeanQueueDelay is the mean per-transaction queueing delay.
+	MeanQueueDelay float64
+	// Utilization is mean busy fraction across servers.
+	Utilization float64
+	// Saturated reports that the system could not keep up: queues grew
+	// without bound (detected via a latency guardrail).
+	Saturated bool
+}
+
+// saturationLatency is the guardrail: if the p99 latency exceeds this,
+// the run is flagged saturated (queues diverge; in an overloaded run
+// the tail keeps growing with run length).
+const saturationLatency = 0.5 // seconds
+
+// Run simulates cfg.Requests arrivals drawing plans from src. Because
+// every request dispatches its transactions at arrival time and each
+// server serves FIFO with deterministic service times, each server's
+// state reduces to the time it next becomes free — no event queue is
+// needed, and the simulation is O(total transactions).
+func Run(cfg Config, src PlanSource) (Result, error) {
+	if cfg.Servers < 1 {
+		return Result{}, fmt.Errorf("queuesim: need at least one server")
+	}
+	if cfg.ArrivalRate <= 0 {
+		return Result{}, fmt.Errorf("queuesim: arrival rate must be positive")
+	}
+	if cfg.Requests < 1 {
+		return Result{}, fmt.Errorf("queuesim: need at least one request")
+	}
+	model := cfg.Model
+	if model == (calibrate.CostModel{}) {
+		model = calibrate.DefaultModel
+	}
+	if err := model.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// With FIFO queues and deterministic service, each server is fully
+	// described by the time it next becomes free.
+	freeAt := make([]float64, cfg.Servers)
+	busy := make([]float64, cfg.Servers) // accumulated busy time
+
+	latencies := make([]float64, 0, cfg.Requests)
+	var sumLatency, sumDelay float64
+	var delays int
+	now := 0.0
+	var endTime float64
+
+	total := cfg.Requests + cfg.Warmup
+	for i := 0; i < total; i++ {
+		// Poisson arrivals: exponential inter-arrival times.
+		now += rng.ExpFloat64() / cfg.ArrivalRate
+		plan := src.NextPlan()
+		reqEnd := now
+		for _, txn := range plan {
+			if txn.Server < 0 || txn.Server >= cfg.Servers {
+				return Result{}, fmt.Errorf("queuesim: plan server %d out of range", txn.Server)
+			}
+			start := math.Max(now, freeAt[txn.Server])
+			service := model.TxnTime(txn.Items)
+			finish := start + service
+			freeAt[txn.Server] = finish
+			busy[txn.Server] += service
+			if i >= cfg.Warmup {
+				sumDelay += start - now
+				delays++
+			}
+			if finish > reqEnd {
+				reqEnd = finish
+			}
+		}
+		if reqEnd > endTime {
+			endTime = reqEnd
+		}
+		if i >= cfg.Warmup {
+			lat := reqEnd - now
+			latencies = append(latencies, lat)
+			sumLatency += lat
+		}
+	}
+
+	res := Result{Requests: len(latencies)}
+	if len(latencies) == 0 {
+		return res, nil
+	}
+	sort.Float64s(latencies)
+	res.MeanLatency = sumLatency / float64(len(latencies))
+	res.P50 = quantile(latencies, 0.50)
+	res.P95 = quantile(latencies, 0.95)
+	res.P99 = quantile(latencies, 0.99)
+	res.Max = latencies[len(latencies)-1]
+	if delays > 0 {
+		res.MeanQueueDelay = sumDelay / float64(delays)
+	}
+	var busySum float64
+	for _, b := range busy {
+		busySum += b
+	}
+	if endTime > 0 {
+		res.Utilization = busySum / (endTime * float64(cfg.Servers))
+	}
+	res.Saturated = res.P99 > saturationLatency
+	return res, nil
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CapacityEstimate returns the theoretical saturation request rate for
+// a plan mix: servers / (mean CPU seconds per request). Useful for
+// choosing sweep points as fractions of capacity.
+func CapacityEstimate(model calibrate.CostModel, plans [][]Txn, servers int) float64 {
+	if len(plans) == 0 || servers < 1 {
+		return 0
+	}
+	var cpu float64
+	for _, plan := range plans {
+		for _, txn := range plan {
+			cpu += model.TxnTime(txn.Items)
+		}
+	}
+	cpu /= float64(len(plans))
+	if cpu == 0 {
+		return math.Inf(1)
+	}
+	return float64(servers) / cpu
+}

@@ -1,0 +1,202 @@
+package queuesim
+
+import (
+	"math"
+	"testing"
+
+	"rnb/internal/calibrate"
+)
+
+// fixedPlans cycles through a preset list of plans.
+type fixedPlans struct {
+	plans [][]Txn
+	i     int
+}
+
+func (f *fixedPlans) NextPlan() []Txn {
+	p := f.plans[f.i%len(f.plans)]
+	f.i++
+	return p
+}
+
+func singleTxnPlans(server, items int) PlanSource {
+	return PlanFunc(func() []Txn { return []Txn{{Server: server, Items: items}} })
+}
+
+func TestValidation(t *testing.T) {
+	src := singleTxnPlans(0, 1)
+	cases := []Config{
+		{Servers: 0, ArrivalRate: 1, Requests: 1},
+		{Servers: 1, ArrivalRate: 0, Requests: 1},
+		{Servers: 1, ArrivalRate: 1, Requests: 0},
+		{Servers: 1, ArrivalRate: 1, Requests: 1, Model: calibrate.CostModel{Fixed: -1}},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg, src); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	// Out-of-range plan server.
+	if _, err := Run(Config{Servers: 1, ArrivalRate: 1, Requests: 1},
+		singleTxnPlans(5, 1)); err == nil {
+		t.Error("out-of-range server accepted")
+	}
+}
+
+func TestLowLoadLatencyIsServiceTime(t *testing.T) {
+	model := calibrate.CostModel{Fixed: 100e-6, PerItem: 0}
+	res, err := Run(Config{
+		Servers: 4, ArrivalRate: 10, Requests: 2000, Warmup: 100,
+		Model: model, Seed: 1,
+	}, singleTxnPlans(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 10 req/s against a 10k txn/s server, queueing is negligible:
+	// latency ~ service time.
+	if res.MeanLatency < 100e-6 || res.MeanLatency > 120e-6 {
+		t.Fatalf("mean latency %.1fus, want ~100us", res.MeanLatency*1e6)
+	}
+	if res.Saturated {
+		t.Fatal("low load flagged saturated")
+	}
+	if res.P99 < res.P50 || res.Max < res.P99 {
+		t.Fatal("quantiles out of order")
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	model := calibrate.CostModel{Fixed: 100e-6, PerItem: 0}
+	latAt := func(rate float64) float64 {
+		res, err := Run(Config{
+			Servers: 1, ArrivalRate: rate, Requests: 5000, Warmup: 500,
+			Model: model, Seed: 2,
+		}, singleTxnPlans(0, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanLatency
+	}
+	// Server capacity = 10000 txn/s. M/D/1 mean wait grows sharply with
+	// utilization.
+	l30 := latAt(3000)
+	l80 := latAt(8000)
+	l95 := latAt(9500)
+	if !(l30 < l80 && l80 < l95) {
+		t.Fatalf("latency not increasing with load: %.1f %.1f %.1f us",
+			l30*1e6, l80*1e6, l95*1e6)
+	}
+	// Sanity against M/D/1 theory at rho=0.8: W = rho/(2 mu (1-rho)) =
+	// 0.8/(2*10000*0.2) = 200us wait + 100us service = 300us.
+	if l80 < 200e-6 || l80 > 450e-6 {
+		t.Fatalf("latency at rho=0.8 is %.1fus, want ~300us (M/D/1)", l80*1e6)
+	}
+}
+
+func TestSaturationDetected(t *testing.T) {
+	model := calibrate.CostModel{Fixed: 100e-6, PerItem: 0}
+	res, err := Run(Config{
+		Servers: 1, ArrivalRate: 20000, Requests: 30000, Warmup: 100,
+		Model: model, Seed: 3,
+	}, singleTxnPlans(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Fatalf("2x overload not flagged saturated (mean %.3fs)", res.MeanLatency)
+	}
+}
+
+func TestUtilizationMatchesOfferedLoad(t *testing.T) {
+	model := calibrate.CostModel{Fixed: 100e-6, PerItem: 0}
+	res, err := Run(Config{
+		Servers: 2, ArrivalRate: 10000, Requests: 20000, Warmup: 1000,
+		Model: model, Seed: 4,
+	}, PlanFunc(func() []Txn {
+		return []Txn{{Server: 0, Items: 1}, {Server: 1, Items: 1}}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each server sees 10000 txn/s x 100us = rho 1.0... that saturates;
+	// use half.
+	_ = res
+	res, err = Run(Config{
+		Servers: 2, ArrivalRate: 5000, Requests: 20000, Warmup: 1000,
+		Model: model, Seed: 4,
+	}, PlanFunc(func() []Txn {
+		return []Txn{{Server: 0, Items: 1}, {Server: 1, Items: 1}}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Utilization-0.5) > 0.05 {
+		t.Fatalf("utilization %.3f, want ~0.5", res.Utilization)
+	}
+}
+
+func TestFanoutLatencyIsMaxOfTransactions(t *testing.T) {
+	// A request fanning out to 4 idle servers takes as long as its
+	// slowest transaction, not the sum.
+	model := calibrate.CostModel{Fixed: 100e-6, PerItem: 10e-6}
+	res, err := Run(Config{
+		Servers: 4, ArrivalRate: 1, Requests: 500, Warmup: 10,
+		Model: model, Seed: 5,
+	}, &fixedPlans{plans: [][]Txn{{
+		{Server: 0, Items: 1},
+		{Server: 1, Items: 1},
+		{Server: 2, Items: 1},
+		{Server: 3, Items: 40}, // slowest: 100 + 400 = 500us
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanLatency-500e-6) > 50e-6 {
+		t.Fatalf("fan-out latency %.1fus, want ~500us", res.MeanLatency*1e6)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	cfg := Config{Servers: 2, ArrivalRate: 1000, Requests: 1000, Warmup: 10, Seed: 7}
+	a, err := Run(cfg, singleTxnPlans(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, singleTxnPlans(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLatency != b.MeanLatency || a.P99 != b.P99 {
+		t.Fatal("same seed, different results")
+	}
+	cfg.Seed = 8
+	c, _ := Run(cfg, singleTxnPlans(0, 3))
+	if c.MeanLatency == a.MeanLatency {
+		t.Fatal("different seeds produced identical latencies")
+	}
+}
+
+func TestCapacityEstimate(t *testing.T) {
+	model := calibrate.CostModel{Fixed: 100e-6, PerItem: 0}
+	plans := [][]Txn{
+		{{Server: 0, Items: 1}, {Server: 1, Items: 1}}, // 200us CPU
+	}
+	got := CapacityEstimate(model, plans, 2)
+	if math.Abs(got-10000) > 1 {
+		t.Fatalf("capacity = %g, want 10000", got)
+	}
+	if CapacityEstimate(model, nil, 2) != 0 {
+		t.Fatal("empty plans")
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	src := singleTxnPlans(0, 10)
+	cfg := Config{Servers: 8, ArrivalRate: 50000, Requests: 10000, Warmup: 100, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

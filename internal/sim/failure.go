@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+
+	"rnb/internal/cluster"
+	"rnb/internal/workload"
+)
+
+func init() { register("failure", Failure) }
+
+// Failure quantifies the availability side of RnB's "replication is
+// often done anyhow" argument (§I, §V-B): after fail-stopping k of 16
+// servers, what fraction of requested items must fall through to the
+// authoritative database? Without replication every item homed on a
+// dead server is a database fetch; with RnB's replicas the planner
+// routes around the failures and only items whose *every* replica (or
+// whose surviving copies were evicted) remain exposed.
+//
+// This is an extension experiment (no corresponding paper figure).
+func Failure(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	g, err := loadGraph(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	const servers = 16
+	failures := []int{0, 1, 2, 4}
+
+	t := Table{
+		ID:     "failure",
+		Title:  "Database fallbacks per 1000 requested items vs. failed servers (16 servers, 2x memory)",
+		XLabel: "failed servers",
+		YLabel: "DB fetches per 1000 items",
+		Notes: []string{
+			"extension experiment: availability from the replicas RnB needs anyway",
+		},
+	}
+	for _, replicas := range []int{1, 2, 3, 4} {
+		s := Series{Label: fmt.Sprintf("%d replica(s)", replicas)}
+		for _, k := range failures {
+			c, err := cluster.New(cluster.Config{
+				Servers: servers, Items: g.NumNodes(), Replicas: replicas,
+				MemoryFactor: 2.0, Planner: enhancedOptions,
+			})
+			if err != nil {
+				return Table{}, err
+			}
+			gen := workload.NewEgoGenerator(g, cfg.Seed+300)
+			if err := c.Run(gen, cfg.Warmup); err != nil {
+				return Table{}, err
+			}
+			for f := 0; f < k; f++ {
+				if err := c.FailServer(f); err != nil {
+					return Table{}, err
+				}
+			}
+			c.ResetTally()
+			if err := c.Run(gen, cfg.Requests); err != nil {
+				return Table{}, err
+			}
+			tally := c.Tally()
+			rate := 0.0
+			if tally.ItemsWanted > 0 {
+				rate = 1000 * float64(tally.DBFetches) / float64(tally.ItemsWanted)
+			}
+			s.X = append(s.X, float64(k))
+			s.Y = append(s.Y, rate)
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}

@@ -1,0 +1,48 @@
+package sim
+
+import "rnb/internal/analytic"
+
+func init() { register("fig2", Fig2) }
+
+// Fig2 reproduces paper fig. 2: the TPRPS scaling factor achieved when
+// doubling the number of servers, versus the initial server count, for
+// requests of 1, 10, 50 and 100 items. Purely analytic (§II-A).
+func Fig2(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "fig2",
+		Title:  "TPRPS scaling factor when doubling servers (larger is better; 2 = ideal)",
+		XLabel: "initial number of servers",
+		YLabel: "TPRPS scaling factor",
+	}
+	for _, m := range []int{1, 10, 50, 100} {
+		s := Series{Label: labelItems(m)}
+		for n := 1; n <= 128; n++ {
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, analytic.DoublingScalingFactor(n, m))
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+func labelItems(m int) string {
+	if m == 1 {
+		return "1 item"
+	}
+	return itoa(m) + " items"
+}
+
+func itoa(v int) string {
+	// Tiny helper avoiding fmt in hot paths; values here are small.
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

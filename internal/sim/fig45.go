@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"rnb/internal/graph"
+)
+
+func init() {
+	register("fig4", Fig4)
+	register("fig5", Fig5)
+}
+
+// Fig4 reproduces paper fig. 4: the node (out-)degree histogram of the
+// Slashdot network, rendered in power-of-two degree buckets. The graph
+// is the synthetic Slashdot-like stand-in (see DESIGN.md).
+func Fig4(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	g := graph.ScaledSlashdotLike(cfg.Seed, cfg.Scale)
+	return degreeTable("fig4", g, cfg), nil
+}
+
+// Fig5 reproduces paper fig. 5: the Epinions degree histogram.
+func Fig5(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	g := graph.ScaledEpinionsLike(cfg.Seed, cfg.Scale)
+	return degreeTable("fig5", g, cfg), nil
+}
+
+func degreeTable(id string, g *graph.Graph, cfg Config) Table {
+	st := graph.OutDegreeStats(g)
+	t := Table{
+		ID:     id,
+		Title:  "Node degree histogram for the " + g.Name() + " network",
+		XLabel: "out-degree (bucket lower bound)",
+		YLabel: "number of nodes",
+		Notes: []string{
+			"synthetic stand-in for the SNAP dataset (same node/edge budget at scale " +
+				itoa(cfg.Scale) + ")",
+			"nodes=" + itoa(g.NumNodes()) + " edges=" + itoa(g.NumEdges()),
+		},
+	}
+	s := Series{Label: "nodes per degree bucket"}
+	for _, b := range graph.LogBuckets(st.Histogram) {
+		s.X = append(s.X, float64(b.Lo))
+		s.Y = append(s.Y, float64(b.Count))
+	}
+	t.Series = append(t.Series, s)
+	return t
+}

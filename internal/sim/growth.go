@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+
+	"rnb/internal/hashring"
+)
+
+func init() { register("growth", Growth) }
+
+// Growth quantifies the paper's "RnB permits flexible growth and
+// relatively easy deployment" claim (§I, §V): when one server is added
+// to an n-server cluster, what fraction of (item, replica-slot)
+// placements move? Ranged consistent hashing moves only the ~1/(n+1)
+// arc the new server takes over; naive modulo-style placement (the
+// multi-hash family rehashes mod n) reshuffles nearly everything —
+// which in a live cache means a flood of misses.
+//
+// This is an extension experiment (no corresponding paper figure).
+func Growth(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	const replicas = 3
+	items := cfg.Requests * 5
+	if items < 2000 {
+		items = 2000
+	}
+	t := Table{
+		ID:     "growth",
+		Title:  "Replica placements moved when adding one server (lower is better)",
+		XLabel: "servers before growth",
+		YLabel: "fraction of replica slots that moved",
+		Notes: []string{
+			fmt.Sprintf("%d items, %d replicas each", items, replicas),
+			"extension experiment: quantifies §V's smooth-scalability claim",
+		},
+	}
+	counts := []int{8, 12, 16, 24, 32, 48}
+
+	rch := Series{Label: "ranged consistent hashing"}
+	ideal := Series{Label: "ideal (new server's fair share)"}
+	modulo := Series{Label: "multi-hash (mod n) placement"}
+	for _, n := range counts {
+		// RCH: extend the same ring by one server.
+		ringBefore := hashring.NewWithServers(n, hashring.DefaultVirtualNodes)
+		before := hashring.NewRCHPlacement(ringBefore, replicas)
+		ringAfter := hashring.NewWithServers(n, hashring.DefaultVirtualNodes)
+		if _, err := ringAfter.AddServer(fmt.Sprintf("s%d", n)); err != nil {
+			return Table{}, err
+		}
+		after := hashring.NewRCHPlacement(ringAfter, replicas)
+		rch.X = append(rch.X, float64(n))
+		rch.Y = append(rch.Y, movedFraction(before, after, items, replicas))
+
+		// Multi-hash: the modulus changes from n to n+1.
+		mhBefore := hashring.NewMultiHashPlacement(n, replicas, uint64(cfg.Seed))
+		mhAfter := hashring.NewMultiHashPlacement(n+1, replicas, uint64(cfg.Seed))
+		modulo.X = append(modulo.X, float64(n))
+		modulo.Y = append(modulo.Y, movedFraction(mhBefore, mhAfter, items, replicas))
+
+		ideal.X = append(ideal.X, float64(n))
+		ideal.Y = append(ideal.Y, 1/float64(n+1))
+	}
+	t.Series = []Series{rch, ideal, modulo}
+	return t, nil
+}
+
+// movedFraction compares per-item replica slots under two placements.
+func movedFraction(before, after hashring.Placement, items, replicas int) float64 {
+	var bufB, bufA []int
+	moved, total := 0, 0
+	for item := 0; item < items; item++ {
+		bufB = before.Replicas(uint64(item), bufB)
+		bufA = after.Replicas(uint64(item), bufA)
+		for i := range bufB {
+			total++
+			if i >= len(bufA) || bufA[i] != bufB[i] {
+				moved++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(moved) / float64(total)
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+
+	"rnb/internal/calibrate"
+	"rnb/internal/core"
+	"rnb/internal/hashring"
+	"rnb/internal/queuesim"
+	"rnb/internal/workload"
+)
+
+func init() { register("latency", Latency) }
+
+// Latency answers the paper's future-work question (§V-B): what does
+// RnB do to request latency? A discrete-event queueing simulation runs
+// the social workload's fetch plans through 16 FIFO server queues with
+// the calibrated cost model, sweeping the offered load as a fraction
+// of the *unreplicated* system's capacity. RnB requests use fewer,
+// larger transactions, so the p99 latency stays low well past the
+// load at which the unreplicated system saturates — and below
+// saturation, RnB's tail is no worse despite slightly longer
+// individual transactions ("does not cause an increase in the storage
+// system latency for reads", §I-C).
+//
+// This is an extension experiment (no corresponding paper figure).
+func Latency(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	g, err := loadGraph(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	const servers = 16
+	model := calibrate.DefaultModel
+
+	// Pre-plan a pool of requests per replication level.
+	planPool := func(replicas int) ([][]queuesim.Txn, error) {
+		ring := hashring.NewWithServers(servers, hashring.DefaultVirtualNodes)
+		// Memory is unlimited here, so cross-request replica locality
+		// does not matter — trade it for load balance (see Options).
+		planner := core.NewPlanner(hashring.NewRCHPlacement(ring, replicas),
+			core.Options{BalanceTieBreak: true})
+		gen := workload.NewEgoGenerator(g, cfg.Seed+200)
+		n := cfg.Requests
+		if n > 4000 {
+			n = 4000
+		}
+		pool := make([][]queuesim.Txn, 0, n)
+		for i := 0; i < n; i++ {
+			req := gen.Next()
+			plan, err := planner.Build(req.Items, 0)
+			if err != nil {
+				return nil, err
+			}
+			txns := make([]queuesim.Txn, 0, len(plan.Transactions))
+			for _, t := range plan.Transactions {
+				txns = append(txns, queuesim.Txn{Server: t.Server, Items: t.Size()})
+			}
+			pool = append(pool, txns)
+		}
+		return pool, nil
+	}
+
+	basePool, err := planPool(1)
+	if err != nil {
+		return Table{}, err
+	}
+	baseCapacity := queuesim.CapacityEstimate(model, basePool, servers)
+
+	t := Table{
+		ID:     "latency",
+		Title:  "p99 request latency vs. offered load (16 servers, queueing simulation)",
+		XLabel: "offered load / unreplicated capacity",
+		YLabel: "p99 latency (ms); capped at saturation",
+		Notes: []string{
+			fmt.Sprintf("unreplicated capacity ≈ %.0f requests/s under the calibrated model", baseCapacity),
+			"extension experiment: §V-B future work (latency impact of RnB)",
+		},
+	}
+	fractions := []float64{0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.3}
+	for _, replicas := range []int{1, 2, 4} {
+		pool, err := planPool(replicas)
+		if err != nil {
+			return Table{}, err
+		}
+		label := fmt.Sprintf("%d replica(s)", replicas)
+		if replicas == 1 {
+			label += " (baseline)"
+		}
+		s := Series{Label: label}
+		idx := 0
+		src := queuesim.PlanFunc(func() []queuesim.Txn {
+			p := pool[idx%len(pool)]
+			idx++
+			return p
+		})
+		for _, f := range fractions {
+			idx = 0
+			res, err := queuesim.Run(queuesim.Config{
+				Servers:     servers,
+				ArrivalRate: f * baseCapacity,
+				Requests:    cfg.Requests * 4,
+				Warmup:      cfg.Warmup,
+				Model:       model,
+				Seed:        cfg.Seed + int64(replicas)*37,
+			}, src)
+			if err != nil {
+				return Table{}, err
+			}
+			y := res.P99 * 1000
+			if res.Saturated {
+				y = 500 // cap at the saturation guardrail for readability
+			}
+			s.X = append(s.X, f)
+			s.Y = append(s.Y, y)
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"rnb/internal/calibrate"
+	"rnb/internal/memcache"
+	"rnb/internal/memslap"
+)
+
+func init() {
+	register("fig13", Fig13)
+	register("fig14", Fig14)
+}
+
+// microTxnSizes is the transaction-size sweep of figs. 13–14.
+var microTxnSizes = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Microbench starts an in-process memcached server on loopback TCP,
+// preloads tiny values, and sweeps the multi-get transaction size with
+// the given number of concurrent memaslap-style clients, returning
+// items/s per transaction size. clients=1 regenerates fig. 13,
+// clients=2 fig. 14.
+func Microbench(cfg Config, clients int) (Table, error) {
+	cfg = cfg.WithDefaults()
+	srv := memcache.NewServer(memcache.NewStore(0))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Table{}, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	const keys = 20000
+	if err := memslap.Preload(addr, keys, 10, 10*time.Second); err != nil {
+		return Table{}, err
+	}
+	// Item volume per sweep point scales with the configured request
+	// budget so quick runs stay quick.
+	itemsPerPoint := cfg.Requests * 25
+	points, err := memslap.Sweep(memslap.Config{
+		Addr:        addr,
+		Concurrency: clients,
+		Keys:        keys,
+		ValueSize:   10,
+		SetPerItems: 1000,
+		Seed:        cfg.Seed,
+	}, microTxnSizes, itemsPerPoint)
+	if err != nil {
+		return Table{}, err
+	}
+	s := Series{Label: fmt.Sprintf("%d client(s)", clients)}
+	for _, p := range points {
+		s.X = append(s.X, float64(p.TxnSize))
+		s.Y = append(s.Y, p.Result.ItemsPerSecond())
+	}
+	return Table{
+		Title:  fmt.Sprintf("Items fetched per second vs. items per transaction (%d concurrent client(s))", clients),
+		XLabel: "items per get transaction",
+		YLabel: "items fetched per second",
+		Series: []Series{s},
+		Notes: []string{
+			"in-process memcached clone over loopback TCP; 10-byte values; 1 set per 1000 gets",
+			"absolute rates depend on the host; the near-linear growth is the result",
+		},
+	}, nil
+}
+
+// LiveModel runs a quick single-client micro-benchmark and fits the
+// affine cost model from it — the paper's calibration procedure
+// (App. A feeding §III-B). Used by Fig3 when Config.CalibrateLive is
+// set.
+func LiveModel(cfg Config) (calibrate.CostModel, error) {
+	cfg = cfg.WithDefaults()
+	quick := cfg
+	if quick.Requests > 1000 {
+		quick.Requests = 1000 // calibration needs shape, not precision
+	}
+	if quick.Requests < 400 {
+		quick.Requests = 400 // too few transactions per point fit noise
+	}
+	// Measurement noise (loaded hosts, coverage instrumentation) can
+	// push a small sample into an unusable fit; retry with a growing
+	// budget before giving up.
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		tab, err := Microbench(quick, 1)
+		if err != nil {
+			return calibrate.CostModel{}, err
+		}
+		var pts []calibrate.Point
+		s := tab.Series[0]
+		for i := range s.X {
+			k := int(s.X[i])
+			if s.Y[i] > 0 {
+				pts = append(pts, calibrate.Point{K: k, TxnPerSec: s.Y[i] / float64(k)})
+			}
+		}
+		model, err := calibrate.Fit(pts)
+		if err == nil {
+			return model, nil
+		}
+		lastErr = err
+		quick.Requests *= 2
+		quick.Seed++
+	}
+	return calibrate.CostModel{}, lastErr
+}
+
+// Fig13 reproduces paper fig. 13: the single-client micro-benchmark.
+func Fig13(cfg Config) (Table, error) {
+	t, err := Microbench(cfg, 1)
+	t.ID = "fig13"
+	return t, err
+}
+
+// Fig14 reproduces paper fig. 14: the same benchmark with two
+// concurrent clients.
+func Fig14(cfg Config) (Table, error) {
+	t, err := Microbench(cfg, 2)
+	t.ID = "fig14"
+	return t, err
+}

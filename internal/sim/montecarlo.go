@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+
+	"rnb/internal/core"
+	"rnb/internal/hashring"
+	"rnb/internal/workload"
+)
+
+func init() {
+	register("fig11", Fig11)
+	register("fig12", Fig12)
+}
+
+// monteCarloUniverse is the item universe of the simplified simulator
+// of §III-F: large enough that request items rarely collide, so
+// requests are independent like the paper assumes.
+const monteCarloUniverse = 200000
+
+// limitTPR estimates, by Monte Carlo, the mean number of transactions
+// needed to fetch at least ceil(frac*m) of m random items from n
+// servers at the given replication level, with misses impossible
+// (servers hold every logical replica, per the simplified simulator).
+func limitTPR(cfg Config, n, m, replicas int, frac float64) (float64, error) {
+	placement := hashring.NewMultiHashPlacement(n, replicas, uint64(cfg.Seed)+1)
+	planner := core.NewPlanner(placement, core.Options{})
+	gen := workload.NewUniformGenerator(monteCarloUniverse, m,
+		cfg.Seed+int64(n)*1009+int64(replicas)*31+int64(frac*1000))
+	requests := cfg.Requests / 4
+	if requests < 200 {
+		requests = 200
+	}
+	total := 0
+	for i := 0; i < requests; i++ {
+		req := workload.WithLimit(gen.Next(), frac)
+		plan, err := planner.Build(req.Items, req.Target)
+		if err != nil {
+			return 0, err
+		}
+		if plan.Assigned < req.Target {
+			return 0, fmt.Errorf("sim: plan covered %d < target %d", plan.Assigned, req.Target)
+		}
+		total += plan.NumTransactions()
+	}
+	return float64(total) / float64(requests), nil
+}
+
+// fig11Sizes are the two request-set sizes shown in figs. 11–12.
+var fig11Sizes = []int{100, 300}
+
+// fig11Servers is the server-count sweep of figs. 11–12.
+var fig11Servers = []int{4, 8, 16, 32, 64}
+
+// Fig11 reproduces paper fig. 11: TPR versus server count for LIMIT
+// requests with no replication, fetching 50%, 90%, 95% and 100% of
+// the request set, for two request sizes. Items are selected by the
+// partial greedy planner to maximize bundling.
+func Fig11(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	t := Table{
+		ID:     "fig11",
+		Title:  "TPR for partial fetches without replication (Monte Carlo)",
+		XLabel: "number of servers",
+		YLabel: "transactions per request",
+		Notes:  []string{"simplified simulator: random independent requests, no misses"},
+	}
+	for _, m := range fig11Sizes {
+		for _, frac := range []float64{0.95, 0.90, 0.50, 1.00} {
+			s := Series{Label: fmt.Sprintf("M=%d, fetch %d%%", m, int(frac*100))}
+			for _, n := range fig11Servers {
+				tpr, err := limitTPR(cfg, n, m, 1, frac)
+				if err != nil {
+					return Table{}, err
+				}
+				s.X = append(s.X, float64(n))
+				s.Y = append(s.Y, tpr)
+			}
+			t.Series = append(t.Series, s)
+		}
+	}
+	return t, nil
+}
+
+// Fig12 reproduces paper fig. 12: TPR versus server count for LIMIT
+// requests under replication levels 2–5 (no overbooking), with the
+// no-replication lines (with and without the LIMIT clause) as
+// references, at subset sizes 50%, 90% and 95% and two request sizes.
+func Fig12(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	t := Table{
+		ID:     "fig12",
+		Title:  "TPR for partial fetches with replication (Monte Carlo)",
+		XLabel: "number of servers",
+		YLabel: "transactions per request",
+		Notes:  []string{"simplified simulator: random independent requests, no misses, no overbooking"},
+	}
+	for _, m := range fig11Sizes {
+		// Reference: no replication, full fetch.
+		ref := Series{Label: fmt.Sprintf("M=%d, no replication, full fetch", m)}
+		for _, n := range fig11Servers {
+			tpr, err := limitTPR(cfg, n, m, 1, 1.0)
+			if err != nil {
+				return Table{}, err
+			}
+			ref.X = append(ref.X, float64(n))
+			ref.Y = append(ref.Y, tpr)
+		}
+		t.Series = append(t.Series, ref)
+		for _, frac := range []float64{0.50, 0.90, 0.95} {
+			for _, replicas := range []int{1, 2, 3, 4, 5} {
+				label := fmt.Sprintf("M=%d, fetch %d%%, %d replicas", m, int(frac*100), replicas)
+				if replicas == 1 {
+					label = fmt.Sprintf("M=%d, fetch %d%%, no replication", m, int(frac*100))
+				}
+				s := Series{Label: label}
+				for _, n := range fig11Servers {
+					tpr, err := limitTPR(cfg, n, m, replicas, frac)
+					if err != nil {
+						return Table{}, err
+					}
+					s.X = append(s.X, float64(n))
+					s.Y = append(s.Y, tpr)
+				}
+				t.Series = append(t.Series, s)
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,113 @@
+// Package sim contains the experiment drivers that regenerate every
+// figure of the RnB paper's evaluation. Each driver returns a Table —
+// labeled series of (x, y) points — that cmd/rnbsim renders as text
+// and bench_test.go exercises as benchmarks. DESIGN.md maps each
+// figure to its driver; EXPERIMENTS.md records paper-vs-measured.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Table is the result of one experiment: the data behind one figure.
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes carries caveats (substitutions, parameters) worth printing.
+	Notes []string
+}
+
+// Config tunes the simulation-backed experiments. The zero value is
+// usable: WithDefaults picks a configuration sized for an interactive
+// run (scaled-down graphs, tens of thousands of requests).
+type Config struct {
+	// Seed drives every random choice; equal seeds give equal tables.
+	Seed int64
+	// Scale divides the social graphs' node/edge counts. 1 reproduces
+	// the paper's dataset sizes; larger values trade fidelity for
+	// speed. Default 8.
+	Scale int
+	// Requests is the number of measured requests per data point.
+	// Default 4000.
+	Requests int
+	// Warmup is the number of unmeasured requests that precede
+	// measurement in memory-limited experiments. Default 4000.
+	Warmup int
+	// Graph selects the workload dataset for single-graph experiments:
+	// "slashdot" (default) or "epinions".
+	Graph string
+	// CalibrateLive, when true, fits the throughput cost model from a
+	// live micro-benchmark run (fig. 13's procedure) instead of using
+	// calibrate.DefaultModel. Results then reflect this host's actual
+	// per-transaction costs, at the price of a non-deterministic model.
+	CalibrateLive bool
+}
+
+// WithDefaults fills in unset fields.
+func (c Config) WithDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale <= 0 {
+		c.Scale = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 4000
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 4000
+	}
+	if c.Graph == "" {
+		c.Graph = "slashdot"
+	}
+	return c
+}
+
+// Driver is an experiment entry point.
+type Driver func(Config) (Table, error)
+
+// registry maps experiment ids ("fig2"…) to drivers.
+var registry = map[string]Driver{}
+
+func register(id string, d Driver) {
+	registry[id] = d
+}
+
+// Lookup returns the driver for an experiment id.
+func Lookup(id string) (Driver, error) {
+	d, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown experiment %q (have %v)", id, IDs())
+	}
+	return d, nil
+}
+
+// IDs lists registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run looks up and executes an experiment.
+func Run(id string, cfg Config) (Table, error) {
+	d, err := Lookup(id)
+	if err != nil {
+		return Table{}, err
+	}
+	return d(cfg)
+}

@@ -1,0 +1,492 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg is a configuration small enough for unit tests while still
+// producing stable shapes.
+var quickCfg = Config{Seed: 1, Scale: 40, Requests: 800, Warmup: 800}
+
+func findSeries(t *testing.T, tab Table, substr string) Series {
+	t.Helper()
+	for _, s := range tab.Series {
+		if strings.Contains(s.Label, substr) {
+			return s
+		}
+	}
+	t.Fatalf("table %s has no series matching %q (have %v)", tab.ID, substr, labels(tab))
+	return Series{}
+}
+
+func labels(tab Table) []string {
+	out := make([]string, len(tab.Series))
+	for i, s := range tab.Series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14"}
+	for _, id := range want {
+		found := false
+		for _, got := range ids {
+			if got == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if _, err := Run("nope", quickCfg); err == nil {
+		t.Error("Run of unknown id accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Seed == 0 || c.Scale == 0 || c.Requests == 0 || c.Warmup == 0 || c.Graph == "" {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{Seed: 9, Scale: 3, Requests: 10, Warmup: 20, Graph: "epinions"}.WithDefaults()
+	if c2.Seed != 9 || c2.Scale != 3 || c2.Requests != 10 || c2.Warmup != 20 || c2.Graph != "epinions" {
+		t.Fatalf("explicit config clobbered: %+v", c2)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tab, err := Fig2(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(tab.Series))
+	}
+	one := findSeries(t, tab, "1 item")
+	for i, y := range one.Y {
+		if y < 1.999 || y > 2.001 {
+			t.Fatalf("M=1 scaling factor at N=%d is %g, want 2", i+1, y)
+		}
+	}
+	hundred := findSeries(t, tab, "100 items")
+	// The hole: with N=4, doubling to 8 servers gains almost nothing.
+	if hundred.Y[3] > 1.05 {
+		t.Fatalf("doubling factor at N=4 for 100 items is %g, want ~1", hundred.Y[3])
+	}
+	// Factor grows with N toward 2.
+	if hundred.Y[127] < hundred.Y[3] {
+		t.Fatal("scaling factor not recovering with more servers")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tab, err := Fig3(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := findSeries(t, tab, "measured")
+	ideal := findSeries(t, tab, "ideal")
+	if measured.Y[0] != 1 {
+		t.Fatalf("relative throughput at 1 server = %g", measured.Y[0])
+	}
+	for i := range measured.Y {
+		if i == 0 {
+			continue
+		}
+		if measured.Y[i] < measured.Y[i-1]*0.95 {
+			t.Fatalf("throughput decreased when adding servers: %v", measured.Y)
+		}
+		if measured.Y[i] > ideal.Y[i] {
+			t.Fatalf("measured beats ideal at %d servers", int(measured.X[i]))
+		}
+	}
+	// The multi-get hole: 64 servers fall well short of 64x.
+	last := measured.Y[len(measured.Y)-1]
+	if last > 40 {
+		t.Fatalf("64 servers scaled %gx; the hole should cap this far below ideal", last)
+	}
+}
+
+func TestFig4Fig5Shapes(t *testing.T) {
+	for _, fn := range []Driver{Fig4, Fig5} {
+		tab, err := fn(quickCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tab.Series[0]
+		if len(s.X) < 4 {
+			t.Fatalf("%s: only %d degree buckets", tab.ID, len(s.X))
+		}
+		// Heavy tail: the first buckets hold most nodes and the counts
+		// broadly decay.
+		if s.Y[0] < s.Y[len(s.Y)-1] {
+			t.Fatalf("%s: histogram not decaying: %v", tab.ID, s.Y)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tab, err := Fig6(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 2 {
+		t.Fatalf("want 2 graphs, got %v", labels(tab))
+	}
+	for _, s := range tab.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]+1e-9 {
+				t.Fatalf("%s: TPR not decreasing in replicas: %v", s.Label, s.Y)
+			}
+		}
+		// Paper headline: big reduction by 4 replicas.
+		if s.Y[3] > 0.7*s.Y[0] {
+			t.Fatalf("%s: 4 replicas only reduced TPR %.2f -> %.2f", s.Label, s.Y[0], s.Y[3])
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tab, err := Fig8(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 4 {
+		t.Fatalf("want 4 replication levels, got %v", labels(tab))
+	}
+	r1 := findSeries(t, tab, "1 logical")
+	for _, y := range r1.Y {
+		if y < 0.95 || y > 1.05 {
+			t.Fatalf("replication 1 should track the baseline: %v", r1.Y)
+		}
+	}
+	r4 := findSeries(t, tab, "4 logical")
+	first, last := r4.Y[0], r4.Y[len(r4.Y)-1]
+	if last >= first {
+		t.Fatalf("more memory did not reduce TPR ratio: %v", r4.Y)
+	}
+	// At 4x memory, 4 logical replicas should deliver a strong
+	// reduction (paper: >= ~50%).
+	if last > 0.7 {
+		t.Fatalf("TPR ratio at 4x memory = %.2f, want < 0.7", last)
+	}
+	// And ratios must never (meaningfully) exceed 1: replication never
+	// hurts when the distinguished copies are protected.
+	for _, s := range tab.Series {
+		for i, y := range s.Y {
+			if y > 1.10 {
+				t.Fatalf("%s: ratio %.2f at memory %.2f", s.Label, y, s.X[i])
+			}
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tab, err := Fig9(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same qualitative properties as fig8, with merged requests.
+	r4 := findSeries(t, tab, "4 logical")
+	if r4.Y[len(r4.Y)-1] >= r4.Y[0] {
+		t.Fatalf("memory did not reduce merged TPR ratio: %v", r4.Y)
+	}
+	if r4.Y[len(r4.Y)-1] > 0.75 {
+		t.Fatalf("merged 4-replica ratio at 4x memory = %.2f", r4.Y[len(r4.Y)-1])
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab, err := Fig10(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 8 {
+		t.Fatalf("want 8 series (4 merged + 4 single), got %v", labels(tab))
+	}
+	merged := findSeries(t, tab, "merged-2, 1 logical")
+	single := findSeries(t, tab, "single, 1 logical")
+	// A merged request covers ~2x the items, so its TPR per merged
+	// request exceeds the single-request TPR — but is below 2x (that is
+	// the merging win).
+	for i := range merged.Y {
+		if merged.Y[i] <= single.Y[i] {
+			t.Fatalf("merged TPR %.2f not above single %.2f", merged.Y[i], single.Y[i])
+		}
+		if merged.Y[i] >= 2*single.Y[i] {
+			t.Fatalf("merged TPR %.2f shows no merging benefit vs 2x single %.2f",
+				merged.Y[i], 2*single.Y[i])
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	cfg := quickCfg
+	cfg.Requests = 800
+	tab, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := findSeries(t, tab, "M=100, fetch 100%")
+	half := findSeries(t, tab, "M=100, fetch 50%")
+	for i := range full.Y {
+		if half.Y[i] >= full.Y[i] {
+			t.Fatalf("LIMIT 50%% not cheaper at %d servers: %.2f vs %.2f",
+				int(full.X[i]), half.Y[i], full.Y[i])
+		}
+	}
+	// With M >> N and no replication, a full fetch touches nearly every
+	// server.
+	if full.Y[0] < 3.8 { // 4 servers
+		t.Fatalf("full fetch on 4 servers used only %.2f transactions", full.Y[0])
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	cfg := quickCfg
+	cfg.Requests = 800
+	tab, err := Fig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := findSeries(t, tab, "M=100, fetch 90%, no replication")
+	r5 := findSeries(t, tab, "M=100, fetch 90%, 5 replicas")
+	var sum1, sum5 float64
+	for i := range r1.Y {
+		if r5.Y[i] > r1.Y[i] {
+			t.Fatalf("5 replicas worse than none at %d servers", int(r1.X[i]))
+		}
+		sum1 += r1.Y[i]
+		sum5 += r5.Y[i]
+	}
+	// Paper: ~30% of the single-copy TPR with 5 replicas (90-95% fetch).
+	if sum5 > 0.45*sum1 {
+		t.Fatalf("5-replica TPR sum %.1f vs no-replication %.1f: reduction too weak", sum5, sum1)
+	}
+}
+
+func TestMicrobenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network micro-benchmark")
+	}
+	cfg := quickCfg
+	cfg.Requests = 200 // keeps the sweep quick
+	tab, err := Fig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.Series[0]
+	if len(s.X) != len(microTxnSizes) {
+		t.Fatalf("points = %d", len(s.X))
+	}
+	for i, y := range s.Y {
+		if y <= 0 {
+			t.Fatalf("items/s at k=%d is %g", int(s.X[i]), y)
+		}
+	}
+	// Headline shape: large transactions fetch items much faster than
+	// single-item transactions.
+	if s.Y[len(s.Y)-1] < 2*s.Y[0] {
+		t.Fatalf("items/s grew only %.0f -> %.0f across the sweep", s.Y[0], s.Y[len(s.Y)-1])
+	}
+}
+
+func TestLiveModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network micro-benchmark")
+	}
+	cfg := quickCfg
+	cfg.Requests = 600
+	model, err := LiveModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-transaction cost must dominate per-item cost for tiny values —
+	// that is the multi-get-hole premise the calibration must capture.
+	// The margin is loose: coverage-instrumented or loaded hosts skew
+	// the fit.
+	if model.Fixed < 2*model.PerItem {
+		t.Fatalf("fitted model %+v does not show transaction-dominated cost", model)
+	}
+	// And a fig3 run with live calibration works end to end.
+	cfg.CalibrateLive = true
+	tab, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := findSeries(t, tab, "measured").Y[0]; got != 1 {
+		t.Fatalf("live-calibrated fig3 base point %g", got)
+	}
+}
+
+func TestLoadGraphErrors(t *testing.T) {
+	cfg := quickCfg
+	cfg.Graph = "facebook"
+	if _, err := Fig3(cfg.WithDefaults()); err == nil {
+		t.Fatal("unknown graph accepted")
+	}
+}
+
+func TestLatencyShape(t *testing.T) {
+	tab, err := Latency(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := findSeries(t, tab, "1 replica(s)")
+	rnb4 := findSeries(t, tab, "4 replica(s)")
+	// At light load RnB's bigger transactions cost a few extra
+	// microseconds of service time; once queueing matters (>= 0.6 of
+	// baseline capacity) RnB's p99 must win, increasingly decisively.
+	for i, x := range base.X {
+		if x >= 0.6 && rnb4.Y[i] > base.Y[i] {
+			t.Fatalf("at load %.1f: RnB p99 %.2fms above baseline %.2fms",
+				x, rnb4.Y[i], base.Y[i])
+		}
+		if x < 0.6 && rnb4.Y[i] > base.Y[i]+0.5 {
+			t.Fatalf("at light load %.1f: RnB p99 %.2fms vs baseline %.2fms — more than service-time slack",
+				x, rnb4.Y[i], base.Y[i])
+		}
+	}
+	// At the baseline's nominal capacity (x=1.0), RnB should be at
+	// least 2x better on p99.
+	for i, x := range base.X {
+		if x == 1.0 && rnb4.Y[i] > base.Y[i]/2 {
+			t.Fatalf("at full load: baseline p99 %.2fms, RnB %.2fms — want >=2x win",
+				base.Y[i], rnb4.Y[i])
+		}
+	}
+	// Latency grows with load for every series.
+	for _, s := range tab.Series {
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Fatalf("%s: latency not growing with load: %v", s.Label, s.Y)
+		}
+	}
+}
+
+func TestSkewShape(t *testing.T) {
+	// Skew needs a graph large enough that uniform sampling rarely
+	// repeats ego-networks; the default quick scale is too small.
+	cfg := quickCfg
+	cfg.Scale = 20
+	cfg.Requests = 2000
+	cfg.Warmup = 2000
+	tab, err := Skew(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := findSeries(t, tab, "uniform")
+	skew := findSeries(t, tab, "zipf")
+	// At tight memory, skew's small hot set makes overbooking work
+	// earlier: its TPR must sit clearly below the uniform workload's.
+	if skew.Y[0] >= uni.Y[0]*0.95 {
+		t.Fatalf("skewed TPR %.2f not below uniform %.2f at 1.25x memory",
+			skew.Y[0], uni.Y[0])
+	}
+	// Both series improve with memory.
+	for _, s := range tab.Series {
+		if s.Y[len(s.Y)-1] >= s.Y[0] {
+			t.Fatalf("%s: TPR not improving with memory: %v", s.Label, s.Y)
+		}
+	}
+}
+
+func TestTieBreakShape(t *testing.T) {
+	tab, err := TieBreak(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wbOn := findSeries(t, tab, "locality tie-break, write-back on")
+	wbOff := findSeries(t, tab, "locality tie-break, write-back off")
+	balOn := findSeries(t, tab, "balanced tie-break, write-back on")
+	// Write-back must matter a lot at mid memory...
+	mid := 2 // memory 2.0 index
+	if wbOff.Y[mid] < wbOn.Y[mid]*1.15 {
+		t.Fatalf("write-back gain too small: %.2f vs %.2f", wbOn.Y[mid], wbOff.Y[mid])
+	}
+	// ...while the tie-break policy barely moves the needle.
+	for i := range wbOn.Y {
+		ratio := balOn.Y[i] / wbOn.Y[i]
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Fatalf("tie-break policy changed TPR by %.0f%% at memory %.2f",
+				(ratio-1)*100, wbOn.X[i])
+		}
+	}
+}
+
+func TestGrowthShape(t *testing.T) {
+	tab, err := Growth(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rch := findSeries(t, tab, "ranged consistent hashing")
+	mod := findSeries(t, tab, "multi-hash")
+	ideal := findSeries(t, tab, "ideal")
+	for i := range rch.X {
+		if rch.Y[i] >= mod.Y[i] {
+			t.Fatalf("RCH churn %.2f not below mod-n churn %.2f at n=%d",
+				rch.Y[i], mod.Y[i], int(rch.X[i]))
+		}
+		// RCH churn should be within a small constant factor of ideal
+		// (position shifts inside the replica walk cost at most ~2x).
+		if rch.Y[i] > 4*ideal.Y[i] {
+			t.Fatalf("RCH churn %.3f far above ideal %.3f at n=%d",
+				rch.Y[i], ideal.Y[i], int(rch.X[i]))
+		}
+		// Mod-n placement reshuffles nearly everything.
+		if mod.Y[i] < 0.5 {
+			t.Fatalf("mod-n churn %.2f unexpectedly low", mod.Y[i])
+		}
+	}
+	// RCH churn decreases as the cluster grows.
+	if rch.Y[len(rch.Y)-1] >= rch.Y[0] {
+		t.Fatalf("RCH churn not shrinking with n: %v", rch.Y)
+	}
+}
+
+func TestFailureShape(t *testing.T) {
+	tab, err := Failure(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := findSeries(t, tab, "1 replica(s)")
+	r2 := findSeries(t, tab, "2 replica(s)")
+	// No failures: no DB fetches anywhere.
+	for _, s := range tab.Series {
+		if s.Y[0] != 0 {
+			t.Fatalf("%s: DB fetches with zero failures: %v", s.Label, s.Y)
+		}
+	}
+	// Unreplicated exposure grows with failures and dwarfs replicated.
+	for i := 1; i < len(r1.Y); i++ {
+		if r1.Y[i] <= r1.Y[i-1] {
+			t.Fatalf("unreplicated DB rate not growing: %v", r1.Y)
+		}
+		if r2.Y[i] >= r1.Y[i] {
+			t.Fatalf("2 replicas (%.1f) not better than 1 (%.1f) at %d failures",
+				r2.Y[i], r1.Y[i], int(r1.X[i]))
+		}
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, c := range []struct {
+		v    int
+		want string
+	}{{0, "0"}, {5, "5"}, {123, "123"}} {
+		if got := itoa(c.v); got != c.want {
+			t.Errorf("itoa(%d) = %q", c.v, got)
+		}
+	}
+}

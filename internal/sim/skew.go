@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+
+	"rnb/internal/cluster"
+	"rnb/internal/metrics"
+	"rnb/internal/workload"
+)
+
+func init() { register("skew", Skew) }
+
+// Skew measures how workload skew interacts with overbooking. The
+// paper's overbooking argument (§III-C-1) leans on "clusters of
+// affinity" — some users and ego-networks are far hotter than others,
+// so the LRUs can concentrate replica memory on the hot set. This
+// experiment runs the same 16-server, 4-logical-replica configuration
+// under uniform user activity and under Zipf-skewed activity
+// (SkewedEgoGenerator), sweeping memory.
+//
+// Expected shape: the skewed workload gains more from each unit of
+// replica memory (its working set is smaller), so its TPR curve drops
+// faster and further below the uniform one as memory grows.
+//
+// This is an extension experiment (no corresponding paper figure).
+func Skew(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	g, err := loadGraph(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	memories := []float64{1.25, 1.5, 2.0, 3.0, 4.0}
+	t := Table{
+		ID:     "skew",
+		Title:  "TPR vs. memory under uniform and Zipf-skewed user activity (16 servers, 4 logical replicas)",
+		XLabel: "memory relative to one full copy of the data",
+		YLabel: "transactions per request",
+		Notes: []string{
+			"extension experiment: access skew is what overbooking exploits (§III-C-1)",
+		},
+	}
+	run := func(gen workload.Generator, mem float64) (*metrics.Tally, error) {
+		c, err := cluster.New(cluster.Config{
+			Servers: 16, Items: g.NumNodes(), Replicas: 4, MemoryFactor: mem,
+			Planner: enhancedOptions,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Run(gen, cfg.Warmup); err != nil {
+			return nil, err
+		}
+		c.ResetTally()
+		if err := c.Run(gen, cfg.Requests); err != nil {
+			return nil, err
+		}
+		return c.Tally(), nil
+	}
+	for _, variant := range []struct {
+		label string
+		make  func(seed int64) workload.Generator
+	}{
+		{"uniform user activity", func(seed int64) workload.Generator {
+			return workload.NewEgoGenerator(g, seed)
+		}},
+		{"zipf-skewed user activity (s=1.2)", func(seed int64) workload.Generator {
+			return workload.NewSkewedEgoGenerator(g, 1.2, seed)
+		}},
+	} {
+		s := Series{Label: variant.label}
+		for _, mem := range memories {
+			tally, err := run(variant.make(cfg.Seed+400), mem)
+			if err != nil {
+				return Table{}, fmt.Errorf("sim: skew %s: %w", variant.label, err)
+			}
+			s.X = append(s.X, mem)
+			s.Y = append(s.Y, tally.TPR())
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}

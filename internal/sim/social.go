@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"fmt"
+
+	"rnb/internal/calibrate"
+	"rnb/internal/cluster"
+	"rnb/internal/core"
+	"rnb/internal/graph"
+	"rnb/internal/metrics"
+	"rnb/internal/workload"
+)
+
+func init() {
+	register("fig3", Fig3)
+	register("fig6", Fig6)
+	register("fig8", Fig8)
+	register("fig9", Fig9)
+	register("fig10", Fig10)
+}
+
+// loadGraph builds the configured social graph at the configured scale.
+func loadGraph(cfg Config) (*graph.Graph, error) {
+	switch cfg.Graph {
+	case "slashdot":
+		return graph.ScaledSlashdotLike(cfg.Seed, cfg.Scale), nil
+	case "epinions":
+		return graph.ScaledEpinionsLike(cfg.Seed, cfg.Scale), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown graph %q (want slashdot or epinions)", cfg.Graph)
+	}
+}
+
+// enhancedOptions are the planner settings for "all enhancements on"
+// (§III-C): hitchhiking plus distinguished-single redirection.
+var enhancedOptions = core.Options{Hitchhike: true, DistinguishedSingles: true}
+
+// runSocial executes requests from a fresh ego generator against a
+// fresh cluster and returns the tally. Warmup requests are executed
+// but not measured.
+func runSocial(g *graph.Graph, cfg Config, ccfg cluster.Config, merge int) (*metrics.Tally, error) {
+	c, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	var gen workload.Generator = workload.NewEgoGenerator(g, cfg.Seed+100)
+	if merge > 1 {
+		gen = workload.NewMergeGenerator(gen, merge)
+	}
+	warm := cfg.Warmup
+	if ccfg.MemoryFactor <= 0 {
+		warm = 0 // unlimited memory has no cache dynamics to warm
+	}
+	if err := c.Run(gen, warm); err != nil {
+		return nil, err
+	}
+	c.ResetTally()
+	if err := c.Run(gen, cfg.Requests); err != nil {
+		return nil, err
+	}
+	return c.Tally(), nil
+}
+
+// Fig3 reproduces paper fig. 3: the multi-get hole. Relative
+// throughput of an unreplicated memcached tier versus server count,
+// against the ideal linear scaling, using the social workload and the
+// calibrated throughput model.
+func Fig3(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	g, err := loadGraph(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	servers := []int{1, 2, 4, 8, 16, 32, 64}
+	model := calibrate.DefaultModel
+	if cfg.CalibrateLive {
+		fitted, err := LiveModel(cfg)
+		if err != nil {
+			return Table{}, fmt.Errorf("sim: live calibration: %w", err)
+		}
+		model = fitted
+	}
+
+	measured := Series{Label: "measured (calibrated simulation)"}
+	ideal := Series{Label: "ideal linear scaling"}
+	var base float64
+	for _, n := range servers {
+		tally, err := runSocial(g, cfg, cluster.Config{
+			Servers: n, Items: g.NumNodes(), Replicas: 1,
+		}, 1)
+		if err != nil {
+			return Table{}, err
+		}
+		tp := calibrate.Throughput(model, &tally.TxnSize, tally.Requests, n)
+		if n == 1 {
+			base = tp
+		}
+		measured.X = append(measured.X, float64(n))
+		measured.Y = append(measured.Y, tp/base)
+		ideal.X = append(ideal.X, float64(n))
+		ideal.Y = append(ideal.Y, float64(n))
+	}
+	return Table{
+		ID:     "fig3",
+		Title:  "Quantifying the multi-get hole (" + g.Name() + ")",
+		XLabel: "number of servers",
+		YLabel: "throughput relative to a single server",
+		Series: []Series{measured, ideal},
+		Notes: []string{
+			fmt.Sprintf("throughput via cost model: %.2f us/txn + %.3f us/item (live calibration: %v)",
+				model.Fixed*1e6, model.PerItem*1e6, cfg.CalibrateLive),
+		},
+	}, nil
+}
+
+// Fig6 reproduces paper fig. 6: mean TPR versus the number of
+// replicas, on a 16-server system with memory to hold every logical
+// replica, for both social graphs.
+func Fig6(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	t := Table{
+		ID:     "fig6",
+		Title:  "Average TPR under RnB vs. number of replicas (16 servers, unlimited memory)",
+		XLabel: "replicas per item",
+		YLabel: "transactions per request",
+	}
+	for _, name := range []string{"slashdot", "epinions"} {
+		gcfg := cfg
+		gcfg.Graph = name
+		g, err := loadGraph(gcfg)
+		if err != nil {
+			return Table{}, err
+		}
+		s := Series{Label: g.Name()}
+		for replicas := 1; replicas <= 5; replicas++ {
+			tally, err := runSocial(g, gcfg, cluster.Config{
+				Servers: 16, Items: g.NumNodes(), Replicas: replicas,
+			}, 1)
+			if err != nil {
+				return Table{}, err
+			}
+			s.X = append(s.X, float64(replicas))
+			s.Y = append(s.Y, tally.TPR())
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+// memorySweep holds the shared machinery of figs. 8–10: a 16-server
+// cluster with all enhancements, swept over total memory (in multiples
+// of one full data copy) and logical replication levels 1–4, with an
+// optional request-merge window.
+func memorySweep(cfg Config, merge int) (abs Table, rel Table, err error) {
+	g, err := loadGraph(cfg)
+	if err != nil {
+		return Table{}, Table{}, err
+	}
+	memories := []float64{1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0}
+
+	// Baseline: no replication, exactly one copy of the data. Pinned
+	// distinguished copies make it identical at any memory level.
+	baseTally, err := runSocial(g, cfg, cluster.Config{
+		Servers: 16, Items: g.NumNodes(), Replicas: 1, MemoryFactor: 1.0,
+		Planner: enhancedOptions,
+	}, merge)
+	if err != nil {
+		return Table{}, Table{}, err
+	}
+	baseTPR := baseTally.TPR()
+
+	suffix := ""
+	if merge > 1 {
+		suffix = fmt.Sprintf(", merging %d requests", merge)
+	}
+	abs = Table{
+		Title:  "TPR vs. memory (16 servers, all enhancements" + suffix + ", " + g.Name() + ")",
+		XLabel: "memory relative to one full copy of the data",
+		YLabel: "transactions per request",
+		Notes:  []string{fmt.Sprintf("no-replication baseline TPR = %.3f", baseTPR)},
+	}
+	rel = Table{
+		Title:  "TPR relative to no replication vs. memory (16 servers" + suffix + ", " + g.Name() + ")",
+		XLabel: "memory relative to one full copy of the data",
+		YLabel: "TPR / no-replication TPR",
+	}
+	for replicas := 1; replicas <= 4; replicas++ {
+		sa := Series{Label: fmt.Sprintf("%d logical replicas", replicas)}
+		sr := Series{Label: sa.Label}
+		for _, mem := range memories {
+			tally, err := runSocial(g, cfg, cluster.Config{
+				Servers: 16, Items: g.NumNodes(), Replicas: replicas, MemoryFactor: mem,
+				Planner: enhancedOptions,
+			}, merge)
+			if err != nil {
+				return Table{}, Table{}, err
+			}
+			sa.X = append(sa.X, mem)
+			sa.Y = append(sa.Y, tally.TPR())
+			sr.X = append(sr.X, mem)
+			sr.Y = append(sr.Y, tally.TPR()/baseTPR)
+		}
+		abs.Series = append(abs.Series, sa)
+		rel.Series = append(rel.Series, sr)
+	}
+	return abs, rel, nil
+}
+
+// Fig8 reproduces paper fig. 8: TPR reduction relative to
+// no-replication versus available memory, replication levels 1–4, all
+// enhancements (overbooking with a distinguished copy, hitchhiking).
+func Fig8(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	_, rel, err := memorySweep(cfg, 1)
+	if err != nil {
+		return Table{}, err
+	}
+	rel.ID = "fig8"
+	return rel, nil
+}
+
+// Fig9 reproduces paper fig. 9: the same sweep with every two
+// consecutive requests merged (§III-E), normalized to the merged
+// no-replication baseline.
+func Fig9(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	_, rel, err := memorySweep(cfg, 2)
+	if err != nil {
+		return Table{}, err
+	}
+	rel.ID = "fig9"
+	return rel, nil
+}
+
+// Fig10 reproduces paper fig. 10: absolute TPR versus memory for the
+// merged-2 and single-request modes side by side.
+func Fig10(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	absSingle, _, err := memorySweep(cfg, 1)
+	if err != nil {
+		return Table{}, err
+	}
+	absMerged, _, err := memorySweep(cfg, 2)
+	if err != nil {
+		return Table{}, err
+	}
+	out := Table{
+		ID:     "fig10",
+		Title:  "TPR vs. memory: merged-2 (top) and single-request (bottom) handling",
+		XLabel: absSingle.XLabel,
+		YLabel: absSingle.YLabel,
+		Notes:  append(absSingle.Notes, absMerged.Notes...),
+	}
+	for _, s := range absMerged.Series {
+		s.Label = "merged-2, " + s.Label
+		out.Series = append(out.Series, s)
+	}
+	for _, s := range absSingle.Series {
+		s.Label = "single, " + s.Label
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}

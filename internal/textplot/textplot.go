@@ -1,0 +1,143 @@
+// Package textplot renders sim.Table experiment results as aligned
+// text tables and simple ASCII charts for terminal consumption.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rnb/internal/sim"
+)
+
+// Render formats a table: header, one row per x value, one column per
+// series (when the series share an x axis), otherwise one block per
+// series.
+func Render(t sim.Table) string {
+	var b strings.Builder
+	if t.ID != "" {
+		fmt.Fprintf(&b, "[%s] ", t.ID)
+	}
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	if len(t.Series) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	if sharedX(t.Series) {
+		renderGrid(&b, t)
+	} else {
+		renderBlocks(&b, t)
+	}
+	return b.String()
+}
+
+func sharedX(series []sim.Series) bool {
+	for _, s := range series[1:] {
+		if len(s.X) != len(series[0].X) {
+			return false
+		}
+		for i := range s.X {
+			if s.X[i] != series[0].X[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func formatVal(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func renderGrid(b *strings.Builder, t sim.Table) {
+	cols := make([][]string, len(t.Series)+1)
+	cols[0] = append(cols[0], t.XLabel)
+	for _, x := range t.Series[0].X {
+		cols[0] = append(cols[0], formatVal(x))
+	}
+	for i, s := range t.Series {
+		cols[i+1] = append(cols[i+1], s.Label)
+		for _, y := range s.Y {
+			cols[i+1] = append(cols[i+1], formatVal(y))
+		}
+	}
+	writeColumns(b, cols)
+}
+
+func renderBlocks(b *strings.Builder, t sim.Table) {
+	for _, s := range t.Series {
+		fmt.Fprintf(b, "  -- %s --\n", s.Label)
+		cols := make([][]string, 2)
+		cols[0] = append(cols[0], t.XLabel)
+		cols[1] = append(cols[1], t.YLabel)
+		for i := range s.X {
+			cols[0] = append(cols[0], formatVal(s.X[i]))
+			cols[1] = append(cols[1], formatVal(s.Y[i]))
+		}
+		writeColumns(b, cols)
+	}
+}
+
+func writeColumns(b *strings.Builder, cols [][]string) {
+	widths := make([]int, len(cols))
+	rows := 0
+	for i, col := range cols {
+		for _, cell := range col {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+		if len(col) > rows {
+			rows = len(col)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		b.WriteString("  ")
+		for i, col := range cols {
+			cell := ""
+			if r < len(col) {
+				cell = col[r]
+			}
+			fmt.Fprintf(b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// Sparkline renders ys as a one-line unicode sparkline, useful for a
+// quick shape check in terminal output.
+func Sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := ys[0], ys[0]
+	for _, y := range ys {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	var b strings.Builder
+	for _, y := range ys {
+		idx := 0
+		if hi > lo {
+			idx = int((y - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		b.WriteRune(ramp[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"rnb/internal/sim"
+)
+
+func TestRenderSharedX(t *testing.T) {
+	tab := sim.Table{
+		ID:     "fig0",
+		Title:  "demo",
+		XLabel: "n",
+		YLabel: "y",
+		Notes:  []string{"a note"},
+		Series: []sim.Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Label: "b", X: []float64{1, 2}, Y: []float64{0.5, 0.25}},
+		},
+	}
+	out := Render(tab)
+	for _, want := range []string{"[fig0] demo", "note: a note", "n", "a", "b", "10", "0.250"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Shared x axis: exactly one header row plus two data rows plus
+	// title+note.
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Fatalf("line count = %d:\n%s", got, out)
+	}
+}
+
+func TestRenderBlocks(t *testing.T) {
+	tab := sim.Table{
+		Title:  "blocks",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []sim.Series{
+			{Label: "a", X: []float64{1}, Y: []float64{2}},
+			{Label: "b", X: []float64{1, 2, 3}, Y: []float64{4, 5, 6}},
+		},
+	}
+	out := Render(tab)
+	if !strings.Contains(out, "-- a --") || !strings.Contains(out, "-- b --") {
+		t.Fatalf("per-series blocks missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(sim.Table{Title: "empty"})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty table rendering: %q", out)
+	}
+}
+
+func TestRenderLargeValues(t *testing.T) {
+	tab := sim.Table{
+		Title:  "big",
+		XLabel: "x",
+		Series: []sim.Series{{Label: "s", X: []float64{1}, Y: []float64{123456.78}}},
+	}
+	out := Render(tab)
+	if !strings.Contains(out, "123457") {
+		t.Fatalf("large value formatting:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	got := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(got)) != 4 {
+		t.Fatalf("sparkline length: %q", got)
+	}
+	if got2 := Sparkline([]float64{5, 5, 5}); len([]rune(got2)) != 3 {
+		t.Fatalf("flat sparkline: %q", got2)
+	}
+	runes := []rune(got)
+	if runes[0] >= runes[3] {
+		t.Fatalf("sparkline not ascending: %q", got)
+	}
+}

@@ -1,0 +1,223 @@
+// Package trace records and replays request streams.
+//
+// The paper notes it could not obtain real memcached traces from big
+// deployments (§III-B) and generates workloads from social graphs
+// instead. This package makes the boundary explicit: any
+// workload.Generator can be recorded to a portable text format, and a
+// recorded trace — synthetic or captured from production — replays
+// byte-identically into the simulator or the live client. That enables
+// apples-to-apples comparisons across configurations and lets a future
+// user evaluate RnB on real traces without touching the simulator.
+//
+// Format: one request per line, "target item item item ..." with
+// decimal ids, '#' comments and blank lines ignored. A full fetch has
+// target == item count.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rnb/internal/workload"
+)
+
+// Writer streams requests to the text format.
+type Writer struct {
+	w *bufio.Writer
+	n int
+}
+
+// NewWriter wraps w. Call Flush when done.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# rnb trace v1: target item item ...")
+	return &Writer{w: bw}
+}
+
+// WriteRequest appends one request.
+func (w *Writer) WriteRequest(req workload.Request) error {
+	if len(req.Items) == 0 {
+		return fmt.Errorf("trace: empty request")
+	}
+	target := req.Target
+	if target <= 0 || target > len(req.Items) {
+		target = len(req.Items)
+	}
+	var sb strings.Builder
+	sb.WriteString(strconv.Itoa(target))
+	for _, it := range req.Items {
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatUint(it, 10))
+	}
+	sb.WriteByte('\n')
+	if _, err := w.w.WriteString(sb.String()); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of requests written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains the buffer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Record writes n requests from gen.
+func Record(gen workload.Generator, n int, out io.Writer) error {
+	w := NewWriter(out)
+	for i := 0; i < n; i++ {
+		req := gen.Next()
+		// Generators may reuse item slices; WriteRequest serializes
+		// immediately, so no copy is needed.
+		if err := w.WriteRequest(req); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Reader streams requests from the text format.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next request, or io.EOF when exhausted.
+func (r *Reader) Next() (workload.Request, error) {
+	for r.sc.Scan() {
+		r.line++
+		text := strings.TrimSpace(r.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return workload.Request{}, fmt.Errorf("trace: line %d: want 'target items...', got %q", r.line, text)
+		}
+		target, err := strconv.Atoi(fields[0])
+		if err != nil || target < 1 {
+			return workload.Request{}, fmt.Errorf("trace: line %d: bad target %q", r.line, fields[0])
+		}
+		items := make([]uint64, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				return workload.Request{}, fmt.Errorf("trace: line %d: bad item %q", r.line, f)
+			}
+			items = append(items, v)
+		}
+		if target > len(items) {
+			return workload.Request{}, fmt.Errorf("trace: line %d: target %d exceeds %d items",
+				r.line, target, len(items))
+		}
+		return workload.Request{Items: items, Target: target}, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return workload.Request{}, err
+	}
+	return workload.Request{}, io.EOF
+}
+
+// LoadAll reads an entire trace into memory.
+func LoadAll(in io.Reader) ([]workload.Request, error) {
+	r := NewReader(in)
+	var out []workload.Request
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, req)
+	}
+}
+
+// Replay is a workload.Generator over a loaded trace.
+type Replay struct {
+	reqs []workload.Request
+	i    int
+	loop bool
+}
+
+// NewReplay builds a generator over reqs. With loop=true the stream
+// wraps around; otherwise Next panics past the end (callers size their
+// runs with Len).
+func NewReplay(reqs []workload.Request, loop bool) *Replay {
+	if len(reqs) == 0 {
+		panic("trace: empty replay")
+	}
+	return &Replay{reqs: reqs, loop: loop}
+}
+
+// Len returns the number of requests in the trace.
+func (r *Replay) Len() int { return len(r.reqs) }
+
+// Next implements workload.Generator.
+func (r *Replay) Next() workload.Request {
+	if r.i >= len(r.reqs) {
+		if !r.loop {
+			panic("trace: replay exhausted")
+		}
+		r.i = 0
+	}
+	req := r.reqs[r.i]
+	r.i++
+	return req
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Requests      int
+	Items         uint64 // total item references
+	DistinctItems int
+	MaxItem       uint64 // largest item id referenced
+	MinSize       int
+	MaxSize       int
+	MeanSize      float64
+	LimitRequests int // requests with Target < len(Items)
+}
+
+// Summarize computes trace statistics.
+func Summarize(reqs []workload.Request) Stats {
+	st := Stats{Requests: len(reqs)}
+	if len(reqs) == 0 {
+		return st
+	}
+	st.MinSize = len(reqs[0].Items)
+	distinct := make(map[uint64]struct{})
+	for _, req := range reqs {
+		n := len(req.Items)
+		st.Items += uint64(n)
+		if n < st.MinSize {
+			st.MinSize = n
+		}
+		if n > st.MaxSize {
+			st.MaxSize = n
+		}
+		if req.Target < n {
+			st.LimitRequests++
+		}
+		for _, it := range req.Items {
+			distinct[it] = struct{}{}
+			if it > st.MaxItem {
+				st.MaxItem = it
+			}
+		}
+	}
+	st.DistinctItems = len(distinct)
+	st.MeanSize = float64(st.Items) / float64(len(reqs))
+	return st
+}

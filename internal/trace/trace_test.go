@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rnb/internal/graph"
+	"rnb/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	reqs := []workload.Request{
+		{Items: []uint64{1, 2, 3}, Target: 3},
+		{Items: []uint64{42}, Target: 1},
+		{Items: []uint64{5, 6, 7, 8}, Target: 2}, // LIMIT request
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range reqs {
+		if err := w.WriteRequest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	got, err := LoadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, reqs) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, reqs)
+	}
+}
+
+func TestWriterNormalizesTarget(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRequest(workload.Request{Items: []uint64{1, 2}, Target: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRequest(workload.Request{Items: []uint64{1, 2}, Target: 99}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, err := LoadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got {
+		if r.Target != 2 {
+			t.Fatalf("request %d: target %d, want normalized 2", i, r.Target)
+		}
+	}
+}
+
+func TestWriterRejectsEmpty(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WriteRequest(workload.Request{}); err == nil {
+		t.Fatal("empty request accepted")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	cases := map[string]string{
+		"one field":      "3\n",
+		"bad target":     "x 1 2\n",
+		"zero target":    "0 1\n",
+		"bad item":       "1 abc\n",
+		"target to high": "3 1 2\n",
+	}
+	for name, src := range cases {
+		r := NewReader(strings.NewReader(src))
+		if _, err := r.Next(); err == nil || err == io.EOF {
+			t.Errorf("%s: want parse error, got %v", name, err)
+		}
+	}
+}
+
+func TestReaderSkipsCommentsAndBlank(t *testing.T) {
+	src := "# header\n\n  \n2 7 9\n"
+	got, err := LoadAll(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Items[1] != 9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	g := graph.ScaledSlashdotLike(3, 80)
+	gen := workload.NewEgoGenerator(g, 5)
+	var buf bytes.Buffer
+	if err := Record(gen, 100, &buf); err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := LoadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 100 {
+		t.Fatalf("recorded %d requests", len(reqs))
+	}
+	// Replay reproduces exactly what a same-seeded generator yields.
+	fresh := workload.NewEgoGenerator(g, 5)
+	rep := NewReplay(reqs, false)
+	if rep.Len() != 100 {
+		t.Fatalf("Len = %d", rep.Len())
+	}
+	for i := 0; i < 100; i++ {
+		want := fresh.Next()
+		got := rep.Next()
+		if len(got.Items) != len(want.Items) {
+			t.Fatalf("request %d: size %d vs %d", i, len(got.Items), len(want.Items))
+		}
+		for j := range want.Items {
+			if got.Items[j] != want.Items[j] {
+				t.Fatalf("request %d differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestReplayLoopAndExhaustion(t *testing.T) {
+	reqs := []workload.Request{{Items: []uint64{1}, Target: 1}}
+	loop := NewReplay(reqs, true)
+	for i := 0; i < 5; i++ {
+		loop.Next()
+	}
+	once := NewReplay(reqs, false)
+	once.Next()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted replay did not panic")
+		}
+	}()
+	once.Next()
+}
+
+func TestNewReplayEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewReplay(nil, true)
+}
+
+func TestSummarize(t *testing.T) {
+	reqs := []workload.Request{
+		{Items: []uint64{1, 2, 3}, Target: 3},
+		{Items: []uint64{3, 4}, Target: 1},
+	}
+	st := Summarize(reqs)
+	if st.Requests != 2 || st.Items != 5 || st.DistinctItems != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.MinSize != 2 || st.MaxSize != 3 || st.MeanSize != 2.5 {
+		t.Fatalf("sizes: %+v", st)
+	}
+	if st.LimitRequests != 1 {
+		t.Fatalf("limit count: %+v", st)
+	}
+	if got := Summarize(nil); got.Requests != 0 {
+		t.Fatal("empty summarize")
+	}
+}

@@ -1,0 +1,258 @@
+// Package workload generates the end-user request streams that drive
+// the RnB simulations.
+//
+// The paper's request model (§III-B): pick a user uniformly at random
+// from the social graph; the request is the set of "status" items of
+// all of that user's friends. Each graph node is one item, so the item
+// universe equals the node set. The package also provides:
+//
+//   - uniform Monte-Carlo requests (independent random item sets) for
+//     the LIMIT experiments of §III-F,
+//   - request merging (§III-E): treating w consecutive requests as one,
+//   - LIMIT wrappers ("fetch at least X of the following", §III-F).
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"rnb/internal/graph"
+)
+
+// Request is one end-user request: a set of item ids to fetch.
+// Target is the LIMIT threshold: the minimum number of items that must
+// be fetched to satisfy the request. Target == len(Items) means a full
+// fetch (no LIMIT clause).
+type Request struct {
+	Items  []uint64
+	Target int
+}
+
+// Full reports whether the request demands every item.
+func (r Request) Full() bool { return r.Target >= len(r.Items) }
+
+// Generator produces a deterministic stream of requests.
+type Generator interface {
+	// Next returns the next request. The returned slice may be reused by
+	// subsequent calls; callers that retain it must copy.
+	Next() Request
+}
+
+// EgoGenerator implements the paper's social workload: each request is
+// the out-neighborhood ("friends' statuses") of a uniformly random
+// user. Users without friends are skipped, as a request for zero items
+// would be a no-op.
+type EgoGenerator struct {
+	g   *graph.Graph
+	rng *rand.Rand
+	buf []uint64
+}
+
+// NewEgoGenerator builds a generator over g seeded with seed.
+func NewEgoGenerator(g *graph.Graph, seed int64) *EgoGenerator {
+	if g.NumNodes() == 0 {
+		panic("workload: empty graph")
+	}
+	return &EgoGenerator{g: g, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Generator.
+func (e *EgoGenerator) Next() Request {
+	for {
+		u := e.rng.Intn(e.g.NumNodes())
+		nb := e.g.Neighbors(u)
+		if len(nb) == 0 {
+			continue
+		}
+		e.buf = e.buf[:0]
+		for _, v := range nb {
+			e.buf = append(e.buf, uint64(v))
+		}
+		return Request{Items: e.buf, Target: len(e.buf)}
+	}
+}
+
+// Universe returns the number of distinct items the generator draws
+// from (one item per graph node).
+func (e *EgoGenerator) Universe() int { return e.g.NumNodes() }
+
+// SkewedEgoGenerator is EgoGenerator with non-uniform user activity:
+// user ranks are drawn from a Zipf distribution over the nodes sorted
+// by in-degree (popular, well-connected users are read far more
+// often), matching the access skew of real social feeds ("clusters of
+// affinity", paper §III-C-1). Skew is what overbooking exploits: the
+// hot ego-networks stay resident, the cold tail gets evicted.
+type SkewedEgoGenerator struct {
+	g      *graph.Graph
+	ranked []int32 // nodes with out-degree > 0, most-followed first
+	zipf   *rand.Zipf
+	buf    []uint64
+}
+
+// NewSkewedEgoGenerator builds a generator over g. s > 1 is the Zipf
+// exponent; values near 1.2 give feed-like skew.
+func NewSkewedEgoGenerator(g *graph.Graph, s float64, seed int64) *SkewedEgoGenerator {
+	if g.NumNodes() == 0 {
+		panic("workload: empty graph")
+	}
+	if s <= 1 {
+		panic("workload: Zipf exponent must be > 1")
+	}
+	indeg := make([]int, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			indeg[v]++
+		}
+	}
+	ranked := make([]int32, 0, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.OutDegree(u) > 0 {
+			ranked = append(ranked, int32(u))
+		}
+	}
+	if len(ranked) == 0 {
+		panic("workload: graph has no nodes with out-edges")
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if indeg[ranked[i]] != indeg[ranked[j]] {
+			return indeg[ranked[i]] > indeg[ranked[j]]
+		}
+		return ranked[i] < ranked[j]
+	})
+	rng := rand.New(rand.NewSource(seed))
+	return &SkewedEgoGenerator{
+		g:      g,
+		ranked: ranked,
+		zipf:   rand.NewZipf(rng, s, 1, uint64(len(ranked)-1)),
+	}
+}
+
+// Next implements Generator.
+func (sk *SkewedEgoGenerator) Next() Request {
+	u := int(sk.ranked[sk.zipf.Uint64()])
+	nb := sk.g.Neighbors(u)
+	sk.buf = sk.buf[:0]
+	for _, v := range nb {
+		sk.buf = append(sk.buf, uint64(v))
+	}
+	return Request{Items: sk.buf, Target: len(sk.buf)}
+}
+
+// UniformGenerator produces requests of exactly M distinct items drawn
+// uniformly from a universe of U items, independent across requests —
+// the simplified Monte-Carlo model of §III-F.
+type UniformGenerator struct {
+	universe int
+	m        int
+	rng      *rand.Rand
+	buf      []uint64
+	seen     map[uint64]struct{}
+}
+
+// NewUniformGenerator builds a generator of M-item requests over a
+// universe of U items.
+func NewUniformGenerator(universe, m int, seed int64) *UniformGenerator {
+	if universe <= 0 || m <= 0 || m > universe {
+		panic("workload: need 0 < m <= universe")
+	}
+	return &UniformGenerator{
+		universe: universe,
+		m:        m,
+		rng:      rand.New(rand.NewSource(seed)),
+		seen:     make(map[uint64]struct{}, m),
+	}
+}
+
+// Next implements Generator.
+func (u *UniformGenerator) Next() Request {
+	u.buf = u.buf[:0]
+	for k := range u.seen {
+		delete(u.seen, k)
+	}
+	for len(u.buf) < u.m {
+		it := uint64(u.rng.Intn(u.universe))
+		if _, dup := u.seen[it]; dup {
+			continue
+		}
+		u.seen[it] = struct{}{}
+		u.buf = append(u.buf, it)
+	}
+	return Request{Items: u.buf, Target: len(u.buf)}
+}
+
+// MergeGenerator combines w consecutive requests from an inner
+// generator into one (§III-E), deduplicating items. The merged target
+// is the number of merged items (full fetch); LIMIT semantics compose
+// via WithLimit afterwards if needed.
+type MergeGenerator struct {
+	inner  Generator
+	window int
+	buf    []uint64
+	seen   map[uint64]struct{}
+}
+
+// NewMergeGenerator merges `window` consecutive requests (window >= 1).
+func NewMergeGenerator(inner Generator, window int) *MergeGenerator {
+	if window < 1 {
+		panic("workload: merge window must be >= 1")
+	}
+	return &MergeGenerator{inner: inner, window: window, seen: make(map[uint64]struct{})}
+}
+
+// Next implements Generator.
+func (m *MergeGenerator) Next() Request {
+	m.buf = m.buf[:0]
+	for k := range m.seen {
+		delete(m.seen, k)
+	}
+	for w := 0; w < m.window; w++ {
+		r := m.inner.Next()
+		for _, it := range r.Items {
+			if _, dup := m.seen[it]; dup {
+				continue
+			}
+			m.seen[it] = struct{}{}
+			m.buf = append(m.buf, it)
+		}
+	}
+	return Request{Items: m.buf, Target: len(m.buf)}
+}
+
+// WithLimit returns a copy of r whose Target is ceil(frac * len(Items)),
+// clamped to [1, len(Items)] — "fetch at least X items out of the
+// following list" with X expressed as a fraction.
+func WithLimit(r Request, frac float64) Request {
+	n := len(r.Items)
+	if n == 0 {
+		return r
+	}
+	target := int(math.Ceil(frac * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	return Request{Items: r.Items, Target: target}
+}
+
+// LimitGenerator wraps a generator, applying a fixed LIMIT fraction to
+// every request.
+type LimitGenerator struct {
+	inner Generator
+	frac  float64
+}
+
+// NewLimitGenerator wraps inner with a LIMIT fraction in (0, 1].
+func NewLimitGenerator(inner Generator, frac float64) *LimitGenerator {
+	if frac <= 0 || frac > 1 {
+		panic("workload: limit fraction must be in (0, 1]")
+	}
+	return &LimitGenerator{inner: inner, frac: frac}
+}
+
+// Next implements Generator.
+func (l *LimitGenerator) Next() Request {
+	return WithLimit(l.inner.Next(), l.frac)
+}

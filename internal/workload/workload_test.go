@@ -1,0 +1,305 @@
+package workload
+
+import (
+	"testing"
+
+	"rnb/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder("w", 6)
+	// Node 0 -> {1,2,3}; node 1 -> {2}; node 2 isolated source of nothing;
+	// node 3 -> {0,1,2,4,5}; nodes 4,5 have no out-edges.
+	edges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {3, 0}, {3, 1}, {3, 2}, {3, 4}, {3, 5}}
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestEgoGeneratorRequestsAreNeighborhoods(t *testing.T) {
+	g := testGraph(t)
+	gen := NewEgoGenerator(g, 1)
+	for i := 0; i < 200; i++ {
+		r := gen.Next()
+		if len(r.Items) == 0 {
+			t.Fatal("empty request emitted")
+		}
+		if !r.Full() {
+			t.Fatal("ego request should be a full fetch")
+		}
+		// The request must equal the out-neighborhood of some node.
+		matched := false
+		for u := 0; u < g.NumNodes(); u++ {
+			nb := g.Neighbors(u)
+			if len(nb) != len(r.Items) {
+				continue
+			}
+			same := true
+			for j := range nb {
+				if uint64(nb[j]) != r.Items[j] {
+					same = false
+					break
+				}
+			}
+			if same {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Fatalf("request %v is no node's neighborhood", r.Items)
+		}
+	}
+}
+
+func TestEgoGeneratorDeterministic(t *testing.T) {
+	g := testGraph(t)
+	a, b := NewEgoGenerator(g, 7), NewEgoGenerator(g, 7)
+	for i := 0; i < 50; i++ {
+		ra, rb := a.Next(), b.Next()
+		if len(ra.Items) != len(rb.Items) {
+			t.Fatal("same seed diverged")
+		}
+		for j := range ra.Items {
+			if ra.Items[j] != rb.Items[j] {
+				t.Fatal("same seed diverged")
+			}
+		}
+	}
+}
+
+func TestEgoGeneratorUniverse(t *testing.T) {
+	g := testGraph(t)
+	if NewEgoGenerator(g, 1).Universe() != 6 {
+		t.Fatal("Universe wrong")
+	}
+}
+
+func TestEgoGeneratorEmptyGraphPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewEgoGenerator(graph.NewBuilder("e", 0).Build(), 1)
+}
+
+func TestSkewedEgoGenerator(t *testing.T) {
+	g := graph.ScaledSlashdotLike(13, 80)
+	gen := NewSkewedEgoGenerator(g, 1.3, 4)
+	uni := NewEgoGenerator(g, 4)
+
+	countDistinctUsers := func(next func() Request, n int) int {
+		seen := map[string]bool{}
+		for i := 0; i < n; i++ {
+			r := next()
+			// Fingerprint the request by its first item and size.
+			key := ""
+			if len(r.Items) > 0 {
+				key = string(rune(r.Items[0])) + ":" + string(rune(len(r.Items)))
+			}
+			seen[key] = true
+		}
+		return len(seen)
+	}
+	const n = 2000
+	skewDistinct := countDistinctUsers(gen.Next, n)
+	uniDistinct := countDistinctUsers(uni.Next, n)
+	// Skewed selection concentrates on far fewer distinct ego-networks.
+	if float64(skewDistinct) > 0.8*float64(uniDistinct) {
+		t.Fatalf("skewed generator not concentrated: %d vs %d distinct requests",
+			skewDistinct, uniDistinct)
+	}
+	// Requests are still valid neighborhoods.
+	for i := 0; i < 100; i++ {
+		r := gen.Next()
+		if len(r.Items) == 0 || !r.Full() {
+			t.Fatal("invalid skewed request")
+		}
+	}
+}
+
+func TestSkewedEgoGeneratorValidation(t *testing.T) {
+	g := testGraph(t)
+	for name, fn := range map[string]func(){
+		"empty graph": func() {
+			NewSkewedEgoGenerator(graph.NewBuilder("e", 0).Build(), 1.2, 1)
+		},
+		"bad exponent": func() { NewSkewedEgoGenerator(g, 1.0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUniformGenerator(t *testing.T) {
+	gen := NewUniformGenerator(100, 10, 3)
+	for i := 0; i < 100; i++ {
+		r := gen.Next()
+		if len(r.Items) != 10 {
+			t.Fatalf("request size %d, want 10", len(r.Items))
+		}
+		seen := map[uint64]bool{}
+		for _, it := range r.Items {
+			if it >= 100 {
+				t.Fatalf("item %d outside universe", it)
+			}
+			if seen[it] {
+				t.Fatalf("duplicate item %d", it)
+			}
+			seen[it] = true
+		}
+	}
+}
+
+func TestUniformGeneratorFullUniverse(t *testing.T) {
+	gen := NewUniformGenerator(5, 5, 1)
+	r := gen.Next()
+	if len(r.Items) != 5 {
+		t.Fatalf("size %d", len(r.Items))
+	}
+}
+
+func TestUniformGeneratorValidation(t *testing.T) {
+	for _, c := range [][2]int{{0, 1}, {5, 0}, {5, 6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("universe=%d m=%d: no panic", c[0], c[1])
+				}
+			}()
+			NewUniformGenerator(c[0], c[1], 1)
+		}()
+	}
+}
+
+func TestMergeGenerator(t *testing.T) {
+	g := testGraph(t)
+	inner := NewEgoGenerator(g, 5)
+	merged := NewMergeGenerator(inner, 2)
+	for i := 0; i < 50; i++ {
+		r := merged.Next()
+		seen := map[uint64]bool{}
+		for _, it := range r.Items {
+			if seen[it] {
+				t.Fatalf("merged request has duplicate %d", it)
+			}
+			seen[it] = true
+		}
+		if !r.Full() {
+			t.Fatal("merged request should be full fetch")
+		}
+	}
+}
+
+func TestMergeGeneratorWindowOne(t *testing.T) {
+	g := testGraph(t)
+	a := NewEgoGenerator(g, 9)
+	b := NewMergeGenerator(NewEgoGenerator(g, 9), 1)
+	for i := 0; i < 20; i++ {
+		ra, rb := a.Next(), b.Next()
+		if len(ra.Items) != len(rb.Items) {
+			t.Fatal("window=1 changed the stream")
+		}
+	}
+}
+
+func TestMergeGeneratorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewMergeGenerator(NewUniformGenerator(10, 2, 1), 0)
+}
+
+func TestWithLimit(t *testing.T) {
+	r := Request{Items: []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, Target: 10}
+	cases := []struct {
+		frac float64
+		want int
+	}{
+		{1.0, 10}, {0.95, 10}, {0.9, 9}, {0.5, 5}, {0.01, 1},
+	}
+	for _, c := range cases {
+		got := WithLimit(r, c.frac)
+		if got.Target != c.want {
+			t.Errorf("frac %.2f: target %d, want %d", c.frac, got.Target, c.want)
+		}
+	}
+	empty := WithLimit(Request{}, 0.5)
+	if empty.Target != 0 {
+		t.Fatal("empty request limit")
+	}
+}
+
+func TestLimitGenerator(t *testing.T) {
+	gen := NewLimitGenerator(NewUniformGenerator(50, 10, 2), 0.5)
+	r := gen.Next()
+	if r.Target != 5 {
+		t.Fatalf("Target = %d, want 5", r.Target)
+	}
+	if r.Full() {
+		t.Fatal("limited request reports Full")
+	}
+}
+
+func TestLimitGeneratorValidation(t *testing.T) {
+	for _, frac := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("frac %g: no panic", frac)
+				}
+			}()
+			NewLimitGenerator(NewUniformGenerator(10, 2, 1), frac)
+		}()
+	}
+}
+
+func TestRequestSizeDistributionTracksGraph(t *testing.T) {
+	// The mean request size over many draws should approximate the mean
+	// out-degree of nodes weighted by... uniform user choice over nodes
+	// with degree >= 1.
+	g := graph.ScaledSlashdotLike(11, 80)
+	gen := NewEgoGenerator(g, 4)
+	var sum, n float64
+	for i := 0; i < 4000; i++ {
+		sum += float64(len(gen.Next().Items))
+		n++
+	}
+	mean := sum / n
+	// Mean degree of degree>=1 nodes:
+	st := graph.OutDegreeStats(g)
+	nodes, edges := 0, 0
+	for d, c := range st.Histogram {
+		if d >= 1 {
+			nodes += c
+			edges += d * c
+		}
+	}
+	want := float64(edges) / float64(nodes)
+	if mean < want*0.85 || mean > want*1.15 {
+		t.Fatalf("mean request size %.2f, want ~%.2f", mean, want)
+	}
+}
+
+func BenchmarkEgoGenerator(b *testing.B) {
+	g := graph.ScaledSlashdotLike(1, 40)
+	gen := NewEgoGenerator(g, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Next()
+	}
+}

@@ -1,0 +1,146 @@
+package xhash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Bijective(t *testing.T) {
+	// Different inputs must give different outputs for a sample;
+	// splitmix64's finalizer is a bijection, so collisions imply a bug.
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: %d and %d -> %x", prev, i, h)
+		}
+		seen[h] = i
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	if String("hello") != String("hello") {
+		t.Fatal("String not deterministic")
+	}
+	if String("hello") == String("hellp") {
+		t.Fatal("suspicious collision on near-identical strings")
+	}
+	if String("") == String("a") {
+		t.Fatal("empty string collides")
+	}
+}
+
+func TestBytesMatchesString(t *testing.T) {
+	f := func(s string) bool {
+		return Bytes([]byte(s)) == String(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeededIndependence(t *testing.T) {
+	// For a fixed value, different seeds should produce values that do
+	// not correlate. Check a crude bucketing uniformity: hash 20000
+	// values under two seeds into 16 buckets and require every joint
+	// bucket to be populated (expected ~78 per cell).
+	var joint [16][16]int
+	for v := uint64(0); v < 20000; v++ {
+		a := Seeded(1, v) % 16
+		b := Seeded(2, v) % 16
+		joint[a][b]++
+	}
+	for i := range joint {
+		for j := range joint[i] {
+			if joint[i][j] == 0 {
+				t.Fatalf("joint bucket (%d,%d) empty: seeds correlated", i, j)
+			}
+		}
+	}
+}
+
+func TestSeededDiffersBySeed(t *testing.T) {
+	same := 0
+	for v := uint64(0); v < 1000; v++ {
+		if Seeded(10, v) == Seeded(11, v) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions across seeds", same)
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Chi-squared-ish sanity check: bucket String(i) into 64 buckets.
+	const n, buckets = 64000, 64
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[Uint64(uint64(i))%buckets]++
+	}
+	want := n / buckets
+	for b, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("bucket %d has %d entries, expected ~%d", b, c, want)
+		}
+	}
+}
+
+func TestStringUint64DistinctFromConcat(t *testing.T) {
+	// Labels ("a", 1) and ("a", 2) must differ.
+	if StringUint64("a", 1) == StringUint64("a", 2) {
+		t.Fatal("vnode labels collide")
+	}
+	if StringUint64("a", 1) == StringUint64("b", 1) {
+		t.Fatal("different names collide")
+	}
+}
+
+func TestCombineOrderDependent(t *testing.T) {
+	if Combine(1, 2) == Combine(2, 1) {
+		t.Fatal("Combine is symmetric; want order dependence")
+	}
+}
+
+func TestQuickSeededDeterministic(t *testing.T) {
+	f := func(seed, v uint64) bool {
+		return Seeded(seed, v) == Seeded(seed, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	r := rand.New(rand.NewSource(42))
+	total, flips := 0, 0
+	for i := 0; i < 2000; i++ {
+		v := r.Uint64()
+		bit := uint(r.Intn(64))
+		d := Mix64(v) ^ Mix64(v^(1<<bit))
+		for ; d != 0; d &= d - 1 {
+			flips++
+		}
+		total += 64
+	}
+	ratio := float64(flips) / float64(total)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Fatalf("avalanche ratio %.3f outside [0.4, 0.6]", ratio)
+	}
+}
+
+func BenchmarkString(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		String("user:123456:status")
+	}
+}
+
+func BenchmarkSeeded(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Seeded(uint64(i&7), uint64(i))
+	}
+}

@@ -1,0 +1,723 @@
+// Package rnb is the public face of this repository: a Replicate and
+// Bundle (RnB) client for memcached-style storage tiers, after
+// "Replicate and Bundle (RnB) – A Mechanism for Relieving Bottlenecks
+// in Data Centers" (Raindel & Birk, IPDPS 2013).
+//
+// RnB attacks the multi-get hole: when a user request needs many small
+// items and the server cost is dominated by per-transaction work,
+// spreading data over more servers only multiplies transactions.
+// Instead, RnB stores every item on several pseudo-randomly chosen
+// servers (ranged consistent hashing) and, per request, picks a small
+// set of servers that jointly hold all requested items (greedy minimum
+// set cover), bundling the items into one multi-get per chosen server.
+//
+// The Client in this package speaks the real memcached text protocol
+// (see internal/memcache for the bundled server implementation); the
+// simulation used to reproduce the paper's figures lives in
+// internal/sim and is driven by cmd/rnbsim.
+//
+// Basic use:
+//
+//	client, err := rnb.NewClient([]string{"10.0.0.1:11211", "10.0.0.2:11211"},
+//	    rnb.WithReplicas(3))
+//	...
+//	items, stats, err := client.GetMulti(keys)
+//
+// GetMulti fetches all keys in stats.Transactions round trips — with 3
+// replicas typically far fewer than len(distinct servers of keys).
+package rnb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rnb/internal/core"
+	"rnb/internal/hashring"
+	"rnb/internal/memcache"
+	"rnb/internal/xhash"
+)
+
+// Item is a stored object (re-exported from the protocol package).
+type Item = memcache.Item
+
+// ErrCacheMiss is returned by Get when a key is nowhere to be found.
+var ErrCacheMiss = memcache.ErrCacheMiss
+
+// Option configures a Client.
+type Option func(*clientConfig)
+
+// Loader fetches values for keys that missed everywhere (the
+// authoritative database behind the cache tier). Returned maps may omit
+// keys that do not exist at all.
+type Loader func(keys []string) (map[string][]byte, error)
+
+type clientConfig struct {
+	replicas         int
+	vnodes           int
+	timeout          time.Duration
+	hitchhike        bool
+	writeBack        bool
+	pinDistinguished bool
+	loader           Loader
+	cooldown         time.Duration
+}
+
+// WithReplicas sets the logical replication level (default 2).
+func WithReplicas(n int) Option {
+	return func(c *clientConfig) { c.replicas = n }
+}
+
+// WithVirtualNodes sets the consistent-hashing virtual node count per
+// server (default hashring.DefaultVirtualNodes).
+func WithVirtualNodes(n int) Option {
+	return func(c *clientConfig) { c.vnodes = n }
+}
+
+// WithTimeout sets the per-operation network timeout (default 5s).
+func WithTimeout(d time.Duration) Option {
+	return func(c *clientConfig) { c.timeout = d }
+}
+
+// WithHitchhiking piggybacks redundant item requests onto planned
+// transactions to raise hit rates under memory pressure (default on).
+func WithHitchhiking(on bool) Option {
+	return func(c *clientConfig) { c.hitchhike = on }
+}
+
+// WithPinnedDistinguished controls whether the distinguished copy of
+// each item is stored with the server's "setp" pinning extension so it
+// is exempt from LRU eviction and can never miss (default on). Turn it
+// off when talking to stock memcached servers, at the cost of losing
+// the never-miss guarantee for distinguished copies.
+func WithPinnedDistinguished(on bool) Option {
+	return func(c *clientConfig) { c.pinDistinguished = on }
+}
+
+// WithWriteBack controls whether items recovered from their
+// distinguished copy after a replica miss are written back to the
+// replica the planner wanted them on (default on). This is the
+// §III-C/§III-D adaptation mechanism that makes overbooked replicas
+// converge to the working set.
+func WithWriteBack(on bool) Option {
+	return func(c *clientConfig) { c.writeBack = on }
+}
+
+// WithFailureCooldown sets how long a server stays quarantined after a
+// network error before reads are routed to it again (default 2s;
+// <= 0 disables failure tracking entirely). While quarantined, reads
+// plan around the server — surviving replicas and acting distinguished
+// copies serve in its stead (§III-C's replica flexibility doubling as
+// failover).
+func WithFailureCooldown(d time.Duration) Option {
+	return func(c *clientConfig) { c.cooldown = d }
+}
+
+// WithLoader installs a cache-aside backing store: keys that miss on
+// every replica AND on their distinguished server are fetched through
+// the loader (one call per GetMulti), stored back (distinguished copy
+// pinned, assigned replica plain), and returned with the rest. Without
+// a loader such keys are simply absent from results.
+func WithLoader(l Loader) Option {
+	return func(c *clientConfig) { c.loader = l }
+}
+
+// Client is an RnB memcached client: one connection per server, replica
+// placement via ranged consistent hashing, and greedy bundling of
+// multi-gets.
+type Client struct {
+	ring      *hashring.Ring
+	placement hashring.Placement
+	planner   *core.Planner
+	conns     []*memcache.Client
+	cfg       clientConfig
+	// downUntil[s] holds the unix-nano deadline of server s's failure
+	// quarantine (0 = healthy).
+	downUntil []atomicInt64
+	failures  atomicUint64
+}
+
+// Minimal atomic wrappers (keep the struct copyable-by-pointer only).
+type atomicInt64 struct{ v int64 }
+
+func (a *atomicInt64) load() int64   { return atomic.LoadInt64(&a.v) }
+func (a *atomicInt64) store(v int64) { atomic.StoreInt64(&a.v, v) }
+
+type atomicUint64 struct{ v uint64 }
+
+func (a *atomicUint64) add(d uint64) { atomic.AddUint64(&a.v, d) }
+func (a *atomicUint64) load() uint64 { return atomic.LoadUint64(&a.v) }
+
+// markDown quarantines a server after a network error.
+func (c *Client) markDown(s int) {
+	c.failures.add(1)
+	if c.cfg.cooldown > 0 {
+		c.downUntil[s].store(time.Now().Add(c.cfg.cooldown).UnixNano())
+	}
+}
+
+// isDown reports whether reads should route around server s.
+func (c *Client) isDown(s int) bool {
+	dl := c.downUntil[s].load()
+	return dl != 0 && time.Now().UnixNano() < dl
+}
+
+// Failures returns the number of server network errors observed.
+func (c *Client) Failures() uint64 { return c.failures.load() }
+
+// NewClient connects to the given memcached servers. At least one
+// address is required; the replication level is clamped to the server
+// count.
+func NewClient(addrs []string, opts ...Option) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("rnb: need at least one server address")
+	}
+	cfg := clientConfig{
+		replicas:         2,
+		vnodes:           hashring.DefaultVirtualNodes,
+		timeout:          5 * time.Second,
+		hitchhike:        true,
+		writeBack:        true,
+		pinDistinguished: true,
+		cooldown:         2 * time.Second,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.replicas < 1 {
+		return nil, fmt.Errorf("rnb: replication level %d < 1", cfg.replicas)
+	}
+	if cfg.replicas > len(addrs) {
+		cfg.replicas = len(addrs)
+	}
+	ring := hashring.New(cfg.vnodes)
+	conns := make([]*memcache.Client, 0, len(addrs))
+	for _, addr := range addrs {
+		if _, err := ring.AddServer(addr); err != nil {
+			closeAll(conns)
+			return nil, err
+		}
+		cl, err := memcache.Dial(addr, cfg.timeout)
+		if err != nil {
+			closeAll(conns)
+			return nil, fmt.Errorf("rnb: dial %s: %w", addr, err)
+		}
+		conns = append(conns, cl)
+	}
+	placement := hashring.NewRCHPlacement(ring, cfg.replicas)
+	planner := core.NewPlanner(placement, core.Options{
+		Hitchhike:            cfg.hitchhike,
+		DistinguishedSingles: true,
+	})
+	return &Client{
+		ring:      ring,
+		placement: placement,
+		planner:   planner,
+		conns:     conns,
+		cfg:       cfg,
+		downUntil: make([]atomicInt64, len(conns)),
+	}, nil
+}
+
+func closeAll(conns []*memcache.Client) {
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Close tears down every server connection.
+func (c *Client) Close() error {
+	var first error
+	for _, conn := range c.conns {
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Replicas reports the effective replication level.
+func (c *Client) Replicas() int { return c.cfg.replicas }
+
+// Servers reports the server addresses in index order.
+func (c *Client) Servers() []string { return c.ring.Servers() }
+
+// Transactions returns the total round trips issued across all servers.
+func (c *Client) Transactions() uint64 {
+	var n uint64
+	for _, conn := range c.conns {
+		n += conn.Transactions()
+	}
+	return n
+}
+
+// keyID maps a key onto the planner's numeric item space.
+func keyID(key string) uint64 { return xhash.String(key) }
+
+// replicaConns returns the item's replica server indices.
+func (c *Client) replicaServers(key string) []int {
+	return c.placement.Replicas(keyID(key), nil)
+}
+
+// Set stores the item on every replica server. The first replica is
+// the distinguished copy and, unless WithPinnedDistinguished(false) was
+// given, is stored pinned so server LRUs never evict it.
+//
+// A non-distinguished replica write refused with "not stored" is NOT
+// an error: under overbooking (§III-C-1) a server whose memory is full
+// of pinned and hot data legitimately declines cold replicas — the
+// logical replica simply stays virtual until write-back or a later Set
+// lands it. Network errors on any replica, and any failure on the
+// distinguished copy, are errors.
+func (c *Client) Set(it *Item) error {
+	for i, s := range c.replicaServers(it.Key) {
+		var err error
+		if i == 0 && c.cfg.pinDistinguished {
+			err = c.conns[s].SetPinned(it)
+		} else {
+			err = c.conns[s].Set(it)
+		}
+		if err != nil {
+			if i > 0 && errors.Is(err, memcache.ErrNotStored) {
+				continue // overbooked replica declined; acceptable
+			}
+			c.markDown(s)
+			return fmt.Errorf("rnb: set %q on %s: %w", it.Key, c.conns[s].Addr(), err)
+		}
+	}
+	return nil
+}
+
+// Delete removes the item from every replica server. Replica servers
+// that do not currently hold a copy are not an error; a key unknown
+// everywhere returns ErrCacheMiss.
+func (c *Client) Delete(key string) error {
+	found := false
+	for _, s := range c.replicaServers(key) {
+		switch err := c.conns[s].Delete(key); {
+		case err == nil:
+			found = true
+		case errors.Is(err, memcache.ErrCacheMiss):
+		default:
+			return fmt.Errorf("rnb: delete %q on %s: %w", key, c.conns[s].Addr(), err)
+		}
+	}
+	if !found {
+		return ErrCacheMiss
+	}
+	return nil
+}
+
+// mutateDistinguished applies an operation to the distinguished copy
+// and, on success, drops the other replicas so they repopulate on
+// demand — the §IV atomic-operation scheme shared by Append, Prepend,
+// Increment and UpdateCAS.
+func (c *Client) mutateDistinguished(key string, op func(conn *memcache.Client) error) error {
+	replicas := c.replicaServers(key)
+	if err := op(c.conns[replicas[0]]); err != nil {
+		return err
+	}
+	for _, s := range replicas[1:] {
+		if err := c.conns[s].Delete(key); err != nil && !errors.Is(err, memcache.ErrCacheMiss) {
+			return fmt.Errorf("rnb: clearing replica of %q on %s: %w", key, c.conns[s].Addr(), err)
+		}
+	}
+	return nil
+}
+
+// Append concatenates data after the item's value, atomically against
+// the distinguished copy (stale replicas are invalidated).
+func (c *Client) Append(key string, data []byte) error {
+	return c.mutateDistinguished(key, func(conn *memcache.Client) error {
+		return conn.Append(key, data)
+	})
+}
+
+// Prepend concatenates data before the item's value, atomically
+// against the distinguished copy.
+func (c *Client) Prepend(key string, data []byte) error {
+	return c.mutateDistinguished(key, func(conn *memcache.Client) error {
+		return conn.Prepend(key, data)
+	})
+}
+
+// Increment adjusts a decimal counter by delta (negative decrements,
+// clamping at zero) on the distinguished copy and returns the new
+// value. Stale replicas are invalidated.
+func (c *Client) Increment(key string, delta int64) (uint64, error) {
+	var out uint64
+	err := c.mutateDistinguished(key, func(conn *memcache.Client) error {
+		var err error
+		if delta >= 0 {
+			out, err = conn.Incr(key, uint64(delta))
+		} else {
+			out, err = conn.Decr(key, uint64(-delta))
+		}
+		return err
+	})
+	return out, err
+}
+
+// Touch updates the expiration of every replica of key. A key unknown
+// everywhere returns ErrCacheMiss.
+func (c *Client) Touch(key string, exp int32) error {
+	found := false
+	for _, s := range c.replicaServers(key) {
+		switch err := c.conns[s].Touch(key, exp); {
+		case err == nil:
+			found = true
+		case errors.Is(err, memcache.ErrCacheMiss):
+		default:
+			return fmt.Errorf("rnb: touch %q on %s: %w", key, c.conns[s].Addr(), err)
+		}
+	}
+	if !found {
+		return ErrCacheMiss
+	}
+	return nil
+}
+
+// FlushAll wipes every server in the tier.
+func (c *Client) FlushAll() error {
+	for _, conn := range c.conns {
+		if err := conn.FlushAll(); err != nil {
+			return fmt.Errorf("rnb: flush_all on %s: %w", conn.Addr(), err)
+		}
+	}
+	return nil
+}
+
+// Update atomically replaces an item using the paper's §IV scheme:
+// remove every non-distinguished replica, then update the
+// distinguished copy; replicas repopulate on demand via write-back.
+func (c *Client) Update(it *Item) error {
+	replicas := c.replicaServers(it.Key)
+	for _, s := range replicas[1:] {
+		if err := c.conns[s].Delete(it.Key); err != nil && !errors.Is(err, memcache.ErrCacheMiss) {
+			return fmt.Errorf("rnb: update %q: clearing replica on %s: %w",
+				it.Key, c.conns[s].Addr(), err)
+		}
+	}
+	var err error
+	if c.cfg.pinDistinguished {
+		err = c.conns[replicas[0]].SetPinned(it)
+	} else {
+		err = c.conns[replicas[0]].Set(it)
+	}
+	if err != nil {
+		return fmt.Errorf("rnb: update %q on distinguished %s: %w",
+			it.Key, c.conns[replicas[0]].Addr(), err)
+	}
+	return nil
+}
+
+// GetsDistinguished fetches keys with CAS tokens from their
+// distinguished servers, bundling keys that share a distinguished
+// server into one gets transaction. Only distinguished-copy tokens are
+// valid for UpdateCAS, so this — not GetMulti — is the read half of a
+// read-modify-write cycle (§IV).
+func (c *Client) GetsDistinguished(keys []string) (map[string]*Item, error) {
+	byServer := make(map[int][]string)
+	for _, k := range keys {
+		s := c.replicaServers(k)[0]
+		byServer[s] = append(byServer[s], k)
+	}
+	out := make(map[string]*Item, len(keys))
+	for s, group := range byServer {
+		items, err := c.conns[s].GetsMulti(group)
+		if err != nil {
+			return nil, fmt.Errorf("rnb: gets on %s: %w", c.conns[s].Addr(), err)
+		}
+		for k, it := range items {
+			out[k] = it
+		}
+	}
+	return out, nil
+}
+
+// UpdateCAS atomically replaces an item if its CAS token (from a prior
+// gets against the distinguished server) still matches, using the §IV
+// scheme: compare-and-swap the distinguished copy, then drop the stale
+// replicas so they repopulate on demand. Returns
+// memcache.ErrCASConflict on a lost race and ErrCacheMiss if the key
+// is gone.
+func (c *Client) UpdateCAS(it *Item) error {
+	replicas := c.replicaServers(it.Key)
+	if err := c.conns[replicas[0]].CompareAndSwap(it); err != nil {
+		return err
+	}
+	for _, s := range replicas[1:] {
+		if err := c.conns[s].Delete(it.Key); err != nil && !errors.Is(err, memcache.ErrCacheMiss) {
+			return fmt.Errorf("rnb: update-cas %q: clearing replica on %s: %w",
+				it.Key, c.conns[s].Addr(), err)
+		}
+	}
+	return nil
+}
+
+// Get fetches a single key from its distinguished server (single-item
+// requests always use the distinguished copy, §III-C-1).
+func (c *Client) Get(key string) (*Item, error) {
+	s := c.replicaServers(key)[0]
+	return c.conns[s].Get(key)
+}
+
+// Stats reports what a GetMulti cost.
+type Stats struct {
+	// Transactions is the number of server round trips used.
+	Transactions int
+	// Round2 of those were second-round fetches after replica misses.
+	Round2 int
+	// Hitchhikers is the number of extra keys piggybacked onto planned
+	// transactions.
+	Hitchhikers int
+	// Loaded is the number of keys fetched from the backing store via
+	// the configured Loader (0 without one).
+	Loaded int
+	// Failed counts transactions that hit a network error; the affected
+	// servers were quarantined and the items recovered through other
+	// replicas, the loader, or reported absent.
+	Failed int
+}
+
+// GetMulti fetches the given keys with bundled multi-gets. It returns
+// the found items (keys missing from every replica and from their
+// distinguished server are simply absent) plus the transaction stats.
+// Duplicate keys are rejected.
+func (c *Client) GetMulti(keys []string) (map[string]*Item, Stats, error) {
+	return c.getMulti(keys, 0)
+}
+
+// GetMultiLimit is GetMulti for "fetch at least minItems of these"
+// requests (§III-F): the planner stops adding servers once the target
+// is reachable, so fewer transactions are used. The result may contain
+// more than minItems items (hitchhikers ride free) but never fewer,
+// unless items are missing storage-side.
+func (c *Client) GetMultiLimit(keys []string, minItems int) (map[string]*Item, Stats, error) {
+	if minItems < 0 {
+		return nil, Stats{}, fmt.Errorf("rnb: negative minItems %d", minItems)
+	}
+	return c.getMulti(keys, minItems)
+}
+
+// GetMultiBudget fetches as many of the given keys as possible using at
+// most maxTransactions round trips — "fetch as many items as you can
+// within a budget" (§III-F, thesis variant). No second round is issued:
+// the budget is a hard cap, so replica misses simply reduce the result.
+func (c *Client) GetMultiBudget(keys []string, maxTransactions int) (map[string]*Item, Stats, error) {
+	var stats Stats
+	if len(keys) == 0 || maxTransactions <= 0 {
+		return map[string]*Item{}, stats, nil
+	}
+	ids, keyOf, err := c.keyIDs(keys)
+	if err != nil {
+		return nil, stats, err
+	}
+	plan, err := c.planner.BuildBudget(ids, maxTransactions)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make(map[string]*Item, len(keys))
+	for _, txn := range plan.Transactions {
+		stats.Hitchhikers += len(txn.Hitchhikers)
+	}
+	stats.Transactions += len(plan.Transactions)
+	stats.Failed += c.fanout(plan.Transactions, keyOf, out)
+	return out, stats, nil
+}
+
+// fanout executes the planned transactions concurrently, merging found
+// items into out. A failing transaction quarantines its server and
+// counts as failed; its items degrade to the later recovery rounds.
+func (c *Client) fanout(txns []core.Transaction, keyOf map[uint64]string, out map[string]*Item) (failed int) {
+	if len(txns) == 0 {
+		return 0
+	}
+	if len(txns) == 1 {
+		items, err := c.execTxn(&txns[0], keyOf)
+		if err != nil {
+			c.markDown(txns[0].Server)
+			return 1
+		}
+		mergeItems(out, items)
+		return 0
+	}
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for i := range txns {
+		wg.Add(1)
+		go func(txn *core.Transaction) {
+			defer wg.Done()
+			items, err := c.execTxn(txn, keyOf)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				c.markDown(txn.Server)
+				failed++
+				return
+			}
+			mergeItems(out, items)
+		}(&txns[i])
+	}
+	wg.Wait()
+	return failed
+}
+
+// execTxn issues one planned transaction as a single multi-get.
+func (c *Client) execTxn(txn *core.Transaction, keyOf map[uint64]string) (map[string]*Item, error) {
+	reqKeys := make([]string, 0, len(txn.Primary)+len(txn.Hitchhikers))
+	for _, id := range txn.Primary {
+		reqKeys = append(reqKeys, keyOf[id])
+	}
+	for _, id := range txn.Hitchhikers {
+		reqKeys = append(reqKeys, keyOf[id])
+	}
+	items, err := c.conns[txn.Server].GetMulti(reqKeys)
+	if err != nil {
+		return nil, fmt.Errorf("rnb: multi-get on %s: %w", c.conns[txn.Server].Addr(), err)
+	}
+	return items, nil
+}
+
+func mergeItems(dst, src map[string]*Item) {
+	for k, it := range src {
+		if _, have := dst[k]; !have {
+			dst[k] = it
+		}
+	}
+}
+
+// keyIDs maps keys to planner item ids, rejecting duplicates.
+func (c *Client) keyIDs(keys []string) ([]uint64, map[uint64]string, error) {
+	ids := make([]uint64, len(keys))
+	keyOf := make(map[uint64]string, len(keys))
+	for i, k := range keys {
+		id := keyID(k)
+		if _, dup := keyOf[id]; dup {
+			return nil, nil, fmt.Errorf("rnb: duplicate key %q in request", k)
+		}
+		ids[i] = id
+		keyOf[id] = k
+	}
+	return ids, keyOf, nil
+}
+
+func (c *Client) getMulti(keys []string, target int) (map[string]*Item, Stats, error) {
+	var stats Stats
+	if len(keys) == 0 {
+		return map[string]*Item{}, stats, nil
+	}
+	ids, keyOf, err := c.keyIDs(keys)
+	if err != nil {
+		return nil, stats, err
+	}
+	// Plan around servers quarantined by recent network errors.
+	var avoid func(int) bool
+	if c.cfg.cooldown > 0 {
+		avoid = c.isDown
+	}
+	plan, err := c.planner.BuildAvoiding(ids, target, avoid)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Round 1: bundled multi-gets, hitchhikers aboard, dispatched to all
+	// chosen servers in parallel (each server has its own connection).
+	// Transaction failures quarantine the server and degrade to round 2
+	// rather than failing the request.
+	out := make(map[string]*Item, len(keys))
+	for _, txn := range plan.Transactions {
+		stats.Hitchhikers += len(txn.Hitchhikers)
+	}
+	stats.Transactions += len(plan.Transactions)
+	stats.Failed += c.fanout(plan.Transactions, keyOf, out)
+
+	// Round 2: still-missing planned items, bundled by their acting
+	// distinguished server (the true one, unless it is quarantined).
+	var missIDs []uint64
+	var missReplicas [][]int
+	missAssigned := map[uint64]int{}
+	for i, id := range plan.Items {
+		if plan.ItemServer[i] == -1 {
+			continue // dropped by LIMIT or all replicas down: loader below
+		}
+		if _, have := out[keyOf[id]]; !have {
+			acting, ok := core.ActingDistinguished(plan.Replicas[i], avoid)
+			if !ok {
+				continue // no live replica: loader below
+			}
+			missIDs = append(missIDs, id)
+			missReplicas = append(missReplicas, []int{acting})
+			missAssigned[id] = plan.ItemServer[i]
+		}
+	}
+	for _, txn := range core.SecondRound(missIDs, missReplicas) {
+		reqKeys := make([]string, 0, len(txn.Primary))
+		for _, id := range txn.Primary {
+			reqKeys = append(reqKeys, keyOf[id])
+		}
+		stats.Transactions++
+		stats.Round2++
+		items, err := c.conns[txn.Server].GetMulti(reqKeys)
+		if err != nil {
+			// Quarantine and degrade: these items fall to the loader or
+			// come back absent.
+			c.markDown(txn.Server)
+			stats.Failed++
+			continue
+		}
+		for k, it := range items {
+			out[k] = it
+			// Write-back: repopulate the replica the planner assigned.
+			// A "not stored" refusal is overbooking at work, not a
+			// failure.
+			if c.cfg.writeBack {
+				if s, ok := missAssigned[keyID(k)]; ok && s != txn.Server && !c.isDown(s) {
+					if err := c.conns[s].Set(it); err != nil && !errors.Is(err, memcache.ErrNotStored) {
+						c.markDown(s)
+					}
+				}
+			}
+		}
+	}
+
+	// Cache-aside: keys the cache tier could not serve go to the backing
+	// store, then back into the tier. Under a LIMIT plan only the
+	// shortfall below the target is loaded — deliberately dropped items
+	// stay dropped.
+	if c.cfg.loader != nil {
+		full := target <= 0 || target >= len(ids)
+		want := len(ids)
+		if !full {
+			want = target
+		}
+		var dbKeys []string
+		for _, id := range ids {
+			if len(out)+len(dbKeys) >= want && !full {
+				break
+			}
+			if _, have := out[keyOf[id]]; !have {
+				dbKeys = append(dbKeys, keyOf[id])
+			}
+		}
+		if len(dbKeys) > 0 {
+			loaded, err := c.cfg.loader(dbKeys)
+			if err != nil {
+				return nil, stats, fmt.Errorf("rnb: loader: %w", err)
+			}
+			for k, v := range loaded {
+				it := &Item{Key: k, Value: v}
+				// Best effort: the item is served from the store either
+				// way; a failing replica write only quarantines.
+				_ = c.Set(it)
+				out[k] = it
+				stats.Loaded++
+			}
+		}
+	}
+	return out, stats, nil
+}
