@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build vet test race chaos ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector (the resilience layer is
+# concurrency-heavy: fanout, async half-open probes, injector state).
+race:
+	$(GO) test -race ./...
+
+# Fault-injection suite, repeated to shake out timing flakes in the
+# breaker/flap recovery paths.
+chaos:
+	$(GO) test -race -count=5 -run 'TestChaos' .
+
+ci: build vet race chaos

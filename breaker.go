@@ -1,0 +1,166 @@
+package rnb
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a per-server circuit-breaker state, exposed through
+// Client.ServerStates for operators.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the server is healthy and participates in plans.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the server tripped on consecutive failures; plans
+	// route around it until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; the server is still
+	// excluded from plans, but a single probe request is allowed to
+	// decide between re-closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String renders the state the way operators see it in stats output.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is one server's circuit breaker:
+//
+//	closed --threshold consecutive failures--> open
+//	open --cooldown elapses--> half-open
+//	half-open --probe succeeds--> closed
+//	half-open --probe fails--> open (cooldown restarts)
+//
+// A cooldown <= 0 disables tripping entirely (failures are still
+// counted). The zero threshold is treated as 1: the first failure
+// trips, matching the old WithFailureCooldown quarantine behaviour.
+type breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	fails     int // consecutive failures observed while closed
+	threshold int
+	cooldown  time.Duration
+	openedAt  time.Time
+	probing   bool
+
+	// onTransition, when set, is called (with the lock held; keep it
+	// cheap) for every state change — the metrics hook.
+	onTransition func(from, to BreakerState)
+}
+
+func newBreaker(threshold int, cooldown time.Duration, onTransition func(from, to BreakerState)) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, onTransition: onTransition}
+}
+
+// transitionLocked moves to state to, firing the hook.
+func (b *breaker) transitionLocked(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// tickLocked advances open -> half-open once the cooldown has elapsed.
+func (b *breaker) tickLocked() {
+	if b.state == BreakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		b.transitionLocked(BreakerHalfOpen)
+	}
+}
+
+// available reports whether plans may route to this server. Open and
+// half-open servers are both excluded — a half-open server re-enters
+// plans only after its probe succeeds.
+func (b *breaker) available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked()
+	return b.state == BreakerClosed
+}
+
+// onFailure records a failed operation, tripping the breaker at the
+// consecutive-failure threshold (no-op when cooldown <= 0).
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.cooldown <= 0 {
+		return
+	}
+	if b.state == BreakerHalfOpen {
+		// A regular operation (e.g. a write, which does not consult
+		// the breaker) failed while waiting on the probe: re-open.
+		b.openedAt = time.Now()
+		b.transitionLocked(BreakerOpen)
+		return
+	}
+	if b.state == BreakerClosed && b.fails >= b.threshold {
+		b.openedAt = time.Now()
+		b.transitionLocked(BreakerOpen)
+	}
+}
+
+// onSuccess records a successful operation, resetting the failure run
+// (and closing a half-open breaker if a regular request somehow got
+// through ahead of the probe).
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	if b.state == BreakerHalfOpen {
+		b.transitionLocked(BreakerClosed)
+	}
+}
+
+// tryAcquireProbe grants the half-open state's single probe slot.
+func (b *breaker) tryAcquireProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked()
+	if b.state != BreakerHalfOpen || b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// onProbeResult settles the probe: success closes the breaker, failure
+// re-opens it and restarts the cooldown.
+func (b *breaker) onProbeResult(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.fails = 0
+		b.transitionLocked(BreakerClosed)
+		return
+	}
+	b.openedAt = time.Now()
+	b.transitionLocked(BreakerOpen)
+}
+
+// snapshot returns the current state (ticking open -> half-open) and
+// the consecutive-failure count.
+func (b *breaker) snapshot() (BreakerState, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked()
+	return b.state, b.fails
+}

@@ -28,10 +28,15 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:11222", "address to serve legacy clients on")
-		replicas = flag.Int("replicas", 3, "logical replication level")
-		noPin    = flag.Bool("no-pin", false, "backends are stock memcached (no setp pinning)")
-		timeout  = flag.Duration("timeout", 5*time.Second, "backend operation timeout")
+		listen     = flag.String("listen", "127.0.0.1:11222", "address to serve legacy clients on")
+		replicas   = flag.Int("replicas", 3, "logical replication level")
+		noPin      = flag.Bool("no-pin", false, "backends are stock memcached (no setp pinning)")
+		timeout    = flag.Duration("timeout", 5*time.Second, "backend operation timeout")
+		cooldown   = flag.Duration("cooldown", 10*time.Second, "circuit-breaker cooldown before a failed backend is probed (0 disables breakers)")
+		threshold  = flag.Int("breaker-threshold", 1, "consecutive failures before a backend's breaker opens")
+		retries    = flag.Int("retries", 1, "re-plan rounds for keys lost to a failed backend (0 disables)")
+		backoff    = flag.Duration("retry-backoff", 15*time.Millisecond, "base jittered backoff between re-plan rounds")
+		statsEvery = flag.Duration("stats-every", 0, "log backend breaker states at this interval (0 disables)")
 	)
 	flag.Parse()
 	backends := flag.Args()
@@ -43,6 +48,9 @@ func main() {
 	opts := []rnb.Option{
 		rnb.WithReplicas(*replicas),
 		rnb.WithTimeout(*timeout),
+		rnb.WithFailureCooldown(*cooldown),
+		rnb.WithBreakerThreshold(*threshold),
+		rnb.WithRetry(*retries, *backoff),
 	}
 	if *noPin {
 		opts = append(opts, rnb.WithPinnedDistinguished(false))
@@ -55,6 +63,22 @@ func main() {
 	defer client.Close()
 
 	srv := memcache.NewServerBackend(proxy.New(client))
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for range tick.C {
+				line := ""
+				for _, st := range client.ServerStates() {
+					line += fmt.Sprintf(" %s=%s", st.Addr, st.State)
+					if st.ConsecutiveFailures > 0 {
+						line += fmt.Sprintf("(%d)", st.ConsecutiveFailures)
+					}
+				}
+				fmt.Fprintf(os.Stderr, "rnbproxy: backends%s; %s\n", line, client.Resilience())
+			}
+		}()
+	}
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {

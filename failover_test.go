@@ -114,8 +114,9 @@ func TestReadFailoverWithLoaderCoversOrphans(t *testing.T) {
 	}
 }
 
-// TestCooldownExpiresAndServerReturns verifies a quarantined server
-// comes back after the cooldown.
+// TestCooldownExpiresAndServerReturns verifies the breaker lifecycle:
+// a tripped server turns half-open once the cooldown elapses — still
+// routed around — and is re-admitted by a successful probe.
 func TestCooldownExpiresAndServerReturns(t *testing.T) {
 	cl, _ := newTestClient(t, 2, WithReplicas(2),
 		WithFailureCooldown(50*time.Millisecond))
@@ -123,9 +124,31 @@ func TestCooldownExpiresAndServerReturns(t *testing.T) {
 	if !cl.isDown(0) {
 		t.Fatal("server not quarantined")
 	}
+	if st := cl.ServerStates()[0]; st.State != BreakerOpen || st.ConsecutiveFailures != 1 {
+		t.Fatalf("state after failure: %+v", st)
+	}
 	time.Sleep(80 * time.Millisecond)
-	if cl.isDown(0) {
-		t.Fatal("quarantine did not expire")
+	if st := cl.ServerStates()[0]; st.State != BreakerHalfOpen {
+		t.Fatalf("state after cooldown: %+v", st)
+	}
+	if !cl.isDown(0) {
+		t.Fatal("half-open server admitted to plans before its probe")
+	}
+	// The server is actually alive, so the probe re-closes the breaker.
+	cl.probeHalfOpen()
+	deadline := time.Now().Add(2 * time.Second)
+	for cl.isDown(0) {
+		if time.Now().After(deadline) {
+			t.Fatal("probe did not re-admit a live server")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := cl.ServerStates()[0]
+	if st.State != BreakerClosed || st.ConsecutiveFailures != 0 {
+		t.Fatalf("state after successful probe: %+v", st)
+	}
+	if got := cl.Resilience().Snapshot(); got["probe_successes"] != 1 {
+		t.Fatalf("probe not recorded: %v", got)
 	}
 }
 

@@ -1,0 +1,321 @@
+// Package chaos is a deterministic fault-injection harness for network
+// servers: it wraps a net.Listener so that accepted connections
+// misbehave in seeded, scriptable ways — connection refusal, black-hole
+// (accept, then never answer), latency injection, mid-stream resets,
+// truncated responses, and flapping (fail for a while, recover).
+//
+// The point is to make partial failure *testable*: any test that today
+// hard-closes a backend can instead run it behind an Injector and
+// exercise the client's breaker, retry, and re-plan paths against
+// realistic failure modes, reproducibly (same Seed, same accept order
+// => same faults).
+//
+//	inj := chaos.New(chaos.Profile{Seed: 1, PReset: 0.5, ResetAfterWrites: 1})
+//	go srv.Serve(inj.Wrap(ln))
+//
+// An Injector also doubles as a kill switch: Kill() refuses all new
+// connections and hard-resets the established ones (a crashed server),
+// Revive() restores normal service on the same address — no listener
+// rebinding needed, which keeps kill/revive tests free of port races.
+package chaos
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ConnPlan is the fault script for a single accepted connection.
+type ConnPlan struct {
+	// Refuse closes the connection immediately on accept (the client
+	// sees a reset on first use — a crashed or firewalled server).
+	Refuse bool
+	// Blackhole accepts the connection but never delivers any of the
+	// client's bytes to the server, so no response ever comes back and
+	// the client runs into its I/O deadline.
+	Blackhole bool
+	// Delay is added before each delivery of client bytes to the
+	// server (per-read latency injection).
+	Delay time.Duration
+	// ResetAfterWrites hard-closes the connection after this many
+	// server->client writes (responses) have been delivered; 0 means
+	// never. With a buffered server, one write is one response flush,
+	// so ResetAfterWrites: N serves N operations and then dies
+	// mid-stream — the building block for op-level flapping, since a
+	// reconnecting client gets a fresh connection (and a fresh plan).
+	ResetAfterWrites int
+	// TruncateWrites delivers only the first half of each server write
+	// past the ResetAfterWrites budget instead of cleanly resetting —
+	// the client sees a corrupt, cut-short response. Only meaningful
+	// with ResetAfterWrites > 0.
+	TruncateWrites bool
+}
+
+// Profile generates per-connection fault plans deterministically from
+// Seed. Probabilities are evaluated in a fixed order on each accept, so
+// a given seed and accept sequence always yields the same faults.
+type Profile struct {
+	// Seed for the internal PRNG. Two injectors with equal profiles
+	// make identical decisions in accept order.
+	Seed int64
+
+	// PRefuse, PBlackhole, PReset, PTruncate are the per-connection
+	// probabilities of the corresponding fault (evaluated in that
+	// order; the first hit wins, except truncation which modifies
+	// reset).
+	PRefuse    float64
+	PBlackhole float64
+	PReset     float64
+	PTruncate  float64
+
+	// ResetAfterWrites is the write budget used when PReset or
+	// PTruncate hits (default 1: die after the first response).
+	ResetAfterWrites int
+
+	// MaxDelay injects a uniform 0..MaxDelay latency before each
+	// delivery of client bytes on every connection.
+	MaxDelay time.Duration
+
+	// FlapDown/FlapUp refuse the first FlapDown of every
+	// FlapDown+FlapUp consecutive connection attempts — a server that
+	// is down for a while, then back, repeatedly. 0 disables.
+	FlapDown, FlapUp int
+
+	// Script, when non-empty, overrides the probabilistic fields: the
+	// i-th accepted connection uses Script[i % len(Script)].
+	Script []ConnPlan
+}
+
+// Stats counts injected faults (all fields are totals since New).
+type Stats struct {
+	Accepted   uint64 // connections handed to the server
+	Refused    uint64 // connections reset on accept
+	Blackholed uint64 // connections accepted into a black hole
+	Resets     uint64 // mid-stream resets after the write budget
+	Truncated  uint64 // truncated server writes
+	Delayed    uint64 // reads that had latency injected
+}
+
+// Injector wraps listeners with a fault profile.
+type Injector struct {
+	mu     sync.Mutex
+	prof   Profile
+	rng    *rand.Rand
+	nconns uint64
+	active map[*faultConn]struct{}
+
+	enabled atomic.Bool
+	killed  atomic.Bool
+
+	accepted, refused, blackholed atomic.Uint64
+	resets, truncated, delayed    atomic.Uint64
+}
+
+// New builds an enabled injector for the profile.
+func New(p Profile) *Injector {
+	in := &Injector{
+		prof:   p,
+		rng:    rand.New(rand.NewSource(p.Seed)),
+		active: make(map[*faultConn]struct{}),
+	}
+	in.enabled.Store(true)
+	return in
+}
+
+// SetEnabled turns fault injection on or off at runtime. While
+// disabled, connections pass through untouched (established faulty
+// connections keep their plan).
+func (in *Injector) SetEnabled(on bool) { in.enabled.Store(on) }
+
+// Kill simulates a server crash: every new connection is refused and
+// every currently active connection is hard-reset.
+func (in *Injector) Kill() {
+	in.killed.Store(true)
+	in.mu.Lock()
+	conns := make([]*faultConn, 0, len(in.active))
+	for c := range in.active {
+		conns = append(conns, c)
+	}
+	in.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Revive undoes Kill: new connections are served again (subject to the
+// profile, if injection is enabled).
+func (in *Injector) Revive() { in.killed.Store(false) }
+
+// Stats returns the fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Accepted:   in.accepted.Load(),
+		Refused:    in.refused.Load(),
+		Blackholed: in.blackholed.Load(),
+		Resets:     in.resets.Load(),
+		Truncated:  in.truncated.Load(),
+		Delayed:    in.delayed.Load(),
+	}
+}
+
+// planFor draws the fault plan for the next accepted connection.
+func (in *Injector) planFor() ConnPlan {
+	if in.killed.Load() {
+		return ConnPlan{Refuse: true}
+	}
+	if !in.enabled.Load() {
+		return ConnPlan{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := in.nconns
+	in.nconns++
+	if len(in.prof.Script) > 0 {
+		return in.prof.Script[int(n)%len(in.prof.Script)]
+	}
+	var plan ConnPlan
+	if in.prof.FlapDown > 0 {
+		cycle := in.prof.FlapDown + in.prof.FlapUp
+		if cycle <= 0 {
+			cycle = in.prof.FlapDown
+		}
+		if int(n)%cycle < in.prof.FlapDown {
+			plan.Refuse = true
+			return plan
+		}
+	}
+	// Draw in fixed order so decisions are reproducible per seed.
+	rRefuse := in.rng.Float64()
+	rBlack := in.rng.Float64()
+	rReset := in.rng.Float64()
+	rTrunc := in.rng.Float64()
+	budget := in.prof.ResetAfterWrites
+	if budget <= 0 {
+		budget = 1
+	}
+	switch {
+	case rRefuse < in.prof.PRefuse:
+		plan.Refuse = true
+	case rBlack < in.prof.PBlackhole:
+		plan.Blackhole = true
+	case rReset < in.prof.PReset:
+		plan.ResetAfterWrites = budget
+	case rTrunc < in.prof.PTruncate:
+		plan.ResetAfterWrites = budget
+		plan.TruncateWrites = true
+	}
+	if in.prof.MaxDelay > 0 {
+		plan.Delay = time.Duration(in.rng.Int63n(int64(in.prof.MaxDelay) + 1))
+	}
+	return plan
+}
+
+// Wrap returns a listener that applies the injector's faults to every
+// accepted connection. Several listeners may share one injector (one
+// decision stream).
+func (in *Injector) Wrap(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, in: in}
+}
+
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		plan := l.in.planFor()
+		if plan.Refuse {
+			l.in.refused.Add(1)
+			abortConn(conn)
+			continue
+		}
+		l.in.accepted.Add(1)
+		if plan.Blackhole {
+			l.in.blackholed.Add(1)
+		}
+		fc := &faultConn{Conn: conn, in: l.in, plan: plan, closed: make(chan struct{})}
+		l.in.mu.Lock()
+		l.in.active[fc] = struct{}{}
+		l.in.mu.Unlock()
+		return fc, nil
+	}
+}
+
+// abortConn closes a connection with an RST rather than a graceful FIN
+// so the peer sees the abrupt failure a crashed server would produce.
+func abortConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// faultConn applies a ConnPlan to one server-side connection.
+type faultConn struct {
+	net.Conn
+	in   *Injector
+	plan ConnPlan
+
+	writes    int
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if c.plan.Blackhole {
+		// Swallow the client's request: block until the connection is
+		// torn down, so the server never answers and the client times
+		// out against its own deadline.
+		<-c.closed
+		return 0, net.ErrClosed
+	}
+	if c.plan.Delay > 0 {
+		c.in.delayed.Add(1)
+		select {
+		case <-time.After(c.plan.Delay):
+		case <-c.closed:
+			return 0, net.ErrClosed
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.plan.Blackhole {
+		// Nothing the server writes ever reaches the client.
+		return len(p), nil
+	}
+	if n := c.plan.ResetAfterWrites; n > 0 && c.writes >= n {
+		if c.plan.TruncateWrites && len(p) > 1 {
+			c.in.truncated.Add(1)
+			c.Conn.Write(p[:len(p)/2])
+		} else {
+			c.in.resets.Add(1)
+		}
+		c.Close()
+		return 0, net.ErrClosed
+	}
+	n, err := c.Conn.Write(p)
+	if err == nil {
+		c.writes++
+	}
+	return n, err
+}
+
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.in.mu.Lock()
+		delete(c.in.active, c)
+		c.in.mu.Unlock()
+		abortConn(c.Conn)
+	})
+	return nil
+}

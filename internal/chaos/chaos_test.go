@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer serves a line-oriented echo protocol ("x\n" -> "echo:x\n")
+// behind the injector, and returns the dial address.
+func echoServer(t *testing.T, in *Injector) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := in.Wrap(ln)
+	go func() {
+		for {
+			conn, err := wrapped.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					if _, err := fmt.Fprintf(conn, "echo:%s\n", sc.Text()); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+// echoOnce dials, sends one line, and returns the response line.
+func echoOnce(addr, msg string, timeout time.Duration) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "%s\n", msg); err != nil {
+		return "", err
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSuffix(line, "\n"), nil
+}
+
+func TestPassThroughWhenDisabled(t *testing.T) {
+	in := New(Profile{Seed: 1, PRefuse: 1})
+	in.SetEnabled(false)
+	addr := echoServer(t, in)
+	got, err := echoOnce(addr, "hi", time.Second)
+	if err != nil || got != "echo:hi" {
+		t.Fatalf("disabled injector interfered: %q %v", got, err)
+	}
+}
+
+func TestDeterministicDecisions(t *testing.T) {
+	prof := Profile{Seed: 42, PRefuse: 0.3, PBlackhole: 0.3, PReset: 0.3, MaxDelay: 5 * time.Millisecond}
+	a, b := New(prof), New(prof)
+	for i := 0; i < 200; i++ {
+		pa, pb := a.planFor(), b.planFor()
+		if pa != pb {
+			t.Fatalf("conn %d: plans diverge: %+v vs %+v", i, pa, pb)
+		}
+	}
+}
+
+func TestRefuseAll(t *testing.T) {
+	in := New(Profile{Seed: 1, PRefuse: 1})
+	addr := echoServer(t, in)
+	if got, err := echoOnce(addr, "hi", 500*time.Millisecond); err == nil {
+		t.Fatalf("refused connection answered %q", got)
+	}
+	if in.Stats().Refused == 0 {
+		t.Fatal("refusals not counted")
+	}
+}
+
+func TestBlackholeTimesOut(t *testing.T) {
+	in := New(Profile{Seed: 1, PBlackhole: 1})
+	addr := echoServer(t, in)
+	start := time.Now()
+	if got, err := echoOnce(addr, "hi", 200*time.Millisecond); err == nil {
+		t.Fatalf("black-holed connection answered %q", got)
+	}
+	if time.Since(start) < 150*time.Millisecond {
+		t.Fatal("black hole failed fast; want a deadline-style hang")
+	}
+	if in.Stats().Blackholed == 0 {
+		t.Fatal("black holes not counted")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	in := New(Profile{Seed: 1, MaxDelay: 20 * time.Millisecond})
+	addr := echoServer(t, in)
+	got, err := echoOnce(addr, "hi", 2*time.Second)
+	if err != nil || got != "echo:hi" {
+		t.Fatalf("delayed echo: %q %v", got, err)
+	}
+	if in.Stats().Delayed == 0 {
+		t.Fatal("delays not counted")
+	}
+}
+
+func TestResetAfterWrites(t *testing.T) {
+	in := New(Profile{Seed: 1, PReset: 1, ResetAfterWrites: 1})
+	addr := echoServer(t, in)
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(time.Second))
+	r := bufio.NewReader(conn)
+	// First op is served.
+	fmt.Fprintf(conn, "one\n")
+	if line, err := r.ReadString('\n'); err != nil || line != "echo:one\n" {
+		t.Fatalf("first op: %q %v", line, err)
+	}
+	// Second op dies mid-stream.
+	fmt.Fprintf(conn, "two\n")
+	if line, err := r.ReadString('\n'); err == nil {
+		t.Fatalf("second op survived the reset: %q", line)
+	}
+	if in.Stats().Resets == 0 {
+		t.Fatal("resets not counted")
+	}
+}
+
+func TestTruncatedWrites(t *testing.T) {
+	in := New(Profile{Seed: 1, Script: []ConnPlan{{ResetAfterWrites: 1, TruncateWrites: true}}})
+	addr := echoServer(t, in)
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(time.Second))
+	r := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "one\n")
+	if line, err := r.ReadString('\n'); err != nil || line != "echo:one\n" {
+		t.Fatalf("first op: %q %v", line, err)
+	}
+	fmt.Fprintf(conn, "a-longer-line\n")
+	line, err := r.ReadString('\n')
+	if err == nil {
+		t.Fatalf("truncated response arrived whole: %q", line)
+	}
+	if line == "" {
+		t.Fatal("response fully suppressed; want a truncated prefix")
+	}
+	if in.Stats().Truncated == 0 {
+		t.Fatal("truncations not counted")
+	}
+}
+
+func TestFlapSchedule(t *testing.T) {
+	in := New(Profile{Seed: 1, FlapDown: 2, FlapUp: 1})
+	for i := 0; i < 9; i++ {
+		plan := in.planFor()
+		wantDown := i%3 < 2
+		if plan.Refuse != wantDown {
+			t.Fatalf("conn %d: refuse=%v, want %v", i, plan.Refuse, wantDown)
+		}
+	}
+}
+
+func TestFlappingServesWhenUp(t *testing.T) {
+	// Down 1, up 2: attempt 0 refused, 1 and 2 served, 3 refused, ...
+	in := New(Profile{Seed: 1, FlapDown: 1, FlapUp: 2})
+	addr := echoServer(t, in)
+	var served, refused int
+	for i := 0; i < 9; i++ {
+		if _, err := echoOnce(addr, "hi", 500*time.Millisecond); err != nil {
+			refused++
+		} else {
+			served++
+		}
+	}
+	if served != 6 || refused != 3 {
+		t.Fatalf("served=%d refused=%d, want 6/3", served, refused)
+	}
+}
+
+func TestKillRevive(t *testing.T) {
+	in := New(Profile{Seed: 1})
+	addr := echoServer(t, in)
+
+	// Healthy, with a live connection.
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(time.Second))
+	r := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "pre\n")
+	if line, _ := r.ReadString('\n'); line != "echo:pre\n" {
+		t.Fatalf("healthy echo: %q", line)
+	}
+
+	// Kill: the live connection dies, new ones are refused.
+	in.Kill()
+	fmt.Fprintf(conn, "post\n")
+	if line, err := r.ReadString('\n'); err == nil {
+		t.Fatalf("killed server answered on live conn: %q", line)
+	}
+	if _, err := echoOnce(addr, "hi", 500*time.Millisecond); err == nil {
+		t.Fatal("killed server accepted a new connection")
+	}
+
+	// Revive: back to normal on the same address.
+	in.Revive()
+	got, err := echoOnce(addr, "hi", time.Second)
+	if err != nil || got != "echo:hi" {
+		t.Fatalf("revived server: %q %v", got, err)
+	}
+}

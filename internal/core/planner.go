@@ -130,6 +130,24 @@ func (p *Planner) BuildAvoiding(items []uint64, target int, avoid func(server in
 	return p.buildFiltered(items, target, 0, avoid)
 }
 
+// BuildExcluding is BuildAvoiding with an additional explicit
+// exclusion set: servers in exclude are never candidates, on top of
+// whatever avoid rejects. This is the mid-request re-plan entry point —
+// when a round-1 transaction fails, the still-missing items are
+// re-covered over the surviving servers, and the server that just
+// failed must be excluded *immediately*, even if the shared failure
+// view (circuit breaker) has not opened yet (e.g. its trip threshold
+// is above one).
+func (p *Planner) BuildExcluding(items []uint64, target int, exclude map[int]bool, avoid func(server int) bool) (*Plan, error) {
+	combined := avoid
+	if len(exclude) > 0 {
+		combined = func(s int) bool {
+			return exclude[s] || (avoid != nil && avoid(s))
+		}
+	}
+	return p.buildFiltered(items, target, 0, combined)
+}
+
 // BuildBudget plans a fetch that maximizes item coverage within at most
 // maxTransactions round-1 transactions — the "fetch as many items as
 // possible within a budget" request form (§III-F, thesis variant).

@@ -24,6 +24,11 @@ type Client struct {
 	r    *bufio.Reader
 	w    *bufio.Writer
 
+	// Reconnect policy: redialAttempts extra dial attempts with
+	// exponential backoff starting at redialBackoff (see SetRedial).
+	redialAttempts int
+	redialBackoff  time.Duration
+
 	// Transactions counts protocol round-trips issued — the quantity
 	// RnB minimizes.
 	transactions uint64
@@ -39,15 +44,38 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	return c, nil
 }
 
+// SetRedial configures reconnect-with-backoff: when (re)establishing
+// the connection fails, up to attempts additional dials are made with
+// exponential backoff starting at backoff (default 10ms when <= 0).
+// The default of 0 attempts keeps failures fast, which is what a
+// circuit-breaking caller wants; daemons that prefer riding out brief
+// listener restarts can opt in.
+func (c *Client) SetRedial(attempts int, backoff time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.redialAttempts = attempts
+	c.redialBackoff = backoff
+}
+
 func (c *Client) connect() error {
-	conn, err := net.Dial("tcp", c.addr)
-	if err != nil {
-		return err
+	backoff := c.redialBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
 	}
-	c.conn = conn
-	c.r = bufio.NewReaderSize(conn, 64<<10)
-	c.w = bufio.NewWriterSize(conn, 64<<10)
-	return nil
+	for attempt := 0; ; attempt++ {
+		conn, err := net.Dial("tcp", c.addr)
+		if err == nil {
+			c.conn = conn
+			c.r = bufio.NewReaderSize(conn, 64<<10)
+			c.w = bufio.NewWriterSize(conn, 64<<10)
+			return nil
+		}
+		if attempt >= c.redialAttempts {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 }
 
 // Close tears down the connection.
@@ -72,29 +100,79 @@ func (c *Client) Transactions() uint64 {
 	return c.transactions
 }
 
-func (c *Client) deadline() {
-	if c.timeout > 0 && c.conn != nil {
+// armDeadline (re)arms the per-round-trip I/O deadline. It runs at the
+// start of EVERY round trip — arming when a timeout is configured,
+// clearing otherwise — so a pooled connection can never carry a stale
+// deadline from an earlier operation into a later one.
+func (c *Client) armDeadline() {
+	if c.conn == nil {
+		return
+	}
+	if c.timeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+}
+
+// clearDeadline removes the deadline after a completed round trip, so
+// a long-idle pooled connection is not sitting armed.
+func (c *Client) clearDeadline() {
+	if c.conn != nil {
+		c.conn.SetDeadline(time.Time{})
 	}
 }
 
 // roundTrip runs fn under the connection lock, counting a transaction.
 func (c *Client) roundTrip(fn func() error) error {
+	return c.do(fn, false)
+}
+
+// roundTripIdempotent is roundTrip with one transparent retry: if the
+// operation fails on a *reused* pooled connection (stale after a
+// server restart or an idle reset), the client reconnects and replays
+// it once. Only read-only operations go through here — replaying a
+// mutation could apply it twice.
+func (c *Client) roundTripIdempotent(fn func() error) error {
+	return c.do(fn, true)
+}
+
+func (c *Client) do(fn func() error, idempotent bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	fresh := false
 	if c.conn == nil {
 		if err := c.connect(); err != nil {
 			return err
 		}
+		fresh = true
 	}
-	c.deadline()
+	c.armDeadline()
 	c.transactions++
-	if err := fn(); err != nil {
-		// Connection state is unknown after an I/O error; drop it.
-		c.conn.Close()
-		c.conn = nil
+	err := fn()
+	if err == nil {
+		c.clearDeadline()
+		return nil
+	}
+	// Connection state is unknown after an I/O error; drop it.
+	c.conn.Close()
+	c.conn = nil
+	if !idempotent || fresh {
 		return err
 	}
+	// The pooled connection went stale between round trips; a fresh
+	// connection gets one replay.
+	if cerr := c.connect(); cerr != nil {
+		return err
+	}
+	c.armDeadline()
+	c.transactions++
+	if err2 := fn(); err2 != nil {
+		c.conn.Close()
+		c.conn = nil
+		return err2
+	}
+	c.clearDeadline()
 	return nil
 }
 
@@ -133,7 +211,7 @@ func (c *Client) getMulti(verb string, keys []string) (map[string]*Item, error) 
 		}
 	}
 	out := make(map[string]*Item, len(keys))
-	err := c.roundTrip(func() error {
+	err := c.roundTripIdempotent(func() error {
 		var sb strings.Builder
 		sb.WriteString(verb)
 		for _, k := range keys {
@@ -443,7 +521,7 @@ func (c *Client) FlushAll() error {
 // Version returns the server version banner.
 func (c *Client) Version() (string, error) {
 	var banner string
-	err := c.roundTrip(func() error {
+	err := c.roundTripIdempotent(func() error {
 		if _, err := c.w.WriteString("version\r\n"); err != nil {
 			return err
 		}
@@ -463,7 +541,7 @@ func (c *Client) Version() (string, error) {
 // Stats fetches the server's stats map.
 func (c *Client) Stats() (map[string]string, error) {
 	out := map[string]string{}
-	err := c.roundTrip(func() error {
+	err := c.roundTripIdempotent(func() error {
 		if _, err := c.w.WriteString("stats\r\n"); err != nil {
 			return err
 		}

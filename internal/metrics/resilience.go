@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Resilience tracks the client's failure-handling machinery with
+// atomic counters: circuit-breaker state transitions, half-open probe
+// outcomes, and read retries/re-plans. All methods are safe for
+// concurrent use; the zero value is ready.
+type Resilience struct {
+	// Breaker state transitions.
+	BreakerOpened   atomic.Uint64 // closed/half-open -> open
+	BreakerHalfOpen atomic.Uint64 // open -> half-open (cooldown elapsed)
+	BreakerClosed   atomic.Uint64 // half-open -> closed (probe succeeded)
+
+	// Half-open probe outcomes.
+	Probes         atomic.Uint64
+	ProbeSuccesses atomic.Uint64
+	ProbeFailures  atomic.Uint64
+
+	// Read-path retries.
+	Replans           atomic.Uint64 // mid-request re-plan rounds
+	RetryTransactions atomic.Uint64 // transactions issued by re-plans
+}
+
+// Snapshot returns the counters as a name -> value map (stable names,
+// suitable for stats outputs).
+func (r *Resilience) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"breaker_opened":     r.BreakerOpened.Load(),
+		"breaker_half_open":  r.BreakerHalfOpen.Load(),
+		"breaker_closed":     r.BreakerClosed.Load(),
+		"probes":             r.Probes.Load(),
+		"probe_successes":    r.ProbeSuccesses.Load(),
+		"probe_failures":     r.ProbeFailures.Load(),
+		"replans":            r.Replans.Load(),
+		"retry_transactions": r.RetryTransactions.Load(),
+	}
+}
+
+// String renders the non-zero counters compactly, in stable order.
+func (r *Resilience) String() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		if snap[name] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, snap[name]))
+		}
+	}
+	if len(parts) == 0 {
+		return "resilience[quiet]"
+	}
+	return "resilience[" + strings.Join(parts, " ") + "]"
+}

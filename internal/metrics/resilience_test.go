@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestResilienceSnapshot(t *testing.T) {
+	var r Resilience
+	if got := r.String(); got != "resilience[quiet]" {
+		t.Fatalf("zero value: %q", got)
+	}
+	r.BreakerOpened.Add(2)
+	r.Probes.Add(1)
+	r.ProbeSuccesses.Add(1)
+	snap := r.Snapshot()
+	if snap["breaker_opened"] != 2 || snap["probes"] != 1 || snap["probe_successes"] != 1 {
+		t.Fatalf("snapshot: %v", snap)
+	}
+	if snap["breaker_closed"] != 0 {
+		t.Fatalf("untouched counter non-zero: %v", snap)
+	}
+	s := r.String()
+	if !strings.Contains(s, "breaker_opened=2") || strings.Contains(s, "breaker_closed") {
+		t.Fatalf("string: %q", s)
+	}
+}
+
+func TestResilienceConcurrent(t *testing.T) {
+	var r Resilience
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Replans.Add(1)
+				r.RetryTransactions.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Snapshot()["replans"]; got != 8000 {
+		t.Fatalf("replans = %d, want 8000", got)
+	}
+	if got := r.Snapshot()["retry_transactions"]; got != 16000 {
+		t.Fatalf("retry_transactions = %d, want 16000", got)
+	}
+}

@@ -146,6 +146,16 @@ func (p *Proxy) BackendStats() map[string]string {
 	if reqs > 0 {
 		out["proxy_tpr_milli"] = fmt.Sprintf("%d", txns*1000/reqs)
 	}
+	// Per-backend breaker health, so "stats" against the proxy shows
+	// which servers are quarantined and why.
+	for i, st := range p.client.ServerStates() {
+		out[fmt.Sprintf("proxy_server_%d_addr", i)] = st.Addr
+		out[fmt.Sprintf("proxy_server_%d_state", i)] = st.State.String()
+		out[fmt.Sprintf("proxy_server_%d_failures", i)] = fmt.Sprintf("%d", st.ConsecutiveFailures)
+	}
+	for k, v := range p.client.Resilience().Snapshot() {
+		out["proxy_"+k] = fmt.Sprintf("%d", v)
+	}
 	return out
 }
 

@@ -30,6 +30,7 @@ package rnb
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"rnb/internal/core"
 	"rnb/internal/hashring"
 	"rnb/internal/memcache"
+	"rnb/internal/metrics"
 	"rnb/internal/xhash"
 )
 
@@ -63,6 +65,9 @@ type clientConfig struct {
 	pinDistinguished bool
 	loader           Loader
 	cooldown         time.Duration
+	breakerThreshold int
+	retryAttempts    int
+	retryBackoff     time.Duration
 }
 
 // WithReplicas sets the logical replication level (default 2).
@@ -105,14 +110,41 @@ func WithWriteBack(on bool) Option {
 	return func(c *clientConfig) { c.writeBack = on }
 }
 
-// WithFailureCooldown sets how long a server stays quarantined after a
-// network error before reads are routed to it again (default 2s;
-// <= 0 disables failure tracking entirely). While quarantined, reads
-// plan around the server — surviving replicas and acting distinguished
-// copies serve in its stead (§III-C's replica flexibility doubling as
-// failover).
+// WithFailureCooldown sets the circuit-breaker cooldown: how long a
+// tripped (open) server stays fully quarantined before it becomes
+// half-open and a single probe request decides whether to re-admit it
+// (default 2s; <= 0 disables breakers entirely). While open or
+// half-open, reads plan around the server — surviving replicas and
+// acting distinguished copies serve in its stead (§III-C's replica
+// flexibility doubling as failover).
 func WithFailureCooldown(d time.Duration) Option {
 	return func(c *clientConfig) { c.cooldown = d }
+}
+
+// WithBreakerThreshold sets how many consecutive failures trip a
+// server's circuit breaker from closed to open (default 1: the first
+// network error quarantines, matching the original cooldown
+// behaviour). Higher thresholds tolerate isolated blips at the cost of
+// extra failed transactions before the tier routes around a dead
+// server.
+func WithBreakerThreshold(n int) Option {
+	return func(c *clientConfig) { c.breakerThreshold = n }
+}
+
+// WithRetry bounds the read path's mid-request recovery: after a
+// round-1 transaction fails, up to attempts re-plan rounds re-cover
+// the still-missing keys over the surviving servers (the failed
+// servers are excluded immediately, ahead of the breaker view).
+// Consecutive rounds are separated by jittered exponential backoff
+// starting at backoff. attempts 0 disables re-planning — failures punt
+// straight to each key's distinguished copy, as the paper's base
+// §III-D scheme does. Only idempotent reads retry; writes never do.
+// Default: 1 attempt, 15ms backoff.
+func WithRetry(attempts int, backoff time.Duration) Option {
+	return func(c *clientConfig) {
+		c.retryAttempts = attempts
+		c.retryBackoff = backoff
+	}
 }
 
 // WithLoader installs a cache-aside backing store: keys that miss on
@@ -133,39 +165,91 @@ type Client struct {
 	planner   *core.Planner
 	conns     []*memcache.Client
 	cfg       clientConfig
-	// downUntil[s] holds the unix-nano deadline of server s's failure
-	// quarantine (0 = healthy).
-	downUntil []atomicInt64
-	failures  atomicUint64
+	// breakers[s] is server s's circuit breaker (closed -> open on
+	// consecutive failures -> half-open after the cooldown -> closed
+	// on a successful probe).
+	breakers   []*breaker
+	failures   atomicUint64
+	resilience metrics.Resilience
+	shut       atomic.Bool
 }
 
-// Minimal atomic wrappers (keep the struct copyable-by-pointer only).
-type atomicInt64 struct{ v int64 }
-
-func (a *atomicInt64) load() int64   { return atomic.LoadInt64(&a.v) }
-func (a *atomicInt64) store(v int64) { atomic.StoreInt64(&a.v, v) }
-
+// Minimal atomic wrapper (keep the struct copyable-by-pointer only).
 type atomicUint64 struct{ v uint64 }
 
 func (a *atomicUint64) add(d uint64) { atomic.AddUint64(&a.v, d) }
 func (a *atomicUint64) load() uint64 { return atomic.LoadUint64(&a.v) }
 
-// markDown quarantines a server after a network error.
+// markDown records a network error against server s's breaker.
 func (c *Client) markDown(s int) {
 	c.failures.add(1)
-	if c.cfg.cooldown > 0 {
-		c.downUntil[s].store(time.Now().Add(c.cfg.cooldown).UnixNano())
-	}
+	c.breakers[s].onFailure()
 }
 
-// isDown reports whether reads should route around server s.
+// markUp records a successful operation, resetting s's failure run.
+func (c *Client) markUp(s int) { c.breakers[s].onSuccess() }
+
+// isDown reports whether reads should route around server s (breaker
+// open or half-open).
 func (c *Client) isDown(s int) bool {
-	dl := c.downUntil[s].load()
-	return dl != 0 && time.Now().UnixNano() < dl
+	return !c.breakers[s].available()
 }
 
 // Failures returns the number of server network errors observed.
 func (c *Client) Failures() uint64 { return c.failures.load() }
+
+// Resilience exposes the client's failure-handling counters: breaker
+// transitions, probe outcomes, and read re-plans.
+func (c *Client) Resilience() *metrics.Resilience { return &c.resilience }
+
+// ServerState describes one backend's health as seen by the client's
+// circuit breaker — the operator-facing view behind ServerStates.
+type ServerState struct {
+	// Addr is the server's address.
+	Addr string
+	// State is the breaker state (closed / open / half-open).
+	State BreakerState
+	// ConsecutiveFailures is the current run of unbroken failures.
+	ConsecutiveFailures int
+}
+
+// ServerStates reports every backend's breaker state and consecutive
+// failure count, in server index order. Intended for stats endpoints
+// and operator debugging; safe to call concurrently with requests.
+func (c *Client) ServerStates() []ServerState {
+	out := make([]ServerState, len(c.conns))
+	for s, conn := range c.conns {
+		state, fails := c.breakers[s].snapshot()
+		out[s] = ServerState{Addr: conn.Addr(), State: state, ConsecutiveFailures: fails}
+	}
+	return out
+}
+
+// probeHalfOpen launches the single allowed probe against every
+// half-open server: a cheap version round-trip on the server's own
+// connection, asynchronously so requests never wait on a probe. A
+// successful probe closes the breaker and the server re-enters plans;
+// a failed one re-opens it and restarts the cooldown.
+func (c *Client) probeHalfOpen() {
+	if c.shut.Load() {
+		return
+	}
+	for s := range c.breakers {
+		if !c.breakers[s].tryAcquireProbe() {
+			continue
+		}
+		c.resilience.Probes.Add(1)
+		go func(s int) {
+			_, err := c.conns[s].Version()
+			if err == nil {
+				c.resilience.ProbeSuccesses.Add(1)
+			} else {
+				c.resilience.ProbeFailures.Add(1)
+			}
+			c.breakers[s].onProbeResult(err == nil)
+		}(s)
+	}
+}
 
 // NewClient connects to the given memcached servers. At least one
 // address is required; the replication level is clamped to the server
@@ -182,6 +266,9 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 		writeBack:        true,
 		pinDistinguished: true,
 		cooldown:         2 * time.Second,
+		breakerThreshold: 1,
+		retryAttempts:    1,
+		retryBackoff:     15 * time.Millisecond,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -211,14 +298,28 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 		Hitchhike:            cfg.hitchhike,
 		DistinguishedSingles: true,
 	})
-	return &Client{
+	c := &Client{
 		ring:      ring,
 		placement: placement,
 		planner:   planner,
 		conns:     conns,
 		cfg:       cfg,
-		downUntil: make([]atomicInt64, len(conns)),
-	}, nil
+	}
+	onTransition := func(from, to BreakerState) {
+		switch to {
+		case BreakerOpen:
+			c.resilience.BreakerOpened.Add(1)
+		case BreakerHalfOpen:
+			c.resilience.BreakerHalfOpen.Add(1)
+		case BreakerClosed:
+			c.resilience.BreakerClosed.Add(1)
+		}
+	}
+	c.breakers = make([]*breaker, len(conns))
+	for s := range c.breakers {
+		c.breakers[s] = newBreaker(cfg.breakerThreshold, cfg.cooldown, onTransition)
+	}
+	return c, nil
 }
 
 func closeAll(conns []*memcache.Client) {
@@ -229,6 +330,7 @@ func closeAll(conns []*memcache.Client) {
 
 // Close tears down every server connection.
 func (c *Client) Close() error {
+	c.shut.Store(true)
 	var first error
 	for _, conn := range c.conns {
 		if err := conn.Close(); err != nil && first == nil {
@@ -458,10 +560,26 @@ func (c *Client) UpdateCAS(it *Item) error {
 }
 
 // Get fetches a single key from its distinguished server (single-item
-// requests always use the distinguished copy, §III-C-1).
+// requests always use the distinguished copy, §III-C-1). When the
+// distinguished server's breaker is open, the first live replica acts
+// in its stead.
 func (c *Client) Get(key string) (*Item, error) {
-	s := c.replicaServers(key)[0]
-	return c.conns[s].Get(key)
+	c.probeHalfOpen()
+	replicas := c.replicaServers(key)
+	s := replicas[0]
+	if c.cfg.cooldown > 0 {
+		if acting, ok := core.ActingDistinguished(replicas, c.isDown); ok {
+			s = acting
+		}
+	}
+	it, err := c.conns[s].Get(key)
+	switch {
+	case err == nil:
+		c.markUp(s)
+	case !errors.Is(err, ErrCacheMiss):
+		c.markDown(s)
+	}
+	return it, err
 }
 
 // Stats reports what a GetMulti cost.
@@ -480,6 +598,13 @@ type Stats struct {
 	// servers were quarantined and the items recovered through other
 	// replicas, the loader, or reported absent.
 	Failed int
+	// Replans counts mid-request re-plan rounds: after round-1
+	// failures, still-missing keys were re-covered over the surviving
+	// servers (see WithRetry).
+	Replans int
+	// Retries is the number of transactions those re-plan rounds
+	// issued (also included in Transactions).
+	Retries int
 }
 
 // GetMulti fetches the given keys with bundled multi-gets. It returns
@@ -524,25 +649,28 @@ func (c *Client) GetMultiBudget(keys []string, maxTransactions int) (map[string]
 		stats.Hitchhikers += len(txn.Hitchhikers)
 	}
 	stats.Transactions += len(plan.Transactions)
-	stats.Failed += c.fanout(plan.Transactions, keyOf, out)
+	stats.Failed += len(c.fanout(plan.Transactions, keyOf, out))
 	return out, stats, nil
 }
 
 // fanout executes the planned transactions concurrently, merging found
-// items into out. A failing transaction quarantines its server and
-// counts as failed; its items degrade to the later recovery rounds.
-func (c *Client) fanout(txns []core.Transaction, keyOf map[uint64]string, out map[string]*Item) (failed int) {
+// items into out. A failing transaction quarantines its server; the
+// returned slice holds the failed transactions' servers (one entry per
+// failed transaction), which the caller feeds into the re-plan
+// exclusion set.
+func (c *Client) fanout(txns []core.Transaction, keyOf map[uint64]string, out map[string]*Item) (failed []int) {
 	if len(txns) == 0 {
-		return 0
+		return nil
 	}
 	if len(txns) == 1 {
 		items, err := c.execTxn(&txns[0], keyOf)
 		if err != nil {
 			c.markDown(txns[0].Server)
-			return 1
+			return []int{txns[0].Server}
 		}
+		c.markUp(txns[0].Server)
 		mergeItems(out, items)
-		return 0
+		return nil
 	}
 	var (
 		wg sync.WaitGroup
@@ -557,14 +685,27 @@ func (c *Client) fanout(txns []core.Transaction, keyOf map[uint64]string, out ma
 			defer mu.Unlock()
 			if err != nil {
 				c.markDown(txn.Server)
-				failed++
+				failed = append(failed, txn.Server)
 				return
 			}
+			c.markUp(txn.Server)
 			mergeItems(out, items)
 		}(&txns[i])
 	}
 	wg.Wait()
 	return failed
+}
+
+// jitteredBackoff returns the sleep before re-plan round `round`
+// (0-based): base doubled per round, with ±50% uniform jitter so
+// synchronized clients do not retry in lockstep.
+func jitteredBackoff(base time.Duration, round int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base << round
+	// Uniform in [d/2, 3d/2).
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // execTxn issues one planned transaction as a single multi-get.
@@ -581,6 +722,11 @@ func (c *Client) execTxn(txn *core.Transaction, keyOf map[uint64]string) (map[st
 		return nil, fmt.Errorf("rnb: multi-get on %s: %w", c.conns[txn.Server].Addr(), err)
 	}
 	return items, nil
+}
+
+// avoidsServer evaluates a possibly-nil avoid filter.
+func avoidsServer(avoid func(int) bool, s int) bool {
+	return avoid != nil && avoid(s)
 }
 
 func mergeItems(dst, src map[string]*Item) {
@@ -615,7 +761,9 @@ func (c *Client) getMulti(keys []string, target int) (map[string]*Item, Stats, e
 	if err != nil {
 		return nil, stats, err
 	}
-	// Plan around servers quarantined by recent network errors.
+	// Give any half-open server its probe shot before planning.
+	c.probeHalfOpen()
+	// Plan around servers whose breaker is open or half-open.
 	var avoid func(int) bool
 	if c.cfg.cooldown > 0 {
 		avoid = c.isDown
@@ -627,14 +775,68 @@ func (c *Client) getMulti(keys []string, target int) (map[string]*Item, Stats, e
 
 	// Round 1: bundled multi-gets, hitchhikers aboard, dispatched to all
 	// chosen servers in parallel (each server has its own connection).
-	// Transaction failures quarantine the server and degrade to round 2
-	// rather than failing the request.
+	// Transaction failures quarantine the server and degrade to the
+	// re-plan/round-2 recovery below rather than failing the request.
 	out := make(map[string]*Item, len(keys))
 	for _, txn := range plan.Transactions {
 		stats.Hitchhikers += len(txn.Hitchhikers)
 	}
 	stats.Transactions += len(plan.Transactions)
-	stats.Failed += c.fanout(plan.Transactions, keyOf, out)
+	failedSrvs := c.fanout(plan.Transactions, keyOf, out)
+	stats.Failed += len(failedSrvs)
+
+	// Re-plan rounds: re-cover the still-missing planned keys over the
+	// surviving servers. The servers that failed *this request* are
+	// excluded immediately — ahead of the shared breaker view, which
+	// may not have tripped yet with a threshold above one. Bounded by
+	// WithRetry, with jittered exponential backoff between rounds.
+	excluded := map[int]bool{}
+	for attempt := 0; attempt < c.cfg.retryAttempts && len(failedSrvs) > 0; attempt++ {
+		for _, s := range failedSrvs {
+			excluded[s] = true
+		}
+		var missIDs []uint64
+		for i, id := range plan.Items {
+			if plan.ItemServer[i] == -1 {
+				continue
+			}
+			if _, have := out[keyOf[id]]; !have {
+				missIDs = append(missIDs, id)
+			}
+		}
+		if len(missIDs) == 0 {
+			failedSrvs = nil
+			break
+		}
+		if attempt > 0 {
+			time.Sleep(jitteredBackoff(c.cfg.retryBackoff, attempt-1))
+		}
+		replan, err := c.planner.BuildExcluding(missIDs, 0, excluded, avoid)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Replans++
+		c.resilience.Replans.Add(1)
+		for _, txn := range replan.Transactions {
+			stats.Hitchhikers += len(txn.Hitchhikers)
+		}
+		stats.Transactions += len(replan.Transactions)
+		stats.Retries += len(replan.Transactions)
+		c.resilience.RetryTransactions.Add(uint64(len(replan.Transactions)))
+		failedSrvs = c.fanout(replan.Transactions, keyOf, out)
+		stats.Failed += len(failedSrvs)
+	}
+	// Servers that failed during this request stay excluded for the
+	// rest of it, whatever the breaker threshold says.
+	for _, s := range failedSrvs {
+		excluded[s] = true
+	}
+	avoidNow := avoid
+	if len(excluded) > 0 {
+		avoidNow = func(s int) bool {
+			return excluded[s] || (avoid != nil && avoid(s))
+		}
+	}
 
 	// Round 2: still-missing planned items, bundled by their acting
 	// distinguished server (the true one, unless it is quarantined).
@@ -646,7 +848,7 @@ func (c *Client) getMulti(keys []string, target int) (map[string]*Item, Stats, e
 			continue // dropped by LIMIT or all replicas down: loader below
 		}
 		if _, have := out[keyOf[id]]; !have {
-			acting, ok := core.ActingDistinguished(plan.Replicas[i], avoid)
+			acting, ok := core.ActingDistinguished(plan.Replicas[i], avoidNow)
 			if !ok {
 				continue // no live replica: loader below
 			}
@@ -670,13 +872,14 @@ func (c *Client) getMulti(keys []string, target int) (map[string]*Item, Stats, e
 			stats.Failed++
 			continue
 		}
+		c.markUp(txn.Server)
 		for k, it := range items {
 			out[k] = it
 			// Write-back: repopulate the replica the planner assigned.
 			// A "not stored" refusal is overbooking at work, not a
 			// failure.
 			if c.cfg.writeBack {
-				if s, ok := missAssigned[keyID(k)]; ok && s != txn.Server && !c.isDown(s) {
+				if s, ok := missAssigned[keyID(k)]; ok && s != txn.Server && !avoidsServer(avoidNow, s) {
 					if err := c.conns[s].Set(it); err != nil && !errors.Is(err, memcache.ErrNotStored) {
 						c.markDown(s)
 					}
