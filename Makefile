@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos ci
+.PHONY: build vet test race chaos ci bench-skew
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,9 @@ chaos:
 	$(GO) test -race -count=5 -run 'TestChaos' .
 
 ci: build vet race chaos
+
+# Skewed-workload benchmark: fixed-r vs adaptive hot-key replication
+# (internal/hotspot) across a Zipf-exponent sweep, machine-readable
+# output in BENCH_hotspot.json.
+bench-skew:
+	$(GO) run ./cmd/rnbsim -json BENCH_hotspot.json hotspot

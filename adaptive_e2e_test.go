@@ -1,0 +1,90 @@
+package rnb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestAdaptiveEndToEnd drives a real client against in-process servers
+// with adaptive replication on: a hot key must be promoted from the
+// request stream alone, reads must keep returning the right value
+// through the promotion (boosted replicas start cold and fill via
+// round 2 + write-back), and an update after promotion must never
+// serve the old value afterwards (the invalidation set covers boosted
+// copies).
+func TestAdaptiveEndToEnd(t *testing.T) {
+	cl, _ := newTestClient(t, 8,
+		WithReplicas(2),
+		WithAdaptiveReplication(AdaptiveConfig{
+			MaxBoost:    2,
+			PromoteFrac: 0.05,
+			EpochOps:    150,
+		}),
+	)
+	if !cl.AdaptiveEnabled() {
+		t.Fatal("AdaptiveEnabled() = false with WithAdaptiveReplication on")
+	}
+
+	const hot = "celebrity:0:profile"
+	if err := cl.Set(&Item{Key: hot, Value: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]string, 0, 9)
+	for i := 0; i < 200; i++ {
+		if err := cl.Set(&Item{Key: fmt.Sprintf("cold:%04d", i), Value: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Skewed traffic: the hot key rides in every multi-get.
+	for round := 0; cl.HotKeyCount() == 0 && round < 40; round++ {
+		batch = batch[:0]
+		batch = append(batch, hot)
+		for i := 0; i < 8; i++ {
+			batch = append(batch, fmt.Sprintf("cold:%04d", (round*8+i)%200))
+		}
+		items, _, err := cl.GetMulti(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := items[hot]; got == nil || !bytes.Equal(got.Value, []byte("v1")) {
+			t.Fatalf("round %d: hot key wrong mid-promotion: %v", round, got)
+		}
+	}
+	if cl.HotKeyCount() == 0 {
+		t.Fatalf("hot key never promoted: %v", cl.Hotspot().Snapshot())
+	}
+	if cl.Hotspot().Promotions.Load() == 0 {
+		t.Fatalf("promotion counter not exported: %v", cl.Hotspot().Snapshot())
+	}
+
+	// Update while boosted: every future read, bundled or single, must
+	// see v2 — stale boosted copies would surface here.
+	if err := cl.Update(&Item{Key: hot, Value: []byte("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		it, err := cl.Get(hot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(it.Value, []byte("v2")) {
+			t.Fatalf("read %d after update: got %q, want v2", i, it.Value)
+		}
+		items, _, err := cl.GetMulti([]string{hot, fmt.Sprintf("cold:%04d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := items[hot]; got == nil || !bytes.Equal(got.Value, []byte("v2")) {
+			t.Fatalf("bundled read %d after update: got %v, want v2", i, got)
+		}
+	}
+
+	// Delete while (possibly still) boosted: gone everywhere.
+	if err := cl.Delete(hot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(hot); err != ErrCacheMiss {
+		t.Fatalf("get after delete: %v, want miss", err)
+	}
+}

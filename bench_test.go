@@ -423,3 +423,25 @@ func BenchmarkAblationOverbooking(b *testing.B) {
 func benchName(prefix string, v int) string {
 	return prefix + "=" + string(rune('0'+v))
 }
+
+// BenchmarkHotspot regenerates the hotspot extension experiment at a
+// pinned s=1.2 and reports how much hottest-server load adaptive
+// hot-key replication sheds versus fixed r at equal RAM (percent; see
+// EXPERIMENTS.md and `make bench-skew` for the full sweep).
+func BenchmarkHotspot(b *testing.B) {
+	cfg := benchCfg
+	cfg.Skew = 1.2
+	cfg.Requests = 1500
+	cfg.Warmup = 1500
+	var last float64
+	for i := 0; i < b.N; i++ {
+		tab, err := sim.Run("hotspot", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixed := seriesByLabel(b, tab, "fixed").Y[0]
+		adapt := seriesByLabel(b, tab, "adaptive").Y[0]
+		last = 100 * (fixed - adapt) / fixed
+	}
+	b.ReportMetric(last, "maxload-reduction-%")
+}

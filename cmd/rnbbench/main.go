@@ -26,6 +26,7 @@ func main() {
 		clients = flag.Int("clients", 0, "number of concurrent clients (overrides the positional mode)")
 		items   = flag.Int("items", 200000, "items fetched per sweep point")
 		seed    = flag.Int64("seed", 1, "random seed")
+		skew    = flag.Float64("skew", 0, "Zipf exponent for key selection (0 = uniform)")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	cfg := sim.Config{Seed: *seed, Requests: *items / 25}
+	cfg := sim.Config{Seed: *seed, Requests: *items / 25, Skew: *skew}
 	table, err := sim.Microbench(cfg, n)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rnbbench: %v\n", err)

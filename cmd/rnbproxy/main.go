@@ -37,6 +37,11 @@ func main() {
 		retries    = flag.Int("retries", 1, "re-plan rounds for keys lost to a failed backend (0 disables)")
 		backoff    = flag.Duration("retry-backoff", 15*time.Millisecond, "base jittered backoff between re-plan rounds")
 		statsEvery = flag.Duration("stats-every", 0, "log backend breaker states at this interval (0 disables)")
+
+		adaptive    = flag.Bool("adaptive", false, "adaptive hot-key replication: boost replication of keys that dominate recent traffic")
+		maxBoost    = flag.Int("adaptive-max-boost", 2, "extra replicas a hot key can earn (with -adaptive)")
+		promoteFrac = flag.Float64("adaptive-promote-frac", 0.002, "fraction of epoch traffic a key needs to be promoted (with -adaptive)")
+		epochOps    = flag.Int("adaptive-epoch-ops", 50000, "observed keys per heat epoch (with -adaptive)")
 	)
 	flag.Parse()
 	backends := flag.Args()
@@ -54,6 +59,13 @@ func main() {
 	}
 	if *noPin {
 		opts = append(opts, rnb.WithPinnedDistinguished(false))
+	}
+	if *adaptive {
+		opts = append(opts, rnb.WithAdaptiveReplication(rnb.AdaptiveConfig{
+			MaxBoost:    *maxBoost,
+			PromoteFrac: *promoteFrac,
+			EpochOps:    *epochOps,
+		}))
 	}
 	client, err := rnb.NewClient(backends, opts...)
 	if err != nil {
@@ -75,7 +87,11 @@ func main() {
 						line += fmt.Sprintf("(%d)", st.ConsecutiveFailures)
 					}
 				}
-				fmt.Fprintf(os.Stderr, "rnbproxy: backends%s; %s\n", line, client.Resilience())
+				status := fmt.Sprintf("rnbproxy: backends%s; %s", line, client.Resilience())
+				if client.AdaptiveEnabled() {
+					status += "; " + client.Hotspot().String()
+				}
+				fmt.Fprintln(os.Stderr, status)
 			}
 		}()
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,8 @@ func main() {
 		warmup   = flag.Int("warmup", 4000, "warm-up requests per data point")
 		graph    = flag.String("graph", "slashdot", "workload graph: slashdot or epinions")
 		live     = flag.Bool("live", false, "calibrate the throughput model from a live micro-benchmark (fig3)")
+		skew     = flag.Float64("skew", 0, "pin the Zipf exponent for skew-parameterized experiments (0 = sweep defaults)")
+		jsonOut  = flag.String("json", "", "also write result tables as JSON to this file")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -55,7 +58,9 @@ func main() {
 		Warmup:        *warmup,
 		Graph:         *graph,
 		CalibrateLive: *live,
+		Skew:          *skew,
 	}
+	var tables []sim.Table
 	for _, id := range args {
 		start := time.Now()
 		table, err := sim.Run(id, cfg)
@@ -65,5 +70,27 @@ func main() {
 		}
 		fmt.Print(textplot.Render(table))
 		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		tables = append(tables, table)
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, cfg, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "rnbsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeJSON records the run's configuration and result tables —
+// machine-readable benchmark output (e.g. `make bench-skew` producing
+// BENCH_hotspot.json).
+func writeJSON(path string, cfg sim.Config, tables []sim.Table) error {
+	blob, err := json.MarshalIndent(struct {
+		GeneratedBy string      `json:"generated_by"`
+		Config      sim.Config  `json:"config"`
+		Tables      []sim.Table `json:"tables"`
+	}{"rnbsim", cfg, tables}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }

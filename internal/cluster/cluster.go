@@ -65,15 +65,25 @@ type Config struct {
 	SkipPrepopulate bool
 }
 
+// HeatObserver is the key-stream hook an adaptive placement (package
+// internal/hotspot) exposes: the cluster feeds every request's items
+// into it before planning, so the heat tracker sees exactly what the
+// planner is asked for.
+type HeatObserver interface {
+	Observe(items []uint64)
+}
+
 // Cluster is a simulated RnB memcached tier.
 type Cluster struct {
 	cfg       Config
 	placement hashring.Placement
 	planner   *core.Planner
+	observer  HeatObserver // non-nil when the placement tracks heat
 	servers   []*lru.Cache[uint64, struct{}]
 	down      []bool
 	nDown     int
 	tally     metrics.Tally
+	loads     []uint64 // per-server transactions served (round 1 + round 2)
 }
 
 // New builds and populates a cluster.
@@ -113,6 +123,10 @@ func New(cfg Config) (*Cluster, error) {
 		planner:   core.NewPlanner(placement, cfg.Planner),
 		servers:   make([]*lru.Cache[uint64, struct{}], cfg.Servers),
 		down:      make([]bool, cfg.Servers),
+		loads:     make([]uint64, cfg.Servers),
+	}
+	if obs, ok := placement.(HeatObserver); ok {
+		c.observer = obs
 	}
 	for i := range c.servers {
 		c.servers[i] = lru.New[uint64, struct{}](perServer)
@@ -150,8 +164,21 @@ func (c *Cluster) Planner() *core.Planner { return c.planner }
 func (c *Cluster) Tally() *metrics.Tally { return &c.tally }
 
 // ResetTally clears the metrics (e.g. after warm-up) without touching
-// cache state.
-func (c *Cluster) ResetTally() { c.tally = metrics.Tally{} }
+// cache state. Per-server load counters reset with the tally.
+func (c *Cluster) ResetTally() {
+	c.tally = metrics.Tally{}
+	for i := range c.loads {
+		c.loads[i] = 0
+	}
+}
+
+// ServerLoads returns a copy of the per-server transaction counts
+// since the last ResetTally — the load-imbalance measurement behind
+// the hotspot experiments (max/mean of this slice is the imbalance
+// factor).
+func (c *Cluster) ServerLoads() []uint64 {
+	return append([]uint64(nil), c.loads...)
+}
 
 // Config returns the cluster's configuration.
 func (c *Cluster) Config() Config { return c.cfg }
@@ -214,6 +241,12 @@ type RequestResult struct {
 
 // Do executes one request against the cluster and updates the tally.
 func (c *Cluster) Do(req workload.Request) (RequestResult, error) {
+	if c.observer != nil {
+		// Feed the heat tracker before planning, mirroring the client:
+		// the epoch controller may rotate here, between requests, never
+		// mid-plan.
+		c.observer.Observe(req.Items)
+	}
 	avoid := c.avoidFn()
 	plan, err := c.planner.BuildAvoiding(req.Items, req.Target, avoid)
 	if err != nil {
@@ -252,6 +285,7 @@ func (c *Cluster) Do(req workload.Request) (RequestResult, error) {
 			}
 		}
 		res.Transactions++
+		c.loads[txn.Server]++
 		c.tally.TxnSize.Add(size)
 	}
 
@@ -296,6 +330,7 @@ func (c *Cluster) Do(req workload.Request) (RequestResult, error) {
 		}
 		res.Transactions++
 		res.Round2++
+		c.loads[txn.Server]++
 		c.tally.TxnSize.Add(len(txn.Primary))
 	}
 

@@ -1,0 +1,76 @@
+package hotspot
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSketchOps drives two sketches plus an exact reference model
+// through an arbitrary interleaving of insert, merge, and decay
+// operations, checking the Count-Min contract after every step: an
+// estimate never falls below the true (decayed) count. Decay rounds
+// both sides down, merge adds both sides, so the invariant is
+// preserved exactly.
+func FuzzSketchOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 1, 2, 1, 0, 0, 0, 0, 0, 0, 2})
+	f.Add([]byte{1, 9, 9, 9, 9, 9, 9, 9, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		main := NewSketch(64, 3, 1)
+		side := NewSketch(64, 3, 1)
+		truthMain := map[uint64]uint64{}
+		truthSide := map[uint64]uint64{}
+
+		check := func(label string) {
+			for key, want := range truthMain {
+				if got := uint64(main.Estimate(key)); got < want {
+					t.Fatalf("after %s: main estimate(%d) = %d below true %d", label, key, got, want)
+				}
+			}
+			for key, want := range truthSide {
+				if got := uint64(side.Estimate(key)); got < want {
+					t.Fatalf("after %s: side estimate(%d) = %d below true %d", label, key, got, want)
+				}
+			}
+		}
+
+		for len(data) > 0 {
+			op := data[0] % 4
+			data = data[1:]
+			switch op {
+			case 0, 1: // insert into main (0) or side (1)
+				if len(data) < 8 {
+					return
+				}
+				key := binary.LittleEndian.Uint64(data[:8]) % 97 // force collisions
+				data = data[8:]
+				if op == 0 {
+					main.Add(key, 1)
+					truthMain[key]++
+				} else {
+					side.Add(key, 1)
+					truthSide[key]++
+				}
+			case 2: // decay both
+				main.Decay()
+				side.Decay()
+				for key, v := range truthMain {
+					truthMain[key] = v / 2
+				}
+				for key, v := range truthSide {
+					truthSide[key] = v / 2
+				}
+			case 3: // merge side into main, reset side
+				if err := main.Merge(side); err != nil {
+					t.Fatal(err)
+				}
+				for key, v := range truthSide {
+					truthMain[key] += v
+				}
+				side.Reset()
+				truthSide = map[uint64]uint64{}
+			}
+			check("op")
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package hotspot
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSketchNeverUndercounts(t *testing.T) {
+	s := NewSketch(512, 4, 1)
+	rng := rand.New(rand.NewSource(7))
+	truth := make(map[uint64]uint32)
+	for i := 0; i < 20000; i++ {
+		key := uint64(rng.Intn(2000))
+		truth[key]++
+		s.Add(key, 1)
+	}
+	for key, want := range truth {
+		if got := s.Estimate(key); got < want {
+			t.Fatalf("estimate(%d) = %d below true count %d", key, got, want)
+		}
+	}
+}
+
+func TestSketchErrorBound(t *testing.T) {
+	// With width 4096 and 20k inserts, the expected per-row collision
+	// mass is ~5 — estimates should stay close to the truth.
+	s := NewSketch(4096, 4, 2)
+	rng := rand.New(rand.NewSource(8))
+	truth := make(map[uint64]uint32)
+	const inserts = 20000
+	for i := 0; i < inserts; i++ {
+		key := uint64(rng.Intn(5000))
+		truth[key]++
+		s.Add(key, 1)
+	}
+	var worst uint32
+	for key, want := range truth {
+		if gap := s.Estimate(key) - want; gap > worst {
+			worst = gap
+		}
+	}
+	if worst > inserts/100 {
+		t.Fatalf("worst over-estimate %d exceeds 1%% of stream", worst)
+	}
+}
+
+func TestSketchDecay(t *testing.T) {
+	s := NewSketch(64, 2, 3)
+	s.Add(42, 9)
+	s.Decay()
+	if got := s.Estimate(42); got != 4 {
+		t.Fatalf("estimate after decay = %d, want 4", got)
+	}
+	s.Reset()
+	if got := s.Estimate(42); got != 0 {
+		t.Fatalf("estimate after reset = %d, want 0", got)
+	}
+}
+
+func TestSketchMerge(t *testing.T) {
+	a := NewSketch(128, 3, 4)
+	b := NewSketch(128, 3, 4)
+	a.Add(1, 5)
+	b.Add(1, 7)
+	b.Add(2, 3)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Estimate(1); got < 12 {
+		t.Fatalf("merged estimate(1) = %d, want >= 12", got)
+	}
+	if got := a.Estimate(2); got < 3 {
+		t.Fatalf("merged estimate(2) = %d, want >= 3", got)
+	}
+	other := NewSketch(64, 3, 4)
+	if err := a.Merge(other); err == nil {
+		t.Fatal("merge of mismatched sketches accepted")
+	}
+	reseeded := NewSketch(128, 3, 99)
+	if err := a.Merge(reseeded); err == nil {
+		t.Fatal("merge of differently seeded sketches accepted")
+	}
+}
+
+func TestSketchSaturates(t *testing.T) {
+	s := NewSketch(8, 1, 5)
+	s.Add(7, ^uint32(0))
+	s.Add(7, 10)
+	if got := s.Estimate(7); got != ^uint32(0) {
+		t.Fatalf("saturating add wrapped: %d", got)
+	}
+}

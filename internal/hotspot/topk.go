@@ -1,0 +1,137 @@
+package hotspot
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Entry is one tracked key in a TopK summary. Count is an upper bound
+// on the key's true (decayed) frequency; Count-Err is a lower bound
+// (Err is the count the key may have inherited from the entry it
+// evicted — the standard SpaceSaving guarantee).
+type Entry struct {
+	Key   uint64
+	Count uint64
+	Err   uint64
+}
+
+// TopK is a SpaceSaving heavy-hitter tracker with a fixed number of
+// slots: every key with true frequency above total/capacity is
+// guaranteed to be present. Not safe for concurrent use; Tracker
+// shards and locks it.
+type TopK struct {
+	capacity int
+	index    map[uint64]*ssEntry
+	heap     ssHeap // min-heap on Count
+}
+
+type ssEntry struct {
+	Entry
+	pos int
+}
+
+// NewTopK builds a tracker with the given slot count (>= 1).
+func NewTopK(capacity int) *TopK {
+	if capacity < 1 {
+		panic("hotspot: top-k capacity must be >= 1")
+	}
+	return &TopK{
+		capacity: capacity,
+		index:    make(map[uint64]*ssEntry, capacity),
+	}
+}
+
+// Len returns the number of occupied slots.
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Offer records c occurrences of key.
+func (t *TopK) Offer(key uint64, c uint64) {
+	if e, ok := t.index[key]; ok {
+		e.Count += c
+		heap.Fix(&t.heap, e.pos)
+		return
+	}
+	if len(t.heap) < t.capacity {
+		e := &ssEntry{Entry: Entry{Key: key, Count: c}}
+		heap.Push(&t.heap, e)
+		t.index[key] = e
+		return
+	}
+	// Evict the current minimum: the newcomer inherits its count as
+	// error bound (it may have occurred up to min times while untracked).
+	min := t.heap[0]
+	delete(t.index, min.Key)
+	min.Entry = Entry{Key: key, Count: min.Count + c, Err: min.Count}
+	t.index[key] = min
+	heap.Fix(&t.heap, 0)
+}
+
+// Count returns the tracked upper-bound count for key, or 0 if key is
+// not in the summary.
+func (t *TopK) Count(key uint64) uint64 {
+	if e, ok := t.index[key]; ok {
+		return e.Count
+	}
+	return 0
+}
+
+// Top returns up to n entries ordered by descending Count (n < 0
+// returns all).
+func (t *TopK) Top(n int) []Entry {
+	out := make([]Entry, 0, len(t.heap))
+	for _, e := range t.heap {
+		out = append(out, e.Entry)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n >= 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Decay halves every count and error bound, evicting entries that
+// decay to zero. Pairs with Sketch.Decay as the per-epoch step.
+func (t *TopK) Decay() {
+	kept := t.heap[:0]
+	for _, e := range t.heap {
+		e.Count >>= 1
+		e.Err >>= 1
+		if e.Count > 0 {
+			kept = append(kept, e)
+		} else {
+			delete(t.index, e.Key)
+		}
+	}
+	t.heap = kept
+	for pos, e := range t.heap {
+		e.pos = pos
+	}
+	heap.Init(&t.heap)
+}
+
+// ssHeap is a min-heap of entries by Count with position tracking.
+type ssHeap []*ssEntry
+
+func (h ssHeap) Len() int           { return len(h) }
+func (h ssHeap) Less(i, j int) bool { return h[i].Count < h[j].Count }
+func (h ssHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos, h[j].pos = i, j
+}
+func (h *ssHeap) Push(x interface{}) {
+	e := x.(*ssEntry)
+	e.pos = len(*h)
+	*h = append(*h, e)
+}
+func (h *ssHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,95 @@
+package hotspot
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTopKFindsHeavyHitters(t *testing.T) {
+	// Zipf-ish stream: key k appears ~ C/k times. Any key with
+	// frequency above total/capacity must be tracked.
+	tk := NewTopK(32)
+	truth := make(map[uint64]uint64)
+	var total uint64
+	for key := uint64(1); key <= 500; key++ {
+		n := uint64(5000 / key)
+		truth[key] = n
+		total += n
+	}
+	// Interleave deterministically so counts build up in mixed order.
+	rng := rand.New(rand.NewSource(11))
+	type pair struct{ key, left uint64 }
+	var stream []pair
+	for k, n := range truth {
+		stream = append(stream, pair{k, n})
+	}
+	for len(stream) > 0 {
+		i := rng.Intn(len(stream))
+		tk.Offer(stream[i].key, 1)
+		stream[i].left--
+		if stream[i].left == 0 {
+			stream[i] = stream[len(stream)-1]
+			stream = stream[:len(stream)-1]
+		}
+	}
+	guarantee := total / 32
+	for key, n := range truth {
+		if n <= guarantee {
+			continue
+		}
+		got := tk.Count(key)
+		if got == 0 {
+			t.Fatalf("heavy hitter %d (freq %d > %d) not tracked", key, n, guarantee)
+		}
+		if got < n {
+			t.Fatalf("count(%d) = %d below true frequency %d (SpaceSaving upper bound violated)",
+				key, got, n)
+		}
+	}
+	// Err bounds: Count - Err <= truth for every tracked key.
+	for _, e := range tk.Top(-1) {
+		if want, ok := truth[e.Key]; ok && e.Count-e.Err > want {
+			t.Fatalf("lower bound %d for key %d exceeds true frequency %d",
+				e.Count-e.Err, e.Key, want)
+		}
+	}
+}
+
+func TestTopKOrderingAndCapacity(t *testing.T) {
+	tk := NewTopK(4)
+	for key := uint64(0); key < 8; key++ {
+		for i := uint64(0); i <= key; i++ {
+			tk.Offer(key, 1)
+		}
+	}
+	if tk.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tk.Len())
+	}
+	top := tk.Top(2)
+	if len(top) != 2 || top[0].Count < top[1].Count {
+		t.Fatalf("top not descending: %+v", top)
+	}
+	if tk.Count(9999) != 0 {
+		t.Fatal("untracked key has a count")
+	}
+}
+
+func TestTopKDecayEvicts(t *testing.T) {
+	tk := NewTopK(8)
+	tk.Offer(1, 8)
+	tk.Offer(2, 1)
+	tk.Decay()
+	if got := tk.Count(1); got != 4 {
+		t.Fatalf("count(1) after decay = %d, want 4", got)
+	}
+	if tk.Count(2) != 0 || tk.Len() != 1 {
+		t.Fatalf("count-1 entry survived decay: len=%d", tk.Len())
+	}
+	// Heap stays consistent after the rebuild.
+	tk.Offer(3, 2)
+	tk.Offer(4, 1)
+	top := tk.Top(-1)
+	if top[0].Key != 1 {
+		t.Fatalf("top after decay/rebuild = %+v", top)
+	}
+}

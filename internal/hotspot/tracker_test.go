@@ -1,0 +1,67 @@
+package hotspot
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestTrackerEstimateAndTotal(t *testing.T) {
+	tr := NewTracker(4, 1024, 4, 16, 1)
+	for i := 0; i < 100; i++ {
+		tr.Touch(7)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Touch(8)
+	}
+	if got := tr.Estimate(7); got < 100 {
+		t.Fatalf("estimate(7) = %d, want >= 100", got)
+	}
+	if got := tr.Total(); got != 110 {
+		t.Fatalf("total = %d, want 110", got)
+	}
+}
+
+func TestTrackerHarvestAndDecay(t *testing.T) {
+	tr := NewTracker(4, 1024, 4, 16, 2)
+	for i := 0; i < 64; i++ {
+		tr.Touch(1)
+	}
+	for i := 0; i < 16; i++ {
+		tr.Touch(2)
+	}
+	h := tr.HarvestAndDecay(-1)
+	if h.Total != 80 {
+		t.Fatalf("harvest total = %d, want 80", h.Total)
+	}
+	if len(h.Entries) < 2 || h.Entries[0].Key != 1 || h.Entries[0].Count < 64 {
+		t.Fatalf("harvest entries = %+v", h.Entries)
+	}
+	// Decay halved everything.
+	if got := tr.Total(); got != 40 {
+		t.Fatalf("total after decay = %d, want 40", got)
+	}
+	if got := tr.Estimate(1); got < 32 || got > 40 {
+		t.Fatalf("estimate(1) after decay = %d, want ~32", got)
+	}
+}
+
+func TestTrackerConcurrentTouch(t *testing.T) {
+	tr := NewTracker(8, 512, 4, 16, 3)
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				tr.Touch(uint64(rng.Intn(64)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Total(); got != workers*perWorker {
+		t.Fatalf("total = %d, want %d", got, workers*perWorker)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"rnb/internal/memcache"
+	"rnb/internal/workload"
 )
 
 // Config parameterizes one benchmark run.
@@ -41,6 +42,10 @@ type Config struct {
 	SetPerItems int
 	// Seed makes key selection reproducible.
 	Seed int64
+	// Skew, when > 0, draws keys Zipf(Skew)-distributed over the key
+	// universe (key-0 hottest) instead of uniformly — the hot-key
+	// workload for exercising adaptive replication end to end.
+	Skew float64
 	// Timeout is the per-operation network timeout.
 	Timeout time.Duration
 	// Binary selects the memcached binary protocol (quiet-get
@@ -172,6 +177,10 @@ func Run(cfg Config) (Result, error) {
 			}
 			defer cl.Close()
 			rng := rand.New(rand.NewSource(c.Seed + int64(w)*7919))
+			var zipf *workload.Zipf
+			if c.Skew > 0 {
+				zipf = workload.NewZipf(c.Skew, c.Keys, c.Seed+int64(w)*7919)
+			}
 			keys := make([]string, c.TxnSize)
 			sinceSet := 0
 			for {
@@ -179,7 +188,11 @@ func Run(cfg Config) (Result, error) {
 					return
 				}
 				for i := range keys {
-					keys[i] = Key(rng.Intn(c.Keys))
+					if zipf != nil {
+						keys[i] = Key(int(zipf.Next()))
+					} else {
+						keys[i] = Key(rng.Intn(c.Keys))
+					}
 				}
 				found, err := cl.GetMulti(keys)
 				if err != nil {

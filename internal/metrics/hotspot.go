@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Hotspot tracks the adaptive hot-key replication machinery (package
+// internal/hotspot) with atomic counters: epoch rotations, promotions
+// and demotions of keys to/from boosted replication, and the live
+// summary-error signal from the heat tracker. All methods are safe for
+// concurrent use; the zero value is ready.
+type Hotspot struct {
+	// Epochs counts heat-table rotations (controller runs).
+	Epochs atomic.Uint64
+	// Observed counts keys ingested from the request stream.
+	Observed atomic.Uint64
+	// Promotions counts keys granted a boosted replication degree
+	// (re-promotions to a higher boost level included).
+	Promotions atomic.Uint64
+	// Demotions counts keys returned to the baseline degree.
+	Demotions atomic.Uint64
+
+	// HotKeys is a gauge: keys currently boosted.
+	HotKeys atomic.Uint64
+	// BoostReplicas is a gauge: total extra replicas currently granted
+	// across all boosted keys (the RAM-overhead upper bound, in items).
+	BoostReplicas atomic.Uint64
+
+	// SketchErrGap accumulates, per harvest, the gap between the
+	// Count-Min upper bound and the SpaceSaving lower bound over the
+	// harvested keys — a live measure of how noisy the heat signal is.
+	SketchErrGap atomic.Uint64
+}
+
+// Snapshot returns the counters as a name -> value map (stable names,
+// suitable for stats outputs).
+func (h *Hotspot) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"hotspot_epochs":         h.Epochs.Load(),
+		"hotspot_observed":       h.Observed.Load(),
+		"hotspot_promotions":     h.Promotions.Load(),
+		"hotspot_demotions":      h.Demotions.Load(),
+		"hotspot_hot_keys":       h.HotKeys.Load(),
+		"hotspot_boost_replicas": h.BoostReplicas.Load(),
+		"hotspot_sketch_err_gap": h.SketchErrGap.Load(),
+	}
+}
+
+// String renders the non-zero counters compactly, in stable order.
+func (h *Hotspot) String() string {
+	snap := h.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		if snap[name] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", strings.TrimPrefix(name, "hotspot_"), snap[name]))
+		}
+	}
+	if len(parts) == 0 {
+		return "hotspot[quiet]"
+	}
+	return "hotspot[" + strings.Join(parts, " ") + "]"
+}

@@ -156,6 +156,13 @@ func (p *Proxy) BackendStats() map[string]string {
 	for k, v := range p.client.Resilience().Snapshot() {
 		out["proxy_"+k] = fmt.Sprintf("%d", v)
 	}
+	// Adaptive-replication heat counters (all zero when the feature is
+	// off) — promoted-key count, promotion/demotion totals, sketch
+	// error, exposed alongside the resilience keys.
+	for k, v := range p.client.Hotspot().Snapshot() {
+		out["proxy_"+k] = fmt.Sprintf("%d", v)
+	}
+	out["proxy_adaptive"] = fmt.Sprintf("%t", p.client.AdaptiveEnabled())
 	return out
 }
 

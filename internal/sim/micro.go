@@ -48,6 +48,7 @@ func Microbench(cfg Config, clients int) (Table, error) {
 		ValueSize:   10,
 		SetPerItems: 1000,
 		Seed:        cfg.Seed,
+		Skew:        cfg.Skew,
 	}, microTxnSizes, itemsPerPoint)
 	if err != nil {
 		return Table{}, err

@@ -52,6 +52,10 @@ type Config struct {
 	// calibrate.DefaultModel. Results then reflect this host's actual
 	// per-transaction costs, at the price of a non-deterministic model.
 	CalibrateLive bool
+	// Skew pins the Zipf exponent for skew-parameterized experiments
+	// (currently "hotspot"). 0 means sweep the experiment's default
+	// skew list.
+	Skew float64
 }
 
 // WithDefaults fills in unset fields.

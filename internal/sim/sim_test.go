@@ -490,3 +490,25 @@ func TestItoa(t *testing.T) {
 		}
 	}
 }
+
+func TestHotspotShape(t *testing.T) {
+	// Pin a single strongly-skewed point: the adaptive placement must
+	// relieve the hottest server relative to fixed r at equal RAM.
+	cfg := quickCfg
+	cfg.Skew = 1.2
+	cfg.Requests = 2000
+	cfg.Warmup = 2000
+	tab, err := Hotspot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := findSeries(t, tab, "fixed")
+	adapt := findSeries(t, tab, "adaptive")
+	if len(fixed.X) != 1 || fixed.X[0] != 1.2 {
+		t.Fatalf("Config.Skew not honored: X=%v", fixed.X)
+	}
+	if adapt.Y[0] >= fixed.Y[0] {
+		t.Fatalf("adaptive max-server load %.0f not below fixed %.0f at s=1.2",
+			adapt.Y[0], fixed.Y[0])
+	}
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf is a seeded Zipf(s, N) sampler over ranks 0..N-1: rank r is
+// drawn with probability proportional to 1/(r+1)^s. Unlike
+// math/rand.Zipf it supports any s >= 0 (s = 0 is uniform, s = 1 the
+// classic harmonic law), which the hotspot experiments need to sweep
+// through the paper-relevant skew range around s = 1. Sampling is
+// inverse-CDF over a precomputed table: O(log N) per draw,
+// deterministic per seed.
+type Zipf struct {
+	cum []float64 // cum[r] = P(rank <= r), cum[N-1] = 1
+	rng *rand.Rand
+}
+
+// NewZipf builds a sampler over n ranks with exponent s >= 0, seeded
+// with seed.
+func NewZipf(s float64, n int, seed int64) *Zipf {
+	if n < 1 {
+		panic("workload: Zipf needs at least one rank")
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic("workload: Zipf exponent must be >= 0")
+	}
+	cum := make([]float64, n)
+	var total float64
+	for r := 0; r < n; r++ {
+		total += math.Pow(float64(r+1), -s)
+		cum[r] = total
+	}
+	for r := range cum {
+		cum[r] /= total
+	}
+	cum[n-1] = 1 // guard against rounding
+	return &Zipf{cum: cum, rng: rand.New(rand.NewSource(seed))}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Prob returns the probability of rank r.
+func (z *Zipf) Prob(r int) float64 {
+	if r < 0 || r >= len(z.cum) {
+		return 0
+	}
+	if r == 0 {
+		return z.cum[0]
+	}
+	return z.cum[r] - z.cum[r-1]
+}
+
+// Next draws a rank in [0, N).
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	return uint64(sort.SearchFloat64s(z.cum, u))
+}
+
+// ZipfGenerator produces requests of exactly M distinct items drawn
+// Zipf(s)-skewed from a universe of N items — the synthetic hot-key
+// workload for the adaptive-replication experiments. Item id equals
+// Zipf rank: item 0 is the hottest key, item N-1 the coldest (the
+// placement hashes ids, so the id order carries no server bias).
+type ZipfGenerator struct {
+	zipf *Zipf
+	m    int
+	buf  []uint64
+	seen map[uint64]struct{}
+}
+
+// NewZipfGenerator builds a generator of M-item requests over a
+// universe of `universe` items with Zipf exponent s.
+func NewZipfGenerator(universe, m int, s float64, seed int64) *ZipfGenerator {
+	if universe <= 0 || m <= 0 || m > universe {
+		panic("workload: need 0 < m <= universe")
+	}
+	return &ZipfGenerator{
+		zipf: NewZipf(s, universe, seed),
+		m:    m,
+		seen: make(map[uint64]struct{}, m),
+	}
+}
+
+// Next implements Generator. Requests are sets, so duplicate draws are
+// rejected; with heavy skew the hot ranks repeat often, which only
+// costs redraws, never correctness.
+func (g *ZipfGenerator) Next() Request {
+	g.buf = g.buf[:0]
+	for k := range g.seen {
+		delete(g.seen, k)
+	}
+	for len(g.buf) < g.m {
+		it := g.zipf.Next()
+		if _, dup := g.seen[it]; dup {
+			continue
+		}
+		g.seen[it] = struct{}{}
+		g.buf = append(g.buf, it)
+	}
+	return Request{Items: g.buf, Target: len(g.buf)}
+}
+
+// Universe returns the item-universe size.
+func (g *ZipfGenerator) Universe() int { return g.zipf.N() }

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfFrequencyCurve validates the empirical frequency curve
+// against the theoretical Zipf pmf for several exponents, including
+// s = 1.0 (which math/rand.Zipf cannot produce) and s = 0 (uniform).
+func TestZipfFrequencyCurve(t *testing.T) {
+	const n, draws = 1000, 200000
+	for _, s := range []float64{0, 0.8, 1.0, 1.4} {
+		z := NewZipf(s, n, 123)
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Next()]++
+		}
+		// Head ranks have enough mass for a tight relative check.
+		for r := 0; r < 5; r++ {
+			want := z.Prob(r) * draws
+			if want < 50 {
+				continue
+			}
+			got := float64(counts[r])
+			if math.Abs(got-want) > 0.15*want+30 {
+				t.Errorf("s=%.1f rank %d: %0.f draws, want ~%.0f", s, r, got, want)
+			}
+		}
+		// The curve must be (statistically) decreasing head-to-tail:
+		// compare head, middle, and tail bucket masses.
+		head := counts[0] + counts[1] + counts[2]
+		mid := counts[n/2] + counts[n/2+1] + counts[n/2+2]
+		tail := counts[n-3] + counts[n-2] + counts[n-1]
+		if s > 0 && (head <= mid || mid < tail-int(0.2*float64(tail)+30)) {
+			t.Errorf("s=%.1f: frequency not decaying: head=%d mid=%d tail=%d", s, head, mid, tail)
+		}
+		// For s=1.0 specifically: rank 0 over rank 9 should be ~10x.
+		if s == 1.0 {
+			ratio := float64(counts[0]) / float64(counts[9]+1)
+			if ratio < 7 || ratio > 14 {
+				t.Errorf("s=1.0: count(0)/count(9) = %.1f, want ~10", ratio)
+			}
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(1.1, 100, 9)
+	b := NewZipf(1.1, 100, 9)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("equal seeds diverged")
+		}
+	}
+	c := NewZipf(1.1, 100, 10)
+	diverged := false
+	for i := 0; i < 100; i++ {
+		if a.Next() != c.Next() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestZipfPmfSumsToOne(t *testing.T) {
+	z := NewZipf(1.2, 500, 1)
+	var sum float64
+	for r := 0; r < z.N(); r++ {
+		sum += z.Prob(r)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("pmf sums to %g", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(z.N()) != 0 {
+		t.Fatal("out-of-range ranks have probability")
+	}
+}
+
+func TestZipfGeneratorRequests(t *testing.T) {
+	g := NewZipfGenerator(2000, 40, 1.2, 5)
+	if g.Universe() != 2000 {
+		t.Fatalf("universe = %d", g.Universe())
+	}
+	hot := 0
+	for i := 0; i < 200; i++ {
+		req := g.Next()
+		if len(req.Items) != 40 || req.Target != 40 {
+			t.Fatalf("request = %d items, target %d", len(req.Items), req.Target)
+		}
+		seen := make(map[uint64]bool)
+		for _, it := range req.Items {
+			if it >= 2000 {
+				t.Fatalf("item %d outside universe", it)
+			}
+			if seen[it] {
+				t.Fatalf("duplicate item %d in request", it)
+			}
+			seen[it] = true
+		}
+		if seen[0] {
+			hot++
+		}
+	}
+	// Rank 0 carries ~11% of draws at s=1.2 over 2000 ranks; in a
+	// 40-item distinct draw it should appear in nearly every request.
+	if hot < 150 {
+		t.Fatalf("hottest key in only %d/200 requests", hot)
+	}
+}

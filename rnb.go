@@ -37,10 +37,15 @@ import (
 
 	"rnb/internal/core"
 	"rnb/internal/hashring"
+	"rnb/internal/hotspot"
 	"rnb/internal/memcache"
 	"rnb/internal/metrics"
 	"rnb/internal/xhash"
 )
+
+// AdaptiveConfig re-exports the hotspot controller configuration for
+// WithAdaptiveReplication callers.
+type AdaptiveConfig = hotspot.Config
 
 // Item is a stored object (re-exported from the protocol package).
 type Item = memcache.Item
@@ -68,6 +73,7 @@ type clientConfig struct {
 	breakerThreshold int
 	retryAttempts    int
 	retryBackoff     time.Duration
+	adaptive         *hotspot.Config
 }
 
 // WithReplicas sets the logical replication level (default 2).
@@ -147,6 +153,21 @@ func WithRetry(attempts int, backoff time.Duration) Option {
 	}
 }
 
+// WithAdaptiveReplication turns on adaptive hot-key replication: the
+// client tracks per-key request frequency with streaming sketches and
+// grants keys that dominate recent traffic extra replicas on top of
+// the baseline level (demoting them, with hysteresis, when they cool).
+// Adaptive replica sets are always a superset of the baseline
+// placement's with the distinguished copy unchanged, so reads never
+// miss because of a promotion or demotion: new replicas start cold and
+// fill in through the ordinary round-2/write-back path, and demoted
+// copies linger until the server LRUs evict them. The zero
+// AdaptiveConfig picks sensible defaults; see hotspot.Config for the
+// knobs.
+func WithAdaptiveReplication(cfg AdaptiveConfig) Option {
+	return func(c *clientConfig) { c.adaptive = &cfg }
+}
+
 // WithLoader installs a cache-aside backing store: keys that miss on
 // every replica AND on their distinguished server are fetched through
 // the loader (one call per GetMulti), stored back (distinguished copy
@@ -168,9 +189,13 @@ type Client struct {
 	// breakers[s] is server s's circuit breaker (closed -> open on
 	// consecutive failures -> half-open after the cooldown -> closed
 	// on a successful probe).
-	breakers   []*breaker
-	failures   atomicUint64
+	breakers []*breaker
+	failures atomicUint64
+	// adaptive is non-nil when WithAdaptiveReplication is on; it is
+	// the same object as placement, kept typed for the observe hook.
+	adaptive   *hotspot.AdaptivePlacement
 	resilience metrics.Resilience
+	hotspot    metrics.Hotspot
 	shut       atomic.Bool
 }
 
@@ -201,6 +226,22 @@ func (c *Client) Failures() uint64 { return c.failures.load() }
 // Resilience exposes the client's failure-handling counters: breaker
 // transitions, probe outcomes, and read re-plans.
 func (c *Client) Resilience() *metrics.Resilience { return &c.resilience }
+
+// Hotspot exposes the adaptive-replication counters (all zero unless
+// WithAdaptiveReplication is on).
+func (c *Client) Hotspot() *metrics.Hotspot { return &c.hotspot }
+
+// AdaptiveEnabled reports whether adaptive hot-key replication is on.
+func (c *Client) AdaptiveEnabled() bool { return c.adaptive != nil }
+
+// HotKeyCount returns the number of currently promoted keys (0 when
+// adaptive replication is off).
+func (c *Client) HotKeyCount() int {
+	if c.adaptive == nil {
+		return 0
+	}
+	return c.adaptive.HotKeyCount()
+}
 
 // ServerState describes one backend's health as seen by the client's
 // circuit breaker — the operator-facing view behind ServerStates.
@@ -293,18 +334,21 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 		}
 		conns = append(conns, cl)
 	}
-	placement := hashring.NewRCHPlacement(ring, cfg.replicas)
-	planner := core.NewPlanner(placement, core.Options{
+	var placement hashring.Placement = hashring.NewRCHPlacement(ring, cfg.replicas)
+	c := &Client{
+		ring:  ring,
+		conns: conns,
+		cfg:   cfg,
+	}
+	if cfg.adaptive != nil {
+		c.adaptive = hotspot.NewAdaptive(placement, *cfg.adaptive, &c.hotspot)
+		placement = c.adaptive
+	}
+	c.placement = placement
+	c.planner = core.NewPlanner(placement, core.Options{
 		Hitchhike:            cfg.hitchhike,
 		DistinguishedSingles: true,
 	})
-	c := &Client{
-		ring:      ring,
-		placement: placement,
-		planner:   planner,
-		conns:     conns,
-		cfg:       cfg,
-	}
 	onTransition := func(from, to BreakerState) {
 		switch to {
 		case BreakerOpen:
@@ -363,6 +407,19 @@ func (c *Client) replicaServers(key string) []int {
 	return c.placement.Replicas(keyID(key), nil)
 }
 
+// invalidationServers returns every server that may hold a copy of
+// key, current heat notwithstanding. With adaptive replication on,
+// mutations must clear the maximal boosted set: a copy left on a
+// since-demoted boosted replica would otherwise resurface stale when
+// the key re-heats (boosted placement is deterministic, so the same
+// server rejoins the set).
+func (c *Client) invalidationServers(key string) []int {
+	if c.adaptive != nil {
+		return c.adaptive.MaxReplicas(keyID(key), nil)
+	}
+	return c.replicaServers(key)
+}
+
 // Set stores the item on every replica server. The first replica is
 // the distinguished copy and, unless WithPinnedDistinguished(false) was
 // given, is stored pinned so server LRUs never evict it.
@@ -397,7 +454,7 @@ func (c *Client) Set(it *Item) error {
 // everywhere returns ErrCacheMiss.
 func (c *Client) Delete(key string) error {
 	found := false
-	for _, s := range c.replicaServers(key) {
+	for _, s := range c.invalidationServers(key) {
 		switch err := c.conns[s].Delete(key); {
 		case err == nil:
 			found = true
@@ -417,7 +474,7 @@ func (c *Client) Delete(key string) error {
 // demand — the §IV atomic-operation scheme shared by Append, Prepend,
 // Increment and UpdateCAS.
 func (c *Client) mutateDistinguished(key string, op func(conn *memcache.Client) error) error {
-	replicas := c.replicaServers(key)
+	replicas := c.invalidationServers(key)
 	if err := op(c.conns[replicas[0]]); err != nil {
 		return err
 	}
@@ -495,7 +552,7 @@ func (c *Client) FlushAll() error {
 // remove every non-distinguished replica, then update the
 // distinguished copy; replicas repopulate on demand via write-back.
 func (c *Client) Update(it *Item) error {
-	replicas := c.replicaServers(it.Key)
+	replicas := c.invalidationServers(it.Key)
 	for _, s := range replicas[1:] {
 		if err := c.conns[s].Delete(it.Key); err != nil && !errors.Is(err, memcache.ErrCacheMiss) {
 			return fmt.Errorf("rnb: update %q: clearing replica on %s: %w",
@@ -546,7 +603,7 @@ func (c *Client) GetsDistinguished(keys []string) (map[string]*Item, error) {
 // memcache.ErrCASConflict on a lost race and ErrCacheMiss if the key
 // is gone.
 func (c *Client) UpdateCAS(it *Item) error {
-	replicas := c.replicaServers(it.Key)
+	replicas := c.invalidationServers(it.Key)
 	if err := c.conns[replicas[0]].CompareAndSwap(it); err != nil {
 		return err
 	}
@@ -565,6 +622,9 @@ func (c *Client) UpdateCAS(it *Item) error {
 // in its stead.
 func (c *Client) Get(key string) (*Item, error) {
 	c.probeHalfOpen()
+	if c.adaptive != nil {
+		c.adaptive.ObserveOne(keyID(key))
+	}
 	replicas := c.replicaServers(key)
 	s := replicas[0]
 	if c.cfg.cooldown > 0 {
@@ -639,6 +699,9 @@ func (c *Client) GetMultiBudget(keys []string, maxTransactions int) (map[string]
 	ids, keyOf, err := c.keyIDs(keys)
 	if err != nil {
 		return nil, stats, err
+	}
+	if c.adaptive != nil {
+		c.adaptive.Observe(ids)
 	}
 	plan, err := c.planner.BuildBudget(ids, maxTransactions)
 	if err != nil {
@@ -760,6 +823,11 @@ func (c *Client) getMulti(keys []string, target int) (map[string]*Item, Stats, e
 	ids, keyOf, err := c.keyIDs(keys)
 	if err != nil {
 		return nil, stats, err
+	}
+	// Heat tracking sees every multi-get key; the epoch controller may
+	// rotate the heat table here, before this request is planned.
+	if c.adaptive != nil {
+		c.adaptive.Observe(ids)
 	}
 	// Give any half-open server its probe shot before planning.
 	c.probeHalfOpen()
