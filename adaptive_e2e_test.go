@@ -2,8 +2,11 @@ package rnb
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
+
+	"rnb/internal/memcache"
 )
 
 // TestAdaptiveEndToEnd drives a real client against in-process servers
@@ -86,5 +89,93 @@ func TestAdaptiveEndToEnd(t *testing.T) {
 	}
 	if _, err := cl.Get(hot); err != ErrCacheMiss {
 		t.Fatalf("get after delete: %v, want miss", err)
+	}
+}
+
+// TestSetClearsMaxBoostSet pins down the demote → Set → re-promote
+// staleness hazard: a boosted copy materialized by write-back can
+// outlive a demotion in a server LRU, and because the boost walk is
+// deterministic the same server rejoins the replica set when the key
+// re-heats. A Set issued while the key is cold must therefore clear
+// the whole max-boost set, not just the current replicas — otherwise
+// the lingering copy shadows the new value after re-promotion.
+func TestSetClearsMaxBoostSet(t *testing.T) {
+	cl, servers := newTestClient(t, 8,
+		WithReplicas(2),
+		WithAdaptiveReplication(AdaptiveConfig{
+			MaxBoost:    2,
+			PromoteFrac: 0.05,
+			EpochOps:    150,
+		}),
+	)
+
+	const hot = "celebrity:9:profile"
+	current := cl.replicaServers(hot)
+	maxSet := cl.invalidationServers(hot)
+	if len(maxSet) <= len(current) {
+		t.Fatalf("max-boost set %v does not extend the current set %v", maxSet, current)
+	}
+
+	// Plant stale copies on every boosted-walk server, simulating
+	// copies materialized during an earlier promotion that survived
+	// demotion.
+	for _, s := range maxSet {
+		if containsServer(current, s) {
+			continue
+		}
+		err := servers[s].Store().Set(&memcache.Item{Key: hot, Value: []byte("v0-stale")})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := cl.Set(&Item{Key: hot, Value: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range maxSet {
+		if containsServer(current, s) {
+			continue
+		}
+		if _, err := servers[s].Store().Peek(hot); !errors.Is(err, memcache.ErrCacheMiss) {
+			t.Fatalf("server %d still holds a copy after Set (err=%v); it would resurface stale on re-promotion", s, err)
+		}
+	}
+
+	// End-to-end: heat the key until it is promoted and confirm every
+	// read — single and bundled — sees the Set value.
+	for i := 0; i < 200; i++ {
+		if err := cl.Set(&Item{Key: fmt.Sprintf("cold:%04d", i), Value: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := make([]string, 0, 9)
+	for round := 0; cl.adaptive.Boost(keyID(hot)) == 0 && round < 40; round++ {
+		batch = batch[:0]
+		batch = append(batch, hot)
+		for i := 0; i < 8; i++ {
+			batch = append(batch, fmt.Sprintf("cold:%04d", (round*8+i)%200))
+		}
+		if _, _, err := cl.GetMulti(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl.adaptive.Boost(keyID(hot)) == 0 {
+		t.Fatalf("hot key never promoted: %v", cl.Hotspot().Snapshot())
+	}
+	for i := 0; i < 30; i++ {
+		it, err := cl.Get(hot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(it.Value, []byte("v1")) {
+			t.Fatalf("read %d after re-promotion: got %q, want v1", i, it.Value)
+		}
+		items, _, err := cl.GetMulti([]string{hot, fmt.Sprintf("cold:%04d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := items[hot]; got == nil || !bytes.Equal(got.Value, []byte("v1")) {
+			t.Fatalf("bundled read %d after re-promotion: got %v, want v1", i, got)
+		}
 	}
 }

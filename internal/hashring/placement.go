@@ -8,8 +8,12 @@ import "rnb/internal/xhash"
 // pinned in memory and used as the fallback on any miss.
 type Placement interface {
 	// Replicas appends the item's replica server indices to buf[:0] and
-	// returns it. The slice has min(NumReplicas, NumServers) distinct
-	// entries; entry 0 is the distinguished copy.
+	// returns it. The slice has at least min(NumReplicas, NumServers)
+	// distinct entries — implementations may return more for individual
+	// items (e.g. an adaptive placement boosting a hot key beyond the
+	// declared level), so consumers must size and iterate by the
+	// returned slice's length, never by NumReplicas. Entry 0 is the
+	// distinguished copy.
 	Replicas(item uint64, buf []int) []int
 	// NumServers reports the number of servers items map onto.
 	NumServers() int

@@ -315,9 +315,15 @@ func (a *AdaptivePlacement) rotateLocked() {
 	for key, lvl := range old {
 		est, ok := harvested[key]
 		if !ok {
-			// Not a top-k survivor; the (just decayed) sketch still
-			// bounds its pre-decay heat.
-			est = 2 * a.tracker.Estimate(key)
+			// Not a top-k survivor; fall back to the post-decay sketch
+			// estimate. It is an upper bound on the key's decayed heat —
+			// deliberately NOT doubled back to pre-decay scale, because
+			// doubling also doubles the sketch's collision noise
+			// (~total/width) and a genuinely cold key could then sit
+			// above the demotion floor forever. The un-doubled bound
+			// demotes such keys a little earlier; the ColdEpochs
+			// hysteresis already guards against flapping.
+			est = a.tracker.Estimate(key)
 		}
 		if float64(est) < demoteTh {
 			a.cold[key]++
@@ -362,7 +368,11 @@ func (a *AdaptivePlacement) rotateLocked() {
 		for key := range next {
 			est, ok := harvested[key]
 			if !ok {
-				est = 2 * a.tracker.Estimate(key)
+				// Same un-doubled post-decay bound as the demotion check
+				// above: it under-ranks non-harvest keys relative to the
+				// pre-decay harvest counts, which is the right bias when
+				// the table is over the cap.
+				est = a.tracker.Estimate(key)
 			}
 			ranked = append(ranked, hotKey{key, est})
 		}

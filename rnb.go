@@ -431,7 +431,8 @@ func (c *Client) invalidationServers(key string) []int {
 // lands it. Network errors on any replica, and any failure on the
 // distinguished copy, are errors.
 func (c *Client) Set(it *Item) error {
-	for i, s := range c.replicaServers(it.Key) {
+	replicas := c.replicaServers(it.Key)
+	for i, s := range replicas {
 		var err error
 		if i == 0 && c.cfg.pinDistinguished {
 			err = c.conns[s].SetPinned(it)
@@ -446,7 +447,32 @@ func (c *Client) Set(it *Item) error {
 			return fmt.Errorf("rnb: set %q on %s: %w", it.Key, c.conns[s].Addr(), err)
 		}
 	}
+	// The writes above cover only the key's *current* replica set. With
+	// adaptive replication on, a boosted copy materialized via write-back
+	// can outlive a demotion in a server LRU; the boost walk is
+	// deterministic, so the same server rejoins the set when the key
+	// re-heats and the stale copy would shadow this Set. Clear the rest
+	// of the max-boost set, mirroring Update's invalidation.
+	if c.adaptive != nil {
+		for _, s := range c.adaptive.MaxReplicas(keyID(it.Key), nil) {
+			if containsServer(replicas, s) {
+				continue
+			}
+			if err := c.conns[s].Delete(it.Key); err != nil && !errors.Is(err, memcache.ErrCacheMiss) {
+				return fmt.Errorf("rnb: clearing replica of %q on %s: %w", it.Key, c.conns[s].Addr(), err)
+			}
+		}
+	}
 	return nil
+}
+
+func containsServer(set []int, s int) bool {
+	for _, have := range set {
+		if have == s {
+			return true
+		}
+	}
+	return false
 }
 
 // Delete removes the item from every replica server. Replica servers
