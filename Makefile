@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos ci bench-skew
+.PHONY: build vet test race chaos ci bench-skew bench-pool
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,18 @@ chaos:
 	$(GO) test -race -count=5 -run 'TestChaos' .
 
 ci: build vet race chaos
+	# Transport smoke: a tiny pooled-vs-single sweep proving the pool
+	# mode still runs end to end (full sweep lives in bench-pool).
+	$(GO) run ./cmd/rnbbench -ops 60 pool
 
 # Skewed-workload benchmark: fixed-r vs adaptive hot-key replication
 # (internal/hotspot) across a Zipf-exponent sweep, machine-readable
 # output in BENCH_hotspot.json.
 bench-skew:
 	$(GO) run ./cmd/rnbsim -json BENCH_hotspot.json hotspot
+
+# Transport benchmark: single-connection vs pooled/pipelined transport
+# across a load-generator concurrency sweep, machine-readable output in
+# BENCH_pool.json.
+bench-pool:
+	$(GO) run ./cmd/rnbbench -json BENCH_pool.json pool

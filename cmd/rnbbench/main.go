@@ -9,14 +9,22 @@
 //	rnbbench one        # fig 13: one client
 //	rnbbench two        # fig 14: two concurrent clients
 //	rnbbench -clients 4 # any client count
+//	rnbbench pool       # pooled vs single-connection transport sweep
+//
+// The "pool" mode exercises the client-side transport instead of the
+// server: it sweeps load-generator concurrency for the single-connection
+// and pooled/pipelined transports and reports multiget throughput for
+// each, optionally as JSON (-json) for BENCH_pool.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"rnb/internal/calibrate"
+	"rnb/internal/fanoutbench"
 	"rnb/internal/sim"
 	"rnb/internal/textplot"
 )
@@ -27,8 +35,21 @@ func main() {
 		items   = flag.Int("items", 200000, "items fetched per sweep point")
 		seed    = flag.Int64("seed", 1, "random seed")
 		skew    = flag.Float64("skew", 0, "Zipf exponent for key selection (0 = uniform)")
+
+		jsonOut  = flag.String("json", "", "pool mode: also write the sweep as JSON to this file")
+		poolSize = flag.Int("pool-size", 4, "pool mode: connections per server for the pooled transport")
+		servers  = flag.Int("servers", 4, "pool mode: in-process backend count")
+		ops      = flag.Int("ops", 1200, "pool mode: multi-gets per sweep point")
 	)
 	flag.Parse()
+
+	if flag.Arg(0) == "pool" {
+		if err := poolSweep(*jsonOut, *poolSize, *servers, *ops); err != nil {
+			fmt.Fprintf(os.Stderr, "rnbbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	n := *clients
 	if n == 0 {
@@ -38,7 +59,7 @@ func main() {
 		case "two":
 			n = 2
 		default:
-			fmt.Fprintf(os.Stderr, "rnbbench: unknown mode %q (want one or two)\n", flag.Arg(0))
+			fmt.Fprintf(os.Stderr, "rnbbench: unknown mode %q (want one, two, or pool)\n", flag.Arg(0))
 			os.Exit(2)
 		}
 	}
@@ -69,4 +90,43 @@ func main() {
 		model.Fixed*1e6, model.PerItem*1e6)
 	fmt.Printf("(simulator default: %.2f us/transaction + %.3f us/item)\n",
 		calibrate.DefaultModel.Fixed*1e6, calibrate.DefaultModel.PerItem*1e6)
+}
+
+// poolSweep measures multiget throughput for the single-connection and
+// pooled transports across a goroutine sweep, printing a table and
+// optionally recording the raw results as JSON.
+func poolSweep(jsonOut string, poolSize, servers, ops int) error {
+	type row struct {
+		Goroutines int                `json:"goroutines"`
+		Single     fanoutbench.Result `json:"single"`
+		Pooled     fanoutbench.Result `json:"pooled"`
+	}
+	var rows []row
+	fmt.Printf("%-10s %18s %18s %8s\n", "goroutines", "single multiget/s", "pooled multiget/s", "speedup")
+	for _, g := range []int{1, 2, 4, 8, 16, 32, 64} {
+		base := fanoutbench.Config{Servers: servers, Goroutines: g, Ops: ops}
+		single, err := fanoutbench.Run(base)
+		if err != nil {
+			return err
+		}
+		base.PoolSize = poolSize
+		pooled, err := fanoutbench.Run(base)
+		if err != nil {
+			return err
+		}
+		speedup := 0.0
+		if single.OpsPerSec > 0 {
+			speedup = pooled.OpsPerSec / single.OpsPerSec
+		}
+		fmt.Printf("%-10d %18.0f %18.0f %7.2fx\n", g, single.OpsPerSec, pooled.OpsPerSec, speedup)
+		rows = append(rows, row{Goroutines: g, Single: single, Pooled: pooled})
+	}
+	if jsonOut == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonOut, append(buf, '\n'), 0o644)
 }

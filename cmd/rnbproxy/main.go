@@ -37,6 +37,7 @@ func main() {
 		retries    = flag.Int("retries", 1, "re-plan rounds for keys lost to a failed backend (0 disables)")
 		backoff    = flag.Duration("retry-backoff", 15*time.Millisecond, "base jittered backoff between re-plan rounds")
 		statsEvery = flag.Duration("stats-every", 0, "log backend breaker states at this interval (0 disables)")
+		poolSize   = flag.Int("pool-size", 1, "pipelined connections per backend (1 = single-connection transport)")
 
 		adaptive    = flag.Bool("adaptive", false, "adaptive hot-key replication: boost replication of keys that dominate recent traffic")
 		maxBoost    = flag.Int("adaptive-max-boost", 2, "extra replicas a hot key can earn (with -adaptive)")
@@ -56,6 +57,7 @@ func main() {
 		rnb.WithFailureCooldown(*cooldown),
 		rnb.WithBreakerThreshold(*threshold),
 		rnb.WithRetry(*retries, *backoff),
+		rnb.WithPoolSize(*poolSize),
 	}
 	if *noPin {
 		opts = append(opts, rnb.WithPinnedDistinguished(false))
@@ -90,6 +92,9 @@ func main() {
 				status := fmt.Sprintf("rnbproxy: backends%s; %s", line, client.Resilience())
 				if client.AdaptiveEnabled() {
 					status += "; " + client.Hotspot().String()
+				}
+				if g := client.PoolGauges(); g != nil {
+					status += "; " + g.String()
 				}
 				fmt.Fprintln(os.Stderr, status)
 			}

@@ -27,6 +27,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"rnb/internal/core"
 	"rnb/internal/hashring"
@@ -73,17 +74,24 @@ type HeatObserver interface {
 	Observe(items []uint64)
 }
 
-// Cluster is a simulated RnB memcached tier.
+// Cluster is a simulated RnB memcached tier. All methods are safe for
+// concurrent use: one mutex serializes request execution and state
+// inspection, which keeps multi-goroutine drivers (the pooled-client
+// benchmarks, chaos sweeps) honest without complicating the simulation
+// itself — simulated "servers" share LRU state, so finer-grained
+// locking would buy nothing here.
 type Cluster struct {
 	cfg       Config
 	placement hashring.Placement
 	planner   *core.Planner
 	observer  HeatObserver // non-nil when the placement tracks heat
-	servers   []*lru.Cache[uint64, struct{}]
-	down      []bool
-	nDown     int
-	tally     metrics.Tally
-	loads     []uint64 // per-server transactions served (round 1 + round 2)
+
+	mu      sync.Mutex
+	servers []*lru.Cache[uint64, struct{}]
+	down    []bool
+	nDown   int
+	tally   metrics.Tally
+	loads   []uint64 // per-server transactions served (round 1 + round 2)
 }
 
 // New builds and populates a cluster.
@@ -166,6 +174,8 @@ func (c *Cluster) Tally() *metrics.Tally { return &c.tally }
 // ResetTally clears the metrics (e.g. after warm-up) without touching
 // cache state. Per-server load counters reset with the tally.
 func (c *Cluster) ResetTally() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.tally = metrics.Tally{}
 	for i := range c.loads {
 		c.loads[i] = 0
@@ -177,6 +187,8 @@ func (c *Cluster) ResetTally() {
 // the hotspot experiments (max/mean of this slice is the imbalance
 // factor).
 func (c *Cluster) ServerLoads() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return append([]uint64(nil), c.loads...)
 }
 
@@ -185,6 +197,8 @@ func (c *Cluster) Config() Config { return c.cfg }
 
 // Occupancy returns, per server, resident cost / capacity. Diagnostics.
 func (c *Cluster) Occupancy() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]float64, len(c.servers))
 	for i, s := range c.servers {
 		if s.Capacity() > 0 {
@@ -200,6 +214,8 @@ func (c *Cluster) Occupancy() []float64 {
 // memory is retained for RestoreServer, modeling a process restart
 // behind a warm cache or a fast-rejoining node.
 func (c *Cluster) FailServer(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if i < 0 || i >= len(c.servers) {
 		return fmt.Errorf("cluster: no server %d", i)
 	}
@@ -212,6 +228,8 @@ func (c *Cluster) FailServer(i int) error {
 
 // RestoreServer brings a failed server back.
 func (c *Cluster) RestoreServer(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if i < 0 || i >= len(c.servers) {
 		return fmt.Errorf("cluster: no server %d", i)
 	}
@@ -241,6 +259,8 @@ type RequestResult struct {
 
 // Do executes one request against the cluster and updates the tally.
 func (c *Cluster) Do(req workload.Request) (RequestResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.observer != nil {
 		// Feed the heat tracker before planning, mirroring the client:
 		// the epoch controller may rotate here, between requests, never

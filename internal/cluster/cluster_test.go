@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -450,6 +451,51 @@ func BenchmarkDo16Servers4Replicas(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Do(gen.Next()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentDo hammers one cluster from many goroutines — request
+// execution racing failure toggles, tally resets, and the inspection
+// methods. Run under -race (make race) it proves the cluster's mutex
+// actually covers every mutable path; the invariant checked here is
+// that every request still obtains all of its items.
+func TestConcurrentDo(t *testing.T) {
+	c := mustNew(t, Config{Servers: 8, Items: 2000, Replicas: 3, MemoryFactor: 2.0})
+	const G = 16
+	done := make(chan error, G)
+	for g := 0; g < G; g++ {
+		go func(g int) {
+			gen := workload.NewUniformGenerator(2000, 20, int64(g))
+			for i := 0; i < 50; i++ {
+				switch {
+				case g == 0 && i%10 == 5:
+					c.FailServer(i % 8)
+				case g == 0 && i%10 == 9:
+					c.RestoreServer((i - 4) % 8)
+				case g == 1 && i%25 == 24:
+					c.ResetTally()
+				case g == 2 && i%10 == 3:
+					c.ServerLoads()
+					c.Occupancy()
+				}
+				req := gen.Next()
+				res, err := c.Do(req)
+				if err != nil {
+					done <- err
+					return
+				}
+				if res.Obtained != len(req.Items) {
+					done <- fmt.Errorf("goroutine %d: obtained %d of %d", g, res.Obtained, len(req.Items))
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < G; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
 		}
 	}
 }

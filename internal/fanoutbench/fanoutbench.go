@@ -1,0 +1,245 @@
+// Package fanoutbench measures the rnb.Client's fan-out throughput
+// against in-process memcached servers under concurrent load — the
+// harness behind BenchmarkFanoutConcurrency and `rnbbench pool`.
+//
+// The quantity of interest is multi-get throughput as a function of
+// client concurrency and transport: with the single-connection
+// transport every concurrent request serializes on one round trip per
+// server, so throughput plateaus almost immediately; the pooled,
+// pipelined transport (rnb.WithPoolSize) lets G goroutines share
+// batched, overlapped round trips, and throughput keeps scaling. The
+// paper's premise (per-transaction cost dominates, §II) makes this the
+// client-side half of the RnB story: bundling cuts transactions per
+// request, pooling keeps the saved fan-out from re-serializing inside
+// the client.
+package fanoutbench
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"rnb"
+	"rnb/internal/memcache"
+)
+
+// latListener wraps a listener so every accepted connection pays a
+// simulated round-trip delay on each raw read. One delay per raw Read
+// is exactly the quantity pipelining amortizes: a batched flush of N
+// requests arrives in one read (one delay) where N serialized round
+// trips arrive in N.
+type latListener struct {
+	net.Listener
+	delay *atomic.Int64
+}
+
+func (l *latListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &latConn{Conn: c, delay: l.delay}, nil
+}
+
+type latConn struct {
+	net.Conn
+	delay *atomic.Int64
+}
+
+func (c *latConn) Read(p []byte) (int, error) {
+	if d := c.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	return c.Conn.Read(p)
+}
+
+// Config parameterizes one measurement.
+type Config struct {
+	// Servers is the number of in-process backends (default 4).
+	Servers int `json:"servers"`
+	// Replicas is the RnB replication level (default 3, clamped to
+	// Servers by the client).
+	Replicas int `json:"replicas"`
+	// PoolSize selects the transport: <= 1 single-connection, > 1 the
+	// pipelined pool with that many connections per server.
+	PoolSize int `json:"pool_size"`
+	// Goroutines is the number of concurrent load generators
+	// (default 8).
+	Goroutines int `json:"goroutines"`
+	// Ops is the total number of GetMulti calls across all goroutines
+	// (default 2000).
+	Ops int `json:"ops"`
+	// TxnSize is the number of distinct keys per GetMulti (default 16).
+	TxnSize int `json:"txn_size"`
+	// Keys is the keyspace size (default 4096; must be >= TxnSize).
+	Keys int `json:"keys"`
+	// ValueSize is the stored value length in bytes (default 100).
+	ValueSize int `json:"value_size"`
+	// RTT simulates network latency: each raw server-side read sleeps
+	// this long before delivering bytes (default 200µs; < 0 disables).
+	// Loopback has none of the round-trip latency a real tier pays, and
+	// latency is precisely what pooling and pipelining attack: a
+	// batched flush of N pipelined requests pays the delay once where N
+	// serialized round trips pay it N times. Applied after preload.
+	RTT time.Duration `json:"rtt_ns"`
+	// Seed drives key selection (default 1).
+	Seed int64 `json:"seed"`
+}
+
+func (c *Config) defaults() error {
+	if c.Servers <= 0 {
+		c.Servers = 4
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Goroutines <= 0 {
+		c.Goroutines = 8
+	}
+	if c.Ops <= 0 {
+		c.Ops = 2000
+	}
+	if c.TxnSize <= 0 {
+		c.TxnSize = 16
+	}
+	if c.Keys <= 0 {
+		c.Keys = 4096
+	}
+	if c.ValueSize < 0 {
+		c.ValueSize = 100
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 100
+	}
+	if c.RTT == 0 {
+		c.RTT = 200 * time.Microsecond
+	}
+	if c.RTT < 0 {
+		c.RTT = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Keys < c.TxnSize {
+		return fmt.Errorf("fanoutbench: keyspace %d smaller than transaction size %d", c.Keys, c.TxnSize)
+	}
+	return nil
+}
+
+// Result is one measurement.
+type Result struct {
+	Config       Config        `json:"config"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	Ops          int           `json:"ops"`
+	Items        int           `json:"items"`
+	OpsPerSec    float64       `json:"ops_per_sec"`
+	ItemsPerSec  float64       `json:"items_per_sec"`
+	Transactions uint64        `json:"transactions"`
+	// PipelineHighWater is the deepest observed pipeline (0 for the
+	// single-connection transport — there is no pipeline).
+	PipelineHighWater int64 `json:"pipeline_high_water"`
+}
+
+// Run starts cfg.Servers in-process backends, preloads the keyspace,
+// and drives cfg.Ops multi-gets from cfg.Goroutines goroutines through
+// one shared client, returning the throughput.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return Result{}, err
+	}
+	// rtt holds the currently injected per-read delay in nanoseconds;
+	// zero during preload, cfg.RTT during the measured window.
+	var rtt atomic.Int64
+	servers := make([]*memcache.Server, cfg.Servers)
+	addrs := make([]string, cfg.Servers)
+	for i := range servers {
+		srv := memcache.NewServer(memcache.NewStore(0))
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return Result{}, err
+		}
+		go srv.Serve(&latListener{Listener: ln, delay: &rtt})
+		defer srv.Close()
+		servers[i] = srv
+		addrs[i] = ln.Addr().String()
+	}
+	opts := []rnb.Option{rnb.WithReplicas(cfg.Replicas), rnb.WithTimeout(10 * time.Second)}
+	if cfg.PoolSize > 1 {
+		opts = append(opts, rnb.WithPoolSize(cfg.PoolSize))
+	}
+	cl, err := rnb.NewClient(addrs, opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cl.Close()
+
+	key := func(i int) string { return fmt.Sprintf("item:%06d", i) }
+	val := make([]byte, cfg.ValueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := 0; i < cfg.Keys; i++ {
+		if err := cl.Set(&rnb.Item{Key: key(i), Value: val}); err != nil {
+			return Result{}, fmt.Errorf("fanoutbench: preload: %w", err)
+		}
+	}
+
+	type job struct{ start int }
+	jobs := make(chan job, cfg.Ops)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for op := 0; op < cfg.Ops; op++ {
+		jobs <- job{start: rng.Intn(cfg.Keys - cfg.TxnSize + 1)}
+	}
+	close(jobs)
+
+	errs := make(chan error, cfg.Goroutines)
+	items := make(chan int, cfg.Goroutines)
+	startTxns := cl.Transactions()
+	rtt.Store(int64(cfg.RTT)) // preload ran latency-free; the measured window pays it
+	t0 := time.Now()
+	for g := 0; g < cfg.Goroutines; g++ {
+		go func() {
+			got := 0
+			ks := make([]string, cfg.TxnSize)
+			for j := range jobs {
+				for i := range ks {
+					ks[i] = key(j.start + i)
+				}
+				found, _, err := cl.GetMulti(ks)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got += len(found)
+			}
+			items <- got
+			errs <- nil
+		}()
+	}
+	total := 0
+	for g := 0; g < cfg.Goroutines; g++ {
+		if err := <-errs; err != nil {
+			return Result{}, err
+		}
+		total += <-items
+	}
+	elapsed := time.Since(t0)
+
+	res := Result{
+		Config:       cfg,
+		Elapsed:      elapsed,
+		Ops:          cfg.Ops,
+		Items:        total,
+		Transactions: cl.Transactions() - startTxns,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.OpsPerSec = float64(cfg.Ops) / secs
+		res.ItemsPerSec = float64(total) / secs
+	}
+	if g := cl.PoolGauges(); g != nil {
+		res.PipelineHighWater = g.PipelineHighWater.Load()
+	}
+	return res, nil
+}

@@ -2,19 +2,17 @@ package memcache
 
 import (
 	"bufio"
-	"bytes"
-	"fmt"
 	"net"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 )
 
 // Client is a memcached text-protocol client for a single server. It
 // multiplexes all calls over one connection guarded by a mutex —
-// adequate for benchmarking and the RnB proof of concept, where each
-// load-generator goroutine owns its own Client.
+// adequate for benchmarking and simple tools, where each load-generator
+// goroutine owns its own Client. High-fan-out callers (the RnB client
+// with many goroutines per server) should use Pool, the pooled,
+// pipelined transport built on the same request codec.
 type Client struct {
 	addr    string
 	timeout time.Duration
@@ -150,9 +148,12 @@ func (c *Client) do(fn func() error, idempotent bool) error {
 	c.armDeadline()
 	c.transactions++
 	err := fn()
-	if err == nil {
+	if !isConnFatal(err) {
+		// Success, or a protocol-level outcome (miss, CAS conflict,
+		// declined store, status-line error): the reply was consumed in
+		// full and the connection stays in sync.
 		c.clearDeadline()
-		return nil
+		return err
 	}
 	// Connection state is unknown after an I/O error; drop it.
 	c.conn.Close()
@@ -167,13 +168,14 @@ func (c *Client) do(fn func() error, idempotent bool) error {
 	}
 	c.armDeadline()
 	c.transactions++
-	if err2 := fn(); err2 != nil {
+	err2 := fn()
+	if isConnFatal(err2) {
 		c.conn.Close()
 		c.conn = nil
 		return err2
 	}
 	c.clearDeadline()
-	return nil
+	return err2
 }
 
 // Get fetches a single key.
@@ -212,84 +214,18 @@ func (c *Client) getMulti(verb string, keys []string) (map[string]*Item, error) 
 	}
 	out := make(map[string]*Item, len(keys))
 	err := c.roundTripIdempotent(func() error {
-		var sb strings.Builder
-		sb.WriteString(verb)
-		for _, k := range keys {
-			sb.WriteByte(' ')
-			sb.WriteString(k)
-		}
-		sb.WriteString("\r\n")
-		if _, err := c.w.WriteString(sb.String()); err != nil {
+		if err := writeGetCmd(c.w, verb, keys); err != nil {
 			return err
 		}
 		if err := c.w.Flush(); err != nil {
 			return err
 		}
-		for {
-			line, err := readLine(c.r)
-			if err != nil {
-				return err
-			}
-			if bytes.Equal(line, []byte("END")) {
-				return nil
-			}
-			it, err := c.parseValue(line, verb == "gets")
-			if err != nil {
-				return err
-			}
-			out[it.Key] = it
-		}
+		return readValuesInto(c.r, verb == "gets", out)
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
-}
-
-func (c *Client) parseValue(line []byte, withCAS bool) (*Item, error) {
-	fields := strings.Fields(string(line))
-	want := 4
-	if withCAS {
-		want = 5
-	}
-	if len(fields) != want || fields[0] != "VALUE" {
-		return nil, fmt.Errorf("memcache: unexpected response line %q", line)
-	}
-	flags, err := parseUint(fields[2], 32)
-	if err != nil {
-		return nil, err
-	}
-	size, err := parseUint(fields[3], 31)
-	if err != nil {
-		return nil, err
-	}
-	it := &Item{Key: fields[1], Flags: uint32(flags)}
-	if withCAS {
-		if it.CAS, err = parseUint(fields[4], 64); err != nil {
-			return nil, err
-		}
-	}
-	data := make([]byte, size+2)
-	if _, err := readFull(c.r, data); err != nil {
-		return nil, err
-	}
-	if !bytes.HasSuffix(data, []byte("\r\n")) {
-		return nil, fmt.Errorf("memcache: corrupt data block for %s", it.Key)
-	}
-	it.Value = data[:size]
-	return it, nil
-}
-
-func readFull(r *bufio.Reader, buf []byte) (int, error) {
-	n := 0
-	for n < len(buf) {
-		m, err := r.Read(buf[n:])
-		n += m
-		if err != nil {
-			return n, err
-		}
-	}
-	return n, nil
 }
 
 // Set stores an item unconditionally.
@@ -335,35 +271,19 @@ func (c *Client) incrDecr(verb, key string, delta uint64) (uint64, error) {
 	if !validKey(key) {
 		return 0, ErrBadKey
 	}
-	var status string
+	var out uint64
 	err := c.roundTrip(func() error {
-		if _, err := fmt.Fprintf(c.w, "%s %s %d\r\n", verb, key, delta); err != nil {
+		if err := writeIncrDecrCmd(c.w, verb, key, delta); err != nil {
 			return err
 		}
 		if err := c.w.Flush(); err != nil {
 			return err
 		}
-		line, err := readLine(c.r)
-		if err != nil {
-			return err
-		}
-		status = string(line)
-		return nil
+		var rerr error
+		out, rerr = readIncrDecrReply(c.r, verb)
+		return rerr
 	})
-	if err != nil {
-		return 0, err
-	}
-	if status == "NOT_FOUND" {
-		return 0, ErrCacheMiss
-	}
-	if strings.HasPrefix(status, "CLIENT_ERROR") || strings.HasPrefix(status, "SERVER_ERROR") {
-		return 0, fmt.Errorf("memcache: server answered %q", status)
-	}
-	v, perr := strconv.ParseUint(status, 10, 64)
-	if perr != nil {
-		return 0, fmt.Errorf("memcache: unexpected %s response %q", verb, status)
-	}
-	return v, nil
+	return out, err
 }
 
 func (c *Client) store(verb string, it *Item, cas uint64) error {
@@ -373,57 +293,15 @@ func (c *Client) store(verb string, it *Item, cas uint64) error {
 	if len(it.Value) > MaxValueLen {
 		return ErrTooLarge
 	}
-	var status string
-	err := c.roundTrip(func() error {
-		var sb strings.Builder
-		sb.WriteString(verb)
-		sb.WriteByte(' ')
-		sb.WriteString(it.Key)
-		sb.WriteByte(' ')
-		sb.WriteString(strconv.FormatUint(uint64(it.Flags), 10))
-		sb.WriteByte(' ')
-		sb.WriteString(strconv.FormatInt(int64(it.Expiration), 10))
-		sb.WriteByte(' ')
-		sb.WriteString(strconv.Itoa(len(it.Value)))
-		if verb == "cas" {
-			sb.WriteByte(' ')
-			sb.WriteString(strconv.FormatUint(cas, 10))
-		}
-		sb.WriteString("\r\n")
-		if _, err := c.w.WriteString(sb.String()); err != nil {
-			return err
-		}
-		if _, err := c.w.Write(it.Value); err != nil {
-			return err
-		}
-		if _, err := c.w.WriteString("\r\n"); err != nil {
+	return c.roundTrip(func() error {
+		if err := writeStoreCmd(c.w, verb, it, cas); err != nil {
 			return err
 		}
 		if err := c.w.Flush(); err != nil {
 			return err
 		}
-		line, err := readLine(c.r)
-		if err != nil {
-			return err
-		}
-		status = string(line)
-		return nil
+		return readStoreReply(c.r)
 	})
-	if err != nil {
-		return err
-	}
-	switch status {
-	case "STORED":
-		return nil
-	case "NOT_STORED":
-		return ErrNotStored
-	case "EXISTS":
-		return ErrCASConflict
-	case "NOT_FOUND":
-		return ErrCacheMiss
-	default:
-		return fmt.Errorf("memcache: server answered %q", status)
-	}
 }
 
 // Touch updates a key's expiration time.
@@ -431,32 +309,15 @@ func (c *Client) Touch(key string, exp int32) error {
 	if !validKey(key) {
 		return ErrBadKey
 	}
-	var status string
-	err := c.roundTrip(func() error {
-		if _, err := fmt.Fprintf(c.w, "touch %s %d\r\n", key, exp); err != nil {
+	return c.roundTrip(func() error {
+		if err := writeTouchCmd(c.w, key, exp); err != nil {
 			return err
 		}
 		if err := c.w.Flush(); err != nil {
 			return err
 		}
-		line, err := readLine(c.r)
-		if err != nil {
-			return err
-		}
-		status = string(line)
-		return nil
+		return readTouchReply(c.r)
 	})
-	if err != nil {
-		return err
-	}
-	switch status {
-	case "TOUCHED":
-		return nil
-	case "NOT_FOUND":
-		return ErrCacheMiss
-	default:
-		return fmt.Errorf("memcache: server answered %q", status)
-	}
 }
 
 // Delete removes a key.
@@ -464,76 +325,43 @@ func (c *Client) Delete(key string) error {
 	if !validKey(key) {
 		return ErrBadKey
 	}
-	var status string
-	err := c.roundTrip(func() error {
-		if _, err := fmt.Fprintf(c.w, "delete %s\r\n", key); err != nil {
+	return c.roundTrip(func() error {
+		if err := writeDeleteCmd(c.w, key); err != nil {
 			return err
 		}
 		if err := c.w.Flush(); err != nil {
 			return err
 		}
-		line, err := readLine(c.r)
-		if err != nil {
-			return err
-		}
-		status = string(line)
-		return nil
+		return readDeleteReply(c.r)
 	})
-	if err != nil {
-		return err
-	}
-	switch status {
-	case "DELETED":
-		return nil
-	case "NOT_FOUND":
-		return ErrCacheMiss
-	default:
-		return fmt.Errorf("memcache: server answered %q", status)
-	}
 }
 
 // FlushAll wipes the server.
 func (c *Client) FlushAll() error {
-	var status string
-	err := c.roundTrip(func() error {
-		if _, err := c.w.WriteString("flush_all\r\n"); err != nil {
+	return c.roundTrip(func() error {
+		if err := writeFlushAllCmd(c.w); err != nil {
 			return err
 		}
 		if err := c.w.Flush(); err != nil {
 			return err
 		}
-		line, err := readLine(c.r)
-		if err != nil {
-			return err
-		}
-		status = string(line)
-		return nil
+		return readFlushAllReply(c.r)
 	})
-	if err != nil {
-		return err
-	}
-	if status != "OK" {
-		return fmt.Errorf("memcache: server answered %q", status)
-	}
-	return nil
 }
 
 // Version returns the server version banner.
 func (c *Client) Version() (string, error) {
 	var banner string
 	err := c.roundTripIdempotent(func() error {
-		if _, err := c.w.WriteString("version\r\n"); err != nil {
+		if err := writeVersionCmd(c.w); err != nil {
 			return err
 		}
 		if err := c.w.Flush(); err != nil {
 			return err
 		}
-		line, err := readLine(c.r)
-		if err != nil {
-			return err
-		}
-		banner = strings.TrimPrefix(string(line), "VERSION ")
-		return nil
+		var rerr error
+		banner, rerr = readVersionReply(c.r)
+		return rerr
 	})
 	return banner, err
 }
@@ -542,25 +370,13 @@ func (c *Client) Version() (string, error) {
 func (c *Client) Stats() (map[string]string, error) {
 	out := map[string]string{}
 	err := c.roundTripIdempotent(func() error {
-		if _, err := c.w.WriteString("stats\r\n"); err != nil {
+		if err := writeStatsCmd(c.w); err != nil {
 			return err
 		}
 		if err := c.w.Flush(); err != nil {
 			return err
 		}
-		for {
-			line, err := readLine(c.r)
-			if err != nil {
-				return err
-			}
-			if bytes.Equal(line, []byte("END")) {
-				return nil
-			}
-			fields := strings.SplitN(string(line), " ", 3)
-			if len(fields) == 3 && fields[0] == "STAT" {
-				out[fields[1]] = fields[2]
-			}
-		}
+		return readStatsInto(c.r, out)
 	})
 	if err != nil {
 		return nil, err

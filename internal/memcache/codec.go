@@ -1,0 +1,303 @@
+package memcache
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the text-protocol request codec: one write function and
+// one read function per command, operating on bare bufio endpoints.
+// Both transports are built on it — the single-connection Client wraps
+// each write/read pair in a locked round trip, while the pipelined Pool
+// lets a writer goroutine issue many write halves back to back and a
+// reader goroutine demultiplex the read halves in request order. The
+// split is what makes pipelining sound: a request is fully described by
+// (write, read), so in-order execution against one connection needs no
+// other shared state.
+
+// replyError is a well-formed but negative or unexpected server reply
+// ("SERVER_ERROR ...", an unknown status line, ...). The response was
+// fully consumed, so the connection remains in sync and MUST NOT be
+// torn down — unlike I/O and framing errors.
+type replyError struct{ msg string }
+
+func (e *replyError) Error() string { return e.msg }
+
+// answeredError builds the canonical "server answered" replyError.
+func answeredError(status string) error {
+	return &replyError{msg: fmt.Sprintf("memcache: server answered %q", status)}
+}
+
+// isConnFatal reports whether err leaves the connection in an unknown
+// or unsynchronized state (I/O error, corrupt frame). Protocol-level
+// outcomes — cache misses, CAS conflicts, declined stores, error
+// status lines — consumed a complete reply and keep the connection
+// usable.
+func isConnFatal(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrCacheMiss) || errors.Is(err, ErrNotStored) || errors.Is(err, ErrCASConflict) {
+		return false
+	}
+	var re *replyError
+	return !errors.As(err, &re)
+}
+
+// --- get / gets -------------------------------------------------------
+
+func writeGetCmd(w *bufio.Writer, verb string, keys []string) error {
+	var sb strings.Builder
+	sb.WriteString(verb)
+	for _, k := range keys {
+		sb.WriteByte(' ')
+		sb.WriteString(k)
+	}
+	sb.WriteString("\r\n")
+	_, err := w.WriteString(sb.String())
+	return err
+}
+
+// readValuesInto consumes VALUE blocks until END, merging items into
+// out. Any framing violation is conn-fatal: once a VALUE header fails
+// to parse the stream position is unknown.
+func readValuesInto(r *bufio.Reader, withCAS bool, out map[string]*Item) error {
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return err
+		}
+		if bytes.Equal(line, []byte("END")) {
+			return nil
+		}
+		it, err := readValue(r, line, withCAS)
+		if err != nil {
+			return err
+		}
+		out[it.Key] = it
+	}
+}
+
+// readValue parses one "VALUE <key> <flags> <bytes> [cas]" header line
+// plus its data block.
+func readValue(r *bufio.Reader, line []byte, withCAS bool) (*Item, error) {
+	fields := strings.Fields(string(line))
+	want := 4
+	if withCAS {
+		want = 5
+	}
+	if len(fields) != want || fields[0] != "VALUE" {
+		return nil, fmt.Errorf("memcache: unexpected response line %q", line)
+	}
+	flags, err := parseUint(fields[2], 32)
+	if err != nil {
+		return nil, err
+	}
+	size, err := parseUint(fields[3], 31)
+	if err != nil {
+		return nil, err
+	}
+	if size > MaxValueLen {
+		// A corrupt (or hostile) header must not drive the allocation
+		// below: no legitimate server exceeds the protocol's value cap.
+		return nil, fmt.Errorf("memcache: VALUE header declares %d bytes (limit %d)", size, MaxValueLen)
+	}
+	it := &Item{Key: fields[1], Flags: uint32(flags)}
+	if withCAS {
+		if it.CAS, err = parseUint(fields[4], 64); err != nil {
+			return nil, err
+		}
+	}
+	data := make([]byte, size+2)
+	if _, err := readFull(r, data); err != nil {
+		return nil, err
+	}
+	if !bytes.HasSuffix(data, []byte("\r\n")) {
+		return nil, fmt.Errorf("memcache: corrupt data block for %s", it.Key)
+	}
+	it.Value = data[:size]
+	return it, nil
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// --- storage commands -------------------------------------------------
+
+func writeStoreCmd(w *bufio.Writer, verb string, it *Item, cas uint64) error {
+	var sb strings.Builder
+	sb.WriteString(verb)
+	sb.WriteByte(' ')
+	sb.WriteString(it.Key)
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatUint(uint64(it.Flags), 10))
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatInt(int64(it.Expiration), 10))
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.Itoa(len(it.Value)))
+	if verb == "cas" {
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatUint(cas, 10))
+	}
+	sb.WriteString("\r\n")
+	if _, err := w.WriteString(sb.String()); err != nil {
+		return err
+	}
+	if _, err := w.Write(it.Value); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+func readStoreReply(r *bufio.Reader) error {
+	line, err := readLine(r)
+	if err != nil {
+		return err
+	}
+	switch status := string(line); status {
+	case "STORED":
+		return nil
+	case "NOT_STORED":
+		return ErrNotStored
+	case "EXISTS":
+		return ErrCASConflict
+	case "NOT_FOUND":
+		return ErrCacheMiss
+	default:
+		return answeredError(status)
+	}
+}
+
+// --- incr / decr ------------------------------------------------------
+
+func writeIncrDecrCmd(w *bufio.Writer, verb, key string, delta uint64) error {
+	_, err := fmt.Fprintf(w, "%s %s %d\r\n", verb, key, delta)
+	return err
+}
+
+func readIncrDecrReply(r *bufio.Reader, verb string) (uint64, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return 0, err
+	}
+	status := string(line)
+	if status == "NOT_FOUND" {
+		return 0, ErrCacheMiss
+	}
+	if strings.HasPrefix(status, "CLIENT_ERROR") || strings.HasPrefix(status, "SERVER_ERROR") {
+		return 0, answeredError(status)
+	}
+	v, perr := strconv.ParseUint(status, 10, 64)
+	if perr != nil {
+		return 0, &replyError{msg: fmt.Sprintf("memcache: unexpected %s response %q", verb, status)}
+	}
+	return v, nil
+}
+
+// --- delete / touch / flush_all --------------------------------------
+
+func writeDeleteCmd(w *bufio.Writer, key string) error {
+	_, err := fmt.Fprintf(w, "delete %s\r\n", key)
+	return err
+}
+
+func readDeleteReply(r *bufio.Reader) error {
+	line, err := readLine(r)
+	if err != nil {
+		return err
+	}
+	switch status := string(line); status {
+	case "DELETED":
+		return nil
+	case "NOT_FOUND":
+		return ErrCacheMiss
+	default:
+		return answeredError(status)
+	}
+}
+
+func writeTouchCmd(w *bufio.Writer, key string, exp int32) error {
+	_, err := fmt.Fprintf(w, "touch %s %d\r\n", key, exp)
+	return err
+}
+
+func readTouchReply(r *bufio.Reader) error {
+	line, err := readLine(r)
+	if err != nil {
+		return err
+	}
+	switch status := string(line); status {
+	case "TOUCHED":
+		return nil
+	case "NOT_FOUND":
+		return ErrCacheMiss
+	default:
+		return answeredError(status)
+	}
+}
+
+func writeFlushAllCmd(w *bufio.Writer) error {
+	_, err := w.WriteString("flush_all\r\n")
+	return err
+}
+
+func readFlushAllReply(r *bufio.Reader) error {
+	line, err := readLine(r)
+	if err != nil {
+		return err
+	}
+	if status := string(line); status != "OK" {
+		return answeredError(status)
+	}
+	return nil
+}
+
+// --- version / stats --------------------------------------------------
+
+func writeVersionCmd(w *bufio.Writer) error {
+	_, err := w.WriteString("version\r\n")
+	return err
+}
+
+func readVersionReply(r *bufio.Reader) (string, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimPrefix(string(line), "VERSION "), nil
+}
+
+func writeStatsCmd(w *bufio.Writer) error {
+	_, err := w.WriteString("stats\r\n")
+	return err
+}
+
+func readStatsInto(r *bufio.Reader, out map[string]string) error {
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return err
+		}
+		if bytes.Equal(line, []byte("END")) {
+			return nil
+		}
+		fields := strings.SplitN(string(line), " ", 3)
+		if len(fields) == 3 && fields[0] == "STAT" {
+			out[fields[1]] = fields[2]
+		}
+	}
+}

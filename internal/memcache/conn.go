@@ -1,0 +1,41 @@
+package memcache
+
+// Conn is the per-server transport handle: everything the RnB client
+// (and the proxy behind it) needs from a memcached connection,
+// satisfied both by the single-connection Client and by the pooled,
+// pipelined Pool. Callers choose the transport at construction and
+// treat the handle uniformly afterwards; in particular, error semantics
+// are identical — a network-level failure surfaces as an error on the
+// operation that hit it (feeding the caller's circuit breaker), and
+// only idempotent reads are ever replayed transparently.
+type Conn interface {
+	// Addr returns the server address the handle is bound to.
+	Addr() string
+	// Close tears down every underlying connection. Safe to call twice.
+	Close() error
+	// Transactions returns the number of protocol round trips issued.
+	Transactions() uint64
+
+	Get(key string) (*Item, error)
+	GetMulti(keys []string) (map[string]*Item, error)
+	GetsMulti(keys []string) (map[string]*Item, error)
+	Set(it *Item) error
+	SetPinned(it *Item) error
+	Add(it *Item) error
+	Replace(it *Item) error
+	CompareAndSwap(it *Item) error
+	Append(key string, data []byte) error
+	Prepend(key string, data []byte) error
+	Incr(key string, delta uint64) (uint64, error)
+	Decr(key string, delta uint64) (uint64, error)
+	Delete(key string) error
+	Touch(key string, exp int32) error
+	FlushAll() error
+	Version() (string, error)
+	Stats() (map[string]string, error)
+}
+
+var (
+	_ Conn = (*Client)(nil)
+	_ Conn = (*Pool)(nil)
+)

@@ -2,6 +2,7 @@ package memcache
 
 import (
 	"net"
+	"sync"
 	"testing"
 	"time"
 )
@@ -53,6 +54,17 @@ func FuzzTextProtocol(f *testing.F) {
 		{0x80, 0x01, 0, 3, 8, 0, 0, 0, 0, 0, 0, 14, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
 		{0x80, 0xff, 0xff, 0xff},
 		[]byte("set k 0 0 5 noreply\r\nab"),
+		// Pipelined streams: many commands land in the server's read
+		// buffer before it has answered the first — the shape the pooled
+		// transport's batched flushes produce.
+		[]byte("get a\r\nget b\r\nget c\r\nget d\r\nget e\r\n"),
+		[]byte("set k 0 0 1\r\nx\r\nget k\r\ndelete k\r\nget k\r\nincr k 1\r\nversion\r\n"),
+		[]byte("set a 0 0 0\r\n\r\nset b 0 0 2\r\nhi\r\ngets a b\r\ntouch a 9\r\nstats\r\n"),
+		// Pipelined garbage: a framing error mid-stream must not wedge
+		// the commands behind it (the server drops the conn; the client
+		// resyncs by reconnecting).
+		[]byte("get a\r\nBOGUS x y\r\nget b\r\n"),
+		[]byte("set k 0 0 3\r\nabget c\r\nget d\r\n"),
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -62,6 +74,81 @@ func FuzzTextProtocol(f *testing.F) {
 			t.Skip()
 		}
 		fuzzTarget(t, data)
+	})
+}
+
+// FuzzPoolDemux attacks the pooled transport's response demultiplexer
+// from the server side: a fake server answers every connection with an
+// arbitrary byte stream while three concurrent multi-gets are in
+// flight. Whatever the stream — truncated VALUE blocks, oversized
+// declared lengths, interleaved garbage, empty replies — the pool must
+// neither panic, nor hang past its deadline, nor leak its goroutines
+// (Close must return).
+func FuzzPoolDemux(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("END\r\nEND\r\nEND\r\n"),
+		[]byte("VALUE a 0 1\r\nx\r\nEND\r\nVALUE b 0 2\r\nhi\r\nEND\r\nEND\r\n"),
+		[]byte("VALUE a 0 5\r\nab"),              // truncated data block
+		[]byte("VALUE a 0 999999999\r\n"),        // hostile declared size
+		[]byte("VALUE a zero 1\r\nx\r\nEND\r\n"), // unparsable header
+		[]byte("STORED\r\nNOT_FOUND\r\nSERVER_ERROR out of memory\r\n"),
+		[]byte("garbage\r\nmore garbage\r\nEND\r\n"),
+		{},
+		{0xff, 0xfe, 0x00, 0x0d, 0x0a},
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		// Fake server: drain whatever the client writes, answer with the
+		// fuzz bytes, then hold the conn open (the client's deadline
+		// bounds the wait).
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func(conn net.Conn) {
+					defer conn.Close()
+					go func() {
+						buf := make([]byte, 4096)
+						for {
+							if _, err := conn.Read(buf); err != nil {
+								return
+							}
+						}
+					}()
+					conn.Write(data)
+					time.Sleep(400 * time.Millisecond)
+				}(conn)
+			}
+		}()
+		p, err := NewPool(ln.Addr().String(), 150*time.Millisecond, PoolConfig{Size: 2, Depth: 8})
+		if err != nil {
+			t.Skip() // accept raced the dial; nothing to fuzz
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				// Errors are expected — panics and hangs are the bugs.
+				p.GetMulti([]string{"a", "b", "c"})
+			}(g)
+		}
+		wg.Wait()
+		if err := p.Close(); err != nil {
+			t.Fatalf("pool close after demux fuzz: %v", err)
+		}
 	})
 }
 

@@ -1,0 +1,713 @@
+package memcache
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rnb/internal/metrics"
+)
+
+// Pool is a pooled, pipelined text-protocol client for a single
+// server, replacing the one-mutex-one-connection Client on hot paths.
+//
+// Why it exists: RnB's premise (paper §II, §V) is that per-transaction
+// server cost dominates, so the client must drive many servers
+// concurrently with few, fat transactions. A single mutex-guarded
+// connection serializes every concurrent caller on one round trip at a
+// time; with M goroutines the fan-out the planner earns is thrown away
+// at the socket. The Pool removes that ceiling twice over:
+//
+//   - connection pooling: up to Size connections per server, dialed on
+//     demand and reaped when idle, so independent requests ride
+//     independent round trips;
+//   - request pipelining: each connection runs a single writer
+//     goroutine that coalesces concurrently submitted requests into
+//     batched writes (one flush for many commands) and a single reader
+//     goroutine that demultiplexes the responses in request order —
+//     the text protocol answers strictly in order, so FIFO demux is
+//     exact. M concurrent callers therefore share one in-flight
+//     connection without ever waiting a full round trip each.
+//
+// Error semantics mirror Client: a network-level failure fails the
+// operation (the caller's breaker quarantines the server), and only
+// idempotent requests are replayed — once, per pipelined request, when
+// their connection dies under them. Requests that never reached the
+// wire are rerouted to another connection regardless of idempotence,
+// because nothing was applied server-side.
+type Pool struct {
+	addr    string
+	timeout time.Duration
+	size    int
+	depth   int
+	idle    time.Duration
+	gauges  *metrics.PoolGauges
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	conns   []*pconn
+	rr      int
+	dialing int
+	closed  bool
+
+	reapStop chan struct{}
+	reapDone chan struct{}
+
+	transactions atomic.Uint64
+}
+
+// PoolConfig parameterizes a Pool. The zero value picks the defaults.
+type PoolConfig struct {
+	// Size is the maximum number of connections to the server
+	// (default 4). Connections are dialed on demand: a fresh pool holds
+	// one, and grows only while every open connection is saturated.
+	Size int
+	// Depth is the per-connection pipeline target: a connection with
+	// this many requests queued or in flight is considered saturated
+	// and further requests prefer another connection (default 32).
+	Depth int
+	// IdleTimeout reaps connections that served no request for this
+	// long (default 30s; <= 0 disables reaping). A reaped-to-empty pool
+	// redials on the next request.
+	IdleTimeout time.Duration
+	// Gauges, when non-nil, receives the pool's instrumentation;
+	// several pools (one per server) may share one PoolGauges for a
+	// tier-wide view.
+	Gauges *metrics.PoolGauges
+}
+
+// Pool defaults.
+const (
+	DefaultPoolSize    = 4
+	DefaultPoolDepth   = 32
+	DefaultIdleTimeout = 30 * time.Second
+)
+
+// errPoolClosed fails requests submitted after Close.
+var errPoolClosed = errors.New("memcache: pool closed")
+
+// NewPool connects a pooled, pipelined client to the server at addr.
+// Exactly like Dial, one connection is established eagerly so an
+// unreachable server fails construction; timeout <= 0 disables I/O
+// deadlines.
+func NewPool(addr string, timeout time.Duration, cfg PoolConfig) (*Pool, error) {
+	if cfg.Size <= 0 {
+		cfg.Size = DefaultPoolSize
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = DefaultPoolDepth
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.Gauges == nil {
+		cfg.Gauges = &metrics.PoolGauges{}
+	}
+	p := &Pool{
+		addr:    addr,
+		timeout: timeout,
+		size:    cfg.Size,
+		depth:   cfg.Depth,
+		idle:    cfg.IdleTimeout,
+		gauges:  cfg.Gauges,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	c, err := p.dial()
+	if err != nil {
+		return nil, err
+	}
+	p.conns = append(p.conns, c)
+	if p.idle > 0 {
+		p.reapStop = make(chan struct{})
+		p.reapDone = make(chan struct{})
+		go p.reapLoop()
+	}
+	return p, nil
+}
+
+// Addr returns the server address.
+func (p *Pool) Addr() string { return p.addr }
+
+// Transactions returns the number of round trips issued so far
+// (replays included).
+func (p *Pool) Transactions() uint64 { return p.transactions.Load() }
+
+// Gauges returns the pool's instrumentation.
+func (p *Pool) Gauges() *metrics.PoolGauges { return p.gauges }
+
+// ConnsOpen reports the number of currently established connections.
+func (p *Pool) ConnsOpen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// Close tears down every connection, fails every pending request, and
+// waits for the pool's goroutines to exit. Safe to call twice.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := append([]*pconn(nil), p.conns...)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if p.reapStop != nil {
+		close(p.reapStop)
+		<-p.reapDone
+	}
+	for _, c := range conns {
+		c.teardown(errPoolClosed)
+	}
+	for _, c := range conns {
+		<-c.drained
+	}
+	return nil
+}
+
+// reapLoop closes connections that have been idle past the idle
+// timeout. Dial-on-demand brings them back, so a quiet tier holds no
+// sockets.
+func (p *Pool) reapLoop() {
+	defer close(p.reapDone)
+	period := p.idle / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.reapStop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now().UnixNano()
+		var victims []*pconn
+		p.mu.Lock()
+		for _, c := range p.conns {
+			if c.load() == 0 && now-c.lastDone.Load() > int64(p.idle) {
+				victims = append(victims, c)
+			}
+		}
+		p.mu.Unlock()
+		for _, c := range victims {
+			p.gauges.ConnsReaped.Add(1)
+			c.teardown(errors.New("memcache: idle connection reaped"))
+		}
+	}
+}
+
+// dial establishes one pipelined connection and starts its writer and
+// reader goroutines.
+func (p *Pool) dial() (*pconn, error) {
+	conn, err := net.Dial("tcp", p.addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &pconn{
+		pool:     p,
+		conn:     conn,
+		r:        bufio.NewReaderSize(conn, 64<<10),
+		w:        bufio.NewWriterSize(conn, 64<<10),
+		reqs:     make(chan *poolRequest, p.depth),
+		inflight: make(chan *poolRequest, p.depth),
+		stop:     make(chan struct{}),
+		drained:  make(chan struct{}),
+	}
+	c.lastDone.Store(time.Now().UnixNano())
+	c.wg.Add(2)
+	go c.writeLoop()
+	go c.readLoop()
+	p.gauges.ConnsDialed.Add(1)
+	p.gauges.ConnsOpen.Add(1)
+	return c, nil
+}
+
+// route returns a connection with pipeline headroom, dialing a new one
+// when every open connection is saturated and the pool is below Size,
+// and blocking (a "waiter") when the pool is saturated outright.
+func (p *Pool) route() (*pconn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closed {
+			return nil, errPoolClosed
+		}
+		// Drop dead connections from the rotation.
+		live := p.conns[:0]
+		for _, c := range p.conns {
+			if !c.isDead() {
+				live = append(live, c)
+			}
+		}
+		p.conns = live
+		// Round-robin over connections with headroom.
+		if n := len(p.conns); n > 0 {
+			for i := 0; i < n; i++ {
+				c := p.conns[(p.rr+i)%n]
+				if c.load() < p.depth {
+					p.rr = (p.rr + i + 1) % n
+					return c, nil
+				}
+			}
+		}
+		if len(p.conns)+p.dialing < p.size {
+			p.dialing++
+			p.mu.Unlock()
+			c, err := p.dial()
+			p.mu.Lock()
+			p.dialing--
+			if err != nil {
+				return nil, err
+			}
+			if p.closed {
+				p.mu.Unlock()
+				c.teardown(errPoolClosed)
+				<-c.drained
+				p.mu.Lock()
+				return nil, errPoolClosed
+			}
+			p.conns = append(p.conns, c)
+			return c, nil
+		}
+		// Saturated: wait for a completion (or a death) to free capacity.
+		p.gauges.Waiters.Add(1)
+		p.cond.Wait()
+		p.gauges.Waiters.Add(-1)
+	}
+}
+
+// notify wakes routing waiters after a completion or a connection
+// death changed pool capacity.
+func (p *Pool) notify() { p.cond.Broadcast() }
+
+// connClosed finalizes a connection's teardown.
+func (p *Pool) connClosed(c *pconn) {
+	p.mu.Lock()
+	for i, have := range p.conns {
+		if have == c {
+			p.conns = append(p.conns[:i], p.conns[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	p.gauges.ConnsOpen.Add(-1)
+	p.notify()
+}
+
+// poolRequest is one pipelined request: a write half, a read half, and
+// a completion channel. written flips before the request's first byte
+// can hit the wire; a request that failed with written=false is safe
+// to reroute even if it is a mutation.
+type poolRequest struct {
+	write      func(w *bufio.Writer) error
+	read       func(r *bufio.Reader) error
+	idempotent bool
+	written    bool
+	done       chan error
+}
+
+func (r *poolRequest) complete(err error) { r.done <- err }
+
+// connDeadError marks request failures caused by the connection dying
+// (as opposed to the request's own I/O), so do() can distinguish
+// "this request's socket broke" for replay accounting.
+type connDeadError struct{ cause error }
+
+func (e *connDeadError) Error() string { return "memcache: connection failed: " + e.cause.Error() }
+func (e *connDeadError) Unwrap() error { return e.cause }
+
+// do submits one request and waits for its completion, handling
+// rerouting and the per-request idempotent replay rule.
+func (p *Pool) do(idempotent bool, write func(w *bufio.Writer) error, read func(r *bufio.Reader) error) error {
+	req := &poolRequest{write: write, read: read, idempotent: idempotent, done: make(chan error, 1)}
+	replayed := false
+	resubmits := 0
+	for {
+		c, err := p.route()
+		if err != nil {
+			// Routing fails only when the pool is closed or a fresh dial
+			// failed — the fast server-down signal the breakers feed on.
+			return err
+		}
+		if !c.enqueue(req) {
+			// The connection died or filled between route and enqueue;
+			// route again (no wire contact, so this costs nothing).
+			continue
+		}
+		err = <-req.done
+		if !isConnFatal(err) {
+			return err
+		}
+		if !req.written {
+			// Never hit the wire: safe to resubmit, mutation or not —
+			// bounded so a flapping pool cannot spin forever.
+			resubmits++
+			if resubmits > 4 {
+				return err
+			}
+			p.gauges.Resubmits.Add(1)
+			continue
+		}
+		// The request was written and its connection died. Replay only
+		// idempotent requests, and only once per request — the
+		// single-connection Client's stale-conn replay rule, applied per
+		// pipelined request instead of per connection.
+		if !idempotent || replayed {
+			return err
+		}
+		replayed = true
+		p.gauges.Replays.Add(1)
+		req.written = false
+	}
+}
+
+// pconn is one pipelined connection: a writer goroutine coalescing
+// queued requests into batched flushes, and a reader goroutine
+// completing them in FIFO order.
+type pconn struct {
+	pool *Pool
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+
+	reqs     chan *poolRequest // submitted, not yet written
+	inflight chan *poolRequest // written, awaiting their response
+
+	qmu  sync.Mutex
+	dead bool
+
+	queued   atomic.Int32
+	pending  atomic.Int32
+	lastDone atomic.Int64 // unixnano of the last completion (or dial)
+
+	stop     chan struct{}
+	cause    error // teardown cause; written before close(stop), read only after <-stop
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	drained  chan struct{}
+}
+
+// load returns how many requests this connection owns (queued plus in
+// flight) — the routing measure of saturation.
+func (c *pconn) load() int {
+	return int(c.queued.Load()) + int(c.pending.Load())
+}
+
+func (c *pconn) isDead() bool {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	return c.dead
+}
+
+// enqueue hands a request to the writer goroutine. It returns false —
+// and the caller reroutes — when the connection is dead or its queue
+// is full. The qmu guard makes enqueue/teardown atomic: after teardown
+// flips dead, no request can slip into the queue and be stranded.
+func (c *pconn) enqueue(req *poolRequest) bool {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	if c.dead {
+		return false
+	}
+	select {
+	case c.reqs <- req:
+		c.queued.Add(1)
+		c.pool.gauges.Queued.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// writeLoop is the connection's single writer: it takes queued
+// requests, writes as many as are immediately available into the
+// buffered writer, and flushes once — concurrent callers' commands
+// ride one syscall.
+func (c *pconn) writeLoop() {
+	defer c.wg.Done()
+	for {
+		var req *poolRequest
+		select {
+		case <-c.stop:
+			return
+		case req = <-c.reqs:
+		}
+		for {
+			c.queued.Add(-1)
+			c.pool.gauges.Queued.Add(-1)
+			req.written = true
+			c.pool.transactions.Add(1)
+			if err := req.write(c.w); err != nil {
+				req.complete(err)
+				c.teardown(err)
+				return
+			}
+			c.pending.Add(1)
+			c.pool.gauges.RecordInFlight()
+			select {
+			case c.inflight <- req:
+			case <-c.stop:
+				// The conn died while we held req: it is in neither channel,
+				// so drain cannot see it — complete it here or its caller
+				// blocks forever.
+				c.pending.Add(-1)
+				c.pool.gauges.InFlight.Add(-1)
+				req.complete(&connDeadError{cause: c.cause})
+				return
+			}
+			// Coalesce: anything else already queued joins this flush.
+			select {
+			case req = <-c.reqs:
+				continue
+			default:
+			}
+			break
+		}
+		if c.pool.timeout > 0 {
+			c.conn.SetWriteDeadline(time.Now().Add(c.pool.timeout))
+		}
+		if err := c.w.Flush(); err != nil {
+			c.teardown(err)
+			return
+		}
+	}
+}
+
+// readLoop is the connection's single reader: it demultiplexes
+// responses onto their requests strictly in write order (the text
+// protocol guarantees in-order replies).
+func (c *pconn) readLoop() {
+	defer c.wg.Done()
+	for {
+		var req *poolRequest
+		select {
+		case <-c.stop:
+			return
+		case req = <-c.inflight:
+		}
+		if c.pool.timeout > 0 {
+			c.conn.SetReadDeadline(time.Now().Add(c.pool.timeout))
+		}
+		err := req.read(c.r)
+		c.pending.Add(-1)
+		c.pool.gauges.InFlight.Add(-1)
+		c.lastDone.Store(time.Now().UnixNano())
+		req.complete(err)
+		if isConnFatal(err) {
+			// The stream is out of sync (I/O error or corrupt frame):
+			// every response behind this one is unusable. Fail fast.
+			c.teardown(err)
+			return
+		}
+		c.pool.notify()
+	}
+}
+
+// teardown kills the connection: marks it dead (no new enqueues),
+// stops the writer and reader, closes the socket, and fails everything
+// still queued or in flight with cause. Idempotent.
+func (c *pconn) teardown(cause error) {
+	c.stopOnce.Do(func() {
+		c.qmu.Lock()
+		c.dead = true
+		c.qmu.Unlock()
+		c.cause = cause
+		close(c.stop)
+		c.conn.Close()
+		if cause != errPoolClosed {
+			c.pool.gauges.ConnsFailed.Add(1)
+		}
+		// The writer or reader itself may be calling teardown; draining
+		// must wait for both to exit, so it runs on its own goroutine.
+		go c.drain(cause)
+	})
+}
+
+// drain completes teardown once the writer and reader have exited:
+// every stranded request fails with a conn-dead error (in-flight
+// requests were written — only idempotent ones replay; queued ones
+// were not — they reroute freely).
+func (c *pconn) drain(cause error) {
+	c.wg.Wait()
+	for {
+		select {
+		case req := <-c.inflight:
+			c.pending.Add(-1)
+			c.pool.gauges.InFlight.Add(-1)
+			req.complete(&connDeadError{cause: cause})
+		case req := <-c.reqs:
+			c.queued.Add(-1)
+			c.pool.gauges.Queued.Add(-1)
+			req.complete(&connDeadError{cause: cause})
+		default:
+			c.pool.connClosed(c)
+			close(c.drained)
+			return
+		}
+	}
+}
+
+// --- Conn implementation ---------------------------------------------
+
+// Get fetches a single key.
+func (p *Pool) Get(key string) (*Item, error) {
+	items, err := p.GetMulti([]string{key})
+	if err != nil {
+		return nil, err
+	}
+	it, ok := items[key]
+	if !ok {
+		return nil, ErrCacheMiss
+	}
+	return it, nil
+}
+
+// GetMulti fetches any number of keys in one pipelined transaction.
+func (p *Pool) GetMulti(keys []string) (map[string]*Item, error) {
+	return p.getMulti("get", keys)
+}
+
+// GetsMulti is GetMulti with CAS tokens populated.
+func (p *Pool) GetsMulti(keys []string) (map[string]*Item, error) {
+	return p.getMulti("gets", keys)
+}
+
+func (p *Pool) getMulti(verb string, keys []string) (map[string]*Item, error) {
+	if len(keys) == 0 {
+		return map[string]*Item{}, nil
+	}
+	for _, k := range keys {
+		if !validKey(k) {
+			return nil, ErrBadKey
+		}
+	}
+	out := make(map[string]*Item, len(keys))
+	err := p.do(true,
+		func(w *bufio.Writer) error { return writeGetCmd(w, verb, keys) },
+		func(r *bufio.Reader) error { return readValuesInto(r, verb == "gets", out) })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Set stores an item unconditionally.
+func (p *Pool) Set(it *Item) error { return p.store("set", it, 0) }
+
+// SetPinned stores an item exempt from LRU eviction ("setp").
+func (p *Pool) SetPinned(it *Item) error { return p.store("setp", it, 0) }
+
+// Add stores an item only if absent.
+func (p *Pool) Add(it *Item) error { return p.store("add", it, 0) }
+
+// Replace stores an item only if present.
+func (p *Pool) Replace(it *Item) error { return p.store("replace", it, 0) }
+
+// CompareAndSwap stores an item only if its CAS token still matches.
+func (p *Pool) CompareAndSwap(it *Item) error { return p.store("cas", it, it.CAS) }
+
+// Append concatenates data after an existing value.
+func (p *Pool) Append(key string, data []byte) error {
+	return p.store("append", &Item{Key: key, Value: data}, 0)
+}
+
+// Prepend concatenates data before an existing value.
+func (p *Pool) Prepend(key string, data []byte) error {
+	return p.store("prepend", &Item{Key: key, Value: data}, 0)
+}
+
+func (p *Pool) store(verb string, it *Item, cas uint64) error {
+	if !validKey(it.Key) {
+		return ErrBadKey
+	}
+	if len(it.Value) > MaxValueLen {
+		return ErrTooLarge
+	}
+	return p.do(false,
+		func(w *bufio.Writer) error { return writeStoreCmd(w, verb, it, cas) },
+		func(r *bufio.Reader) error { return readStoreReply(r) })
+}
+
+// Incr adds delta to a decimal value, returning the new value.
+func (p *Pool) Incr(key string, delta uint64) (uint64, error) {
+	return p.incrDecr("incr", key, delta)
+}
+
+// Decr subtracts delta from a decimal value (clamped at zero).
+func (p *Pool) Decr(key string, delta uint64) (uint64, error) {
+	return p.incrDecr("decr", key, delta)
+}
+
+func (p *Pool) incrDecr(verb, key string, delta uint64) (uint64, error) {
+	if !validKey(key) {
+		return 0, ErrBadKey
+	}
+	var out uint64
+	err := p.do(false,
+		func(w *bufio.Writer) error { return writeIncrDecrCmd(w, verb, key, delta) },
+		func(r *bufio.Reader) error {
+			var rerr error
+			out, rerr = readIncrDecrReply(r, verb)
+			return rerr
+		})
+	return out, err
+}
+
+// Delete removes a key.
+func (p *Pool) Delete(key string) error {
+	if !validKey(key) {
+		return ErrBadKey
+	}
+	return p.do(false,
+		func(w *bufio.Writer) error { return writeDeleteCmd(w, key) },
+		func(r *bufio.Reader) error { return readDeleteReply(r) })
+}
+
+// Touch updates a key's expiration time.
+func (p *Pool) Touch(key string, exp int32) error {
+	if !validKey(key) {
+		return ErrBadKey
+	}
+	return p.do(false,
+		func(w *bufio.Writer) error { return writeTouchCmd(w, key, exp) },
+		func(r *bufio.Reader) error { return readTouchReply(r) })
+}
+
+// FlushAll wipes the server.
+func (p *Pool) FlushAll() error {
+	return p.do(false,
+		func(w *bufio.Writer) error { return writeFlushAllCmd(w) },
+		func(r *bufio.Reader) error { return readFlushAllReply(r) })
+}
+
+// Version returns the server version banner.
+func (p *Pool) Version() (string, error) {
+	var banner string
+	err := p.do(true,
+		func(w *bufio.Writer) error { return writeVersionCmd(w) },
+		func(r *bufio.Reader) error {
+			var rerr error
+			banner, rerr = readVersionReply(r)
+			return rerr
+		})
+	return banner, err
+}
+
+// Stats fetches the server's stats map.
+func (p *Pool) Stats() (map[string]string, error) {
+	out := map[string]string{}
+	err := p.do(true,
+		func(w *bufio.Writer) error { return writeStatsCmd(w) },
+		func(r *bufio.Reader) error { return readStatsInto(r, out) })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

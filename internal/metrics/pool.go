@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// PoolGauges tracks the pooled, pipelined transport
+// (internal/memcache.Pool): connection lifecycle, queue occupancy, and
+// pipeline depth. One PoolGauges is typically shared by every
+// per-server pool of a client, so the numbers are tier-wide. All
+// fields are atomics; the zero value is ready.
+type PoolGauges struct {
+	// Connection lifecycle.
+	ConnsOpen   atomic.Int64  // currently established connections
+	ConnsDialed atomic.Uint64 // total dials that succeeded
+	ConnsReaped atomic.Uint64 // idle connections closed by the reaper
+	ConnsFailed atomic.Uint64 // connections torn down by an I/O error
+
+	// Request flow.
+	Queued   atomic.Int64 // accepted requests not yet written to a socket
+	InFlight atomic.Int64 // requests written, awaiting their response
+	Waiters  atomic.Int64 // goroutines blocked waiting for pool capacity
+
+	// PipelineHighWater is the maximum in-flight depth ever observed on
+	// the whole pool — how much pipelining the workload actually got.
+	PipelineHighWater atomic.Int64
+
+	// Recovery.
+	Replays   atomic.Uint64 // idempotent requests replayed after a conn death
+	Resubmits atomic.Uint64 // never-written requests rerouted after a conn death
+}
+
+// RecordInFlight bumps InFlight and ratchets PipelineHighWater.
+func (g *PoolGauges) RecordInFlight() {
+	d := g.InFlight.Add(1)
+	for {
+		hw := g.PipelineHighWater.Load()
+		if d <= hw || g.PipelineHighWater.CompareAndSwap(hw, d) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the gauges as a name -> value map (stable names,
+// suitable for stats outputs).
+func (g *PoolGauges) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"pool_conns_open":          g.ConnsOpen.Load(),
+		"pool_conns_dialed":        int64(g.ConnsDialed.Load()),
+		"pool_conns_reaped":        int64(g.ConnsReaped.Load()),
+		"pool_conns_failed":        int64(g.ConnsFailed.Load()),
+		"pool_queued":              g.Queued.Load(),
+		"pool_in_flight":           g.InFlight.Load(),
+		"pool_waiters":             g.Waiters.Load(),
+		"pool_pipeline_high_water": g.PipelineHighWater.Load(),
+		"pool_replays":             int64(g.Replays.Load()),
+		"pool_resubmits":           int64(g.Resubmits.Load()),
+	}
+}
+
+// String renders the non-zero gauges compactly, in stable order.
+func (g *PoolGauges) String() string {
+	snap := g.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		if snap[name] != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, snap[name]))
+		}
+	}
+	if len(parts) == 0 {
+		return "pool[quiet]"
+	}
+	return "pool[" + strings.Join(parts, " ") + "]"
+}

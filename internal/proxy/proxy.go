@@ -163,6 +163,13 @@ func (p *Proxy) BackendStats() map[string]string {
 		out["proxy_"+k] = fmt.Sprintf("%d", v)
 	}
 	out["proxy_adaptive"] = fmt.Sprintf("%t", p.client.AdaptiveEnabled())
+	// Pooled-transport gauges (absent when the client runs the
+	// single-connection transport).
+	if g := p.client.PoolGauges(); g != nil {
+		for k, v := range g.Snapshot() {
+			out["proxy_"+k] = fmt.Sprintf("%d", v)
+		}
+	}
 	return out
 }
 

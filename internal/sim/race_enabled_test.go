@@ -1,0 +1,9 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Timing-based assertions (micro-benchmark cost fits) are
+// meaningless under race instrumentation, which multiplies per-byte
+// memory costs and so distorts the fixed-vs-per-item ratio.
+const raceEnabled = true

@@ -316,8 +316,10 @@ func TestLiveModel(t *testing.T) {
 	// Per-transaction cost must dominate per-item cost for tiny values —
 	// that is the multi-get-hole premise the calibration must capture.
 	// The margin is loose: coverage-instrumented or loaded hosts skew
-	// the fit.
-	if model.Fixed < 2*model.PerItem {
+	// the fit. Under the race detector the ratio is meaningless (every
+	// byte copied pays instrumentation), so only the fit's validity is
+	// checked there.
+	if !raceEnabled && model.Fixed < 2*model.PerItem {
 		t.Fatalf("fitted model %+v does not show transaction-dominated cost", model)
 	}
 	// And a fig3 run with live calibration works end to end.

@@ -74,6 +74,7 @@ type clientConfig struct {
 	retryAttempts    int
 	retryBackoff     time.Duration
 	adaptive         *hotspot.Config
+	poolSize         int
 }
 
 // WithReplicas sets the logical replication level (default 2).
@@ -168,6 +169,20 @@ func WithAdaptiveReplication(cfg AdaptiveConfig) Option {
 	return func(c *clientConfig) { c.adaptive = &cfg }
 }
 
+// WithPoolSize sets the per-server transport: n <= 1 (the default)
+// keeps one mutex-guarded connection per server, while n > 1 installs
+// the pooled, pipelined transport — up to n connections per server,
+// dialed on demand and reaped when idle, with concurrent requests
+// coalesced into batched, pipelined writes. High-fan-out callers (many
+// goroutines per Client) should set this; see PoolGauges for the
+// instrumentation. Error and replay semantics are identical to the
+// single-connection transport: a network failure feeds the server's
+// circuit breaker, and only idempotent reads are replayed (once per
+// request).
+func WithPoolSize(n int) Option {
+	return func(c *clientConfig) { c.poolSize = n }
+}
+
 // WithLoader installs a cache-aside backing store: keys that miss on
 // every replica AND on their distinguished server are fetched through
 // the loader (one call per GetMulti), stored back (distinguished copy
@@ -177,15 +192,19 @@ func WithLoader(l Loader) Option {
 	return func(c *clientConfig) { c.loader = l }
 }
 
-// Client is an RnB memcached client: one connection per server, replica
+// Client is an RnB memcached client: a transport handle per server
+// (single connection, or a pipelined pool with WithPoolSize), replica
 // placement via ranged consistent hashing, and greedy bundling of
 // multi-gets.
 type Client struct {
 	ring      *hashring.Ring
 	placement hashring.Placement
 	planner   *core.Planner
-	conns     []*memcache.Client
+	conns     []memcache.Conn
 	cfg       clientConfig
+	// poolGauges is shared by every per-server pool (nil when the
+	// single-connection transport is in use).
+	poolGauges *metrics.PoolGauges
 	// breakers[s] is server s's circuit breaker (closed -> open on
 	// consecutive failures -> half-open after the cooldown -> closed
 	// on a successful probe).
@@ -230,6 +249,11 @@ func (c *Client) Resilience() *metrics.Resilience { return &c.resilience }
 // Hotspot exposes the adaptive-replication counters (all zero unless
 // WithAdaptiveReplication is on).
 func (c *Client) Hotspot() *metrics.Hotspot { return &c.hotspot }
+
+// PoolGauges exposes the pooled transport's instrumentation, shared
+// across every server's pool. Nil when WithPoolSize was not set above
+// one (the single-connection transport has nothing to gauge).
+func (c *Client) PoolGauges() *metrics.PoolGauges { return c.poolGauges }
 
 // AdaptiveEnabled reports whether adaptive hot-key replication is on.
 func (c *Client) AdaptiveEnabled() bool { return c.adaptive != nil }
@@ -321,13 +345,31 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 		cfg.replicas = len(addrs)
 	}
 	ring := hashring.New(cfg.vnodes)
-	conns := make([]*memcache.Client, 0, len(addrs))
+	// The transport is chosen once, here: WithPoolSize above one swaps
+	// each server's single mutex-guarded connection for a pipelined
+	// pool. Either way a dead address fails construction immediately.
+	var poolGauges *metrics.PoolGauges
+	if cfg.poolSize > 1 {
+		poolGauges = &metrics.PoolGauges{}
+	}
+	conns := make([]memcache.Conn, 0, len(addrs))
 	for _, addr := range addrs {
 		if _, err := ring.AddServer(addr); err != nil {
 			closeAll(conns)
 			return nil, err
 		}
-		cl, err := memcache.Dial(addr, cfg.timeout)
+		var (
+			cl  memcache.Conn
+			err error
+		)
+		if poolGauges != nil {
+			cl, err = memcache.NewPool(addr, cfg.timeout, memcache.PoolConfig{
+				Size:   cfg.poolSize,
+				Gauges: poolGauges,
+			})
+		} else {
+			cl, err = memcache.Dial(addr, cfg.timeout)
+		}
 		if err != nil {
 			closeAll(conns)
 			return nil, fmt.Errorf("rnb: dial %s: %w", addr, err)
@@ -336,9 +378,10 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 	}
 	var placement hashring.Placement = hashring.NewRCHPlacement(ring, cfg.replicas)
 	c := &Client{
-		ring:  ring,
-		conns: conns,
-		cfg:   cfg,
+		ring:       ring,
+		conns:      conns,
+		cfg:        cfg,
+		poolGauges: poolGauges,
 	}
 	if cfg.adaptive != nil {
 		c.adaptive = hotspot.NewAdaptive(placement, *cfg.adaptive, &c.hotspot)
@@ -366,7 +409,7 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 	return c, nil
 }
 
-func closeAll(conns []*memcache.Client) {
+func closeAll(conns []memcache.Conn) {
 	for _, c := range conns {
 		c.Close()
 	}
@@ -499,7 +542,7 @@ func (c *Client) Delete(key string) error {
 // and, on success, drops the other replicas so they repopulate on
 // demand — the §IV atomic-operation scheme shared by Append, Prepend,
 // Increment and UpdateCAS.
-func (c *Client) mutateDistinguished(key string, op func(conn *memcache.Client) error) error {
+func (c *Client) mutateDistinguished(key string, op func(conn memcache.Conn) error) error {
 	replicas := c.invalidationServers(key)
 	if err := op(c.conns[replicas[0]]); err != nil {
 		return err
@@ -515,7 +558,7 @@ func (c *Client) mutateDistinguished(key string, op func(conn *memcache.Client) 
 // Append concatenates data after the item's value, atomically against
 // the distinguished copy (stale replicas are invalidated).
 func (c *Client) Append(key string, data []byte) error {
-	return c.mutateDistinguished(key, func(conn *memcache.Client) error {
+	return c.mutateDistinguished(key, func(conn memcache.Conn) error {
 		return conn.Append(key, data)
 	})
 }
@@ -523,7 +566,7 @@ func (c *Client) Append(key string, data []byte) error {
 // Prepend concatenates data before the item's value, atomically
 // against the distinguished copy.
 func (c *Client) Prepend(key string, data []byte) error {
-	return c.mutateDistinguished(key, func(conn *memcache.Client) error {
+	return c.mutateDistinguished(key, func(conn memcache.Conn) error {
 		return conn.Prepend(key, data)
 	})
 }
@@ -533,7 +576,7 @@ func (c *Client) Prepend(key string, data []byte) error {
 // value. Stale replicas are invalidated.
 func (c *Client) Increment(key string, delta int64) (uint64, error) {
 	var out uint64
-	err := c.mutateDistinguished(key, func(conn *memcache.Client) error {
+	err := c.mutateDistinguished(key, func(conn memcache.Conn) error {
 		var err error
 		if delta >= 0 {
 			out, err = conn.Incr(key, uint64(delta))
@@ -785,14 +828,27 @@ func (c *Client) fanout(txns []core.Transaction, keyOf map[uint64]string, out ma
 	return failed
 }
 
+// maxBackoff caps the re-plan backoff: past it, more waiting buys
+// nothing — the breaker cooldown owns long outages.
+const maxBackoff = 30 * time.Second
+
 // jitteredBackoff returns the sleep before re-plan round `round`
-// (0-based): base doubled per round, with ±50% uniform jitter so
-// synchronized clients do not retry in lockstep.
+// (0-based): base doubled per round up to maxBackoff, with ±50%
+// uniform jitter so synchronized clients do not retry in lockstep.
+// Doubling by shifting (base << round) would overflow int64 for large
+// rounds and hand rand.Int63n a non-positive bound, so the growth is
+// computed with an explicitly capped loop instead.
 func jitteredBackoff(base time.Duration, round int) time.Duration {
 	if base <= 0 {
 		return 0
 	}
-	d := base << round
+	d := base
+	for i := 0; i < round && d < maxBackoff; i++ {
+		d <<= 1
+	}
+	if d <= 0 || d > maxBackoff {
+		d = maxBackoff
+	}
 	// Uniform in [d/2, 3d/2).
 	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
