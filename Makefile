@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos ci bench-skew bench-pool
+.PHONY: build vet test race chaos obs-smoke ci bench-skew bench-pool
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,13 @@ race:
 chaos:
 	$(GO) test -race -count=5 -run 'TestChaos' .
 
-ci: build vet race chaos
+# Observability smoke: boot rnbmemd backends + rnbproxy -debug-addr,
+# drive traffic, and assert /metrics serves the promised families and
+# /debug/requests dumps flight-recorder spans.
+obs-smoke:
+	./scripts/obs_smoke.sh
+
+ci: build vet race chaos obs-smoke
 	# Transport smoke: a tiny pooled-vs-single sweep proving the pool
 	# mode still runs end to end (full sweep lives in bench-pool).
 	$(GO) run ./cmd/rnbbench -ops 60 pool

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rnb/internal/calibrate"
 	"rnb/internal/fanoutbench"
@@ -102,7 +103,10 @@ func poolSweep(jsonOut string, poolSize, servers, ops int) error {
 		Pooled     fanoutbench.Result `json:"pooled"`
 	}
 	var rows []row
-	fmt.Printf("%-10s %18s %18s %8s\n", "goroutines", "single multiget/s", "pooled multiget/s", "speedup")
+	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+	fmt.Printf("%-10s %18s %9s %9s %18s %9s %9s %8s\n",
+		"goroutines", "single multiget/s", "p50 ms", "p99 ms",
+		"pooled multiget/s", "p50 ms", "p99 ms", "speedup")
 	for _, g := range []int{1, 2, 4, 8, 16, 32, 64} {
 		base := fanoutbench.Config{Servers: servers, Goroutines: g, Ops: ops}
 		single, err := fanoutbench.Run(base)
@@ -118,7 +122,9 @@ func poolSweep(jsonOut string, poolSize, servers, ops int) error {
 		if single.OpsPerSec > 0 {
 			speedup = pooled.OpsPerSec / single.OpsPerSec
 		}
-		fmt.Printf("%-10d %18.0f %18.0f %7.2fx\n", g, single.OpsPerSec, pooled.OpsPerSec, speedup)
+		fmt.Printf("%-10d %18.0f %9.2f %9.2f %18.0f %9.2f %9.2f %7.2fx\n",
+			g, single.OpsPerSec, ms(single.LatencyP50), ms(single.LatencyP99),
+			pooled.OpsPerSec, ms(pooled.LatencyP50), ms(pooled.LatencyP99), speedup)
 		rows = append(rows, row{Goroutines: g, Single: single, Pooled: pooled})
 	}
 	if jsonOut == "" {

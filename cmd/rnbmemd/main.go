@@ -21,13 +21,15 @@ import (
 	"syscall"
 
 	"rnb/internal/memcache"
+	"rnb/internal/obs"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:11211", "listen address (TCP; serves text and binary protocols)")
-		udpAddr = flag.String("udp", "", "optional UDP listen address (e.g. 127.0.0.1:11211)")
-		memory  = flag.String("memory", "64MB", "memory budget (e.g. 512KB, 256MB, 2GB; 0 = unbounded)")
+		addr      = flag.String("addr", "127.0.0.1:11211", "listen address (TCP; serves text and binary protocols)")
+		udpAddr   = flag.String("udp", "", "optional UDP listen address (e.g. 127.0.0.1:11211)")
+		memory    = flag.String("memory", "64MB", "memory budget (e.g. 512KB, 256MB, 2GB; 0 = unbounded)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 
@@ -36,7 +38,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rnbmemd: %v\n", err)
 		os.Exit(2)
 	}
-	srv := memcache.NewServer(memcache.NewStore(capacity))
+	store := memcache.NewStore(capacity)
+	srv := memcache.NewServer(store)
+
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		registerServerMetrics(reg, srv, store)
+		ln, err := obs.ListenAndServe(*debugAddr, obs.NewMux(reg, nil))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rnbmemd: debug endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Printf("rnbmemd: debug endpoint on http://%s (/metrics, /debug/pprof)\n", ln.Addr())
+	}
 
 	var udp *memcache.UDPServer
 	if *udpAddr != "" {
@@ -65,6 +80,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rnbmemd: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// registerServerMetrics exports the daemon's protocol counters and
+// store gauges — the same numbers the "stats" command reports, under
+// stable memd_* names.
+func registerServerMetrics(reg *obs.Registry, srv *memcache.Server, store *memcache.Store) {
+	st := srv.Stats()
+	counter := func(name, help string, load func() uint64) {
+		reg.RegisterFunc(name, help, obs.Counter, func() float64 { return float64(load()) })
+	}
+	counter("memd_cmd_get", "get/gets commands served.", st.CmdGet.Load)
+	counter("memd_cmd_set", "store commands served.", st.CmdSet.Load)
+	counter("memd_get_hits", "keys found by get.", st.GetHits.Load)
+	counter("memd_get_misses", "keys missed by get.", st.GetMisses.Load)
+	counter("memd_transactions", "client command lines processed.", st.Transactions.Load)
+	counter("memd_total_connections", "connections accepted.", st.TotalConns.Load)
+	counter("memd_evictions", "items evicted by the LRU.", store.Evictions)
+	reg.RegisterFunc("memd_curr_connections", "currently open connections.",
+		obs.Gauge, func() float64 { return float64(st.CurrConns.Load()) })
+	reg.RegisterFunc("memd_curr_items", "items currently stored.",
+		obs.Gauge, func() float64 { return float64(store.Len()) })
+	reg.RegisterFunc("memd_bytes", "bytes currently stored.",
+		obs.Gauge, func() float64 { return float64(store.Bytes()) })
 }
 
 // parseSize parses "512KB" / "256MB" / "2GB" / plain bytes.

@@ -23,6 +23,7 @@ import (
 
 	"rnb"
 	"rnb/internal/memcache"
+	"rnb/internal/obs"
 	"rnb/internal/proxy"
 )
 
@@ -38,6 +39,9 @@ func main() {
 		backoff    = flag.Duration("retry-backoff", 15*time.Millisecond, "base jittered backoff between re-plan rounds")
 		statsEvery = flag.Duration("stats-every", 0, "log backend breaker states at this interval (0 disables)")
 		poolSize   = flag.Int("pool-size", 1, "pipelined connections per backend (1 = single-connection transport)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/requests (flight recorder) and /debug/pprof on this address (empty disables)")
+		slowLog    = flag.Duration("slow-log", 0, "log requests slower than this threshold (0 disables)")
+		ringSize   = flag.Int("flight-recorder", 0, "flight-recorder capacity in request spans (0 = default 256)")
 
 		adaptive    = flag.Bool("adaptive", false, "adaptive hot-key replication: boost replication of keys that dominate recent traffic")
 		maxBoost    = flag.Int("adaptive-max-boost", 2, "extra replicas a hot key can earn (with -adaptive)")
@@ -58,6 +62,10 @@ func main() {
 		rnb.WithBreakerThreshold(*threshold),
 		rnb.WithRetry(*retries, *backoff),
 		rnb.WithPoolSize(*poolSize),
+		rnb.WithObservability(rnb.ObsConfig{
+			RingSize:      *ringSize,
+			SlowThreshold: *slowLog,
+		}),
 	}
 	if *noPin {
 		opts = append(opts, rnb.WithPinnedDistinguished(false))
@@ -76,7 +84,19 @@ func main() {
 	}
 	defer client.Close()
 
-	srv := memcache.NewServerBackend(proxy.New(client))
+	pxy := proxy.New(client)
+	srv := memcache.NewServerBackend(pxy)
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		pxy.RegisterMetrics(reg)
+		ln, err := obs.ListenAndServe(*debugAddr, obs.NewMux(reg, client.Tracer()))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rnbproxy: debug endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Printf("rnbproxy: debug endpoint on http://%s (/metrics, /debug/requests, /debug/pprof)\n", ln.Addr())
+	}
 	if *statsEvery > 0 {
 		go func() {
 			tick := time.NewTicker(*statsEvery)

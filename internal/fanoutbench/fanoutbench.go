@@ -23,6 +23,7 @@ import (
 
 	"rnb"
 	"rnb/internal/memcache"
+	"rnb/internal/obs"
 )
 
 // latListener wraps a listener so every accepted connection pays a
@@ -137,6 +138,11 @@ type Result struct {
 	OpsPerSec    float64       `json:"ops_per_sec"`
 	ItemsPerSec  float64       `json:"items_per_sec"`
 	Transactions uint64        `json:"transactions"`
+	// LatencyP50 and LatencyP99 are per-GetMulti wall-time quantiles,
+	// recorded into per-goroutine histogram shards and merged after the
+	// run (log-linear buckets, ~3% relative error).
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP99 time.Duration `json:"latency_p99_ns"`
 	// PipelineHighWater is the deepest observed pipeline (0 for the
 	// single-connection transport — there is no pipeline).
 	PipelineHighWater int64 `json:"pipeline_high_water"`
@@ -196,10 +202,19 @@ func Run(cfg Config) (Result, error) {
 
 	errs := make(chan error, cfg.Goroutines)
 	items := make(chan int, cfg.Goroutines)
+	// One histogram shard per goroutine, merged after the run: each
+	// shard is single-writer during the measured window, so the merged
+	// view equals what one global histogram would have recorded without
+	// the cross-core contention on its buckets.
+	shards := make([]*obs.Hist, cfg.Goroutines)
+	for i := range shards {
+		shards[i] = &obs.Hist{}
+	}
 	startTxns := cl.Transactions()
 	rtt.Store(int64(cfg.RTT)) // preload ran latency-free; the measured window pays it
 	t0 := time.Now()
 	for g := 0; g < cfg.Goroutines; g++ {
+		hist := shards[g]
 		go func() {
 			got := 0
 			ks := make([]string, cfg.TxnSize)
@@ -207,11 +222,13 @@ func Run(cfg Config) (Result, error) {
 				for i := range ks {
 					ks[i] = key(j.start + i)
 				}
+				opStart := time.Now()
 				found, _, err := cl.GetMulti(ks)
 				if err != nil {
 					errs <- err
 					return
 				}
+				hist.Observe(time.Since(opStart))
 				got += len(found)
 			}
 			items <- got
@@ -238,6 +255,12 @@ func Run(cfg Config) (Result, error) {
 		res.OpsPerSec = float64(cfg.Ops) / secs
 		res.ItemsPerSec = float64(total) / secs
 	}
+	merged := &obs.Hist{}
+	for _, h := range shards {
+		merged.Merge(h)
+	}
+	res.LatencyP50 = merged.Quantile(0.50)
+	res.LatencyP99 = merged.Quantile(0.99)
 	if g := cl.PoolGauges(); g != nil {
 		res.PipelineHighWater = g.PipelineHighWater.Load()
 	}

@@ -27,6 +27,10 @@ type Client struct {
 	redialAttempts int
 	redialBackoff  time.Duration
 
+	// rttObs, when set, receives the wall time of every round trip —
+	// failures and timeouts included, since they are the latency tail.
+	rttObs func(time.Duration)
+
 	// Transactions counts protocol round-trips issued — the quantity
 	// RnB minimizes.
 	transactions uint64
@@ -53,6 +57,16 @@ func (c *Client) SetRedial(attempts int, backoff time.Duration) {
 	defer c.mu.Unlock()
 	c.redialAttempts = attempts
 	c.redialBackoff = backoff
+}
+
+// SetRTTObserver installs a per-round-trip latency observer (nil
+// disables). Every round trip is stamped, replays and failed trips
+// included: errors and timeouts are exactly the latency tail an
+// operator wants visible.
+func (c *Client) SetRTTObserver(obs func(time.Duration)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rttObs = obs
 }
 
 func (c *Client) connect() error {
@@ -147,7 +161,11 @@ func (c *Client) do(fn func() error, idempotent bool) error {
 	}
 	c.armDeadline()
 	c.transactions++
+	start := time.Now()
 	err := fn()
+	if c.rttObs != nil {
+		c.rttObs(time.Since(start))
+	}
 	if !isConnFatal(err) {
 		// Success, or a protocol-level outcome (miss, CAS conflict,
 		// declined store, status-line error): the reply was consumed in
@@ -168,7 +186,11 @@ func (c *Client) do(fn func() error, idempotent bool) error {
 	}
 	c.armDeadline()
 	c.transactions++
+	start = time.Now()
 	err2 := fn()
+	if c.rttObs != nil {
+		c.rttObs(time.Since(start))
+	}
 	if isConnFatal(err2) {
 		c.conn.Close()
 		c.conn = nil

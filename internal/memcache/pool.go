@@ -45,6 +45,7 @@ type Pool struct {
 	depth   int
 	idle    time.Duration
 	gauges  *metrics.PoolGauges
+	rttObs  func(time.Duration)
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -77,6 +78,11 @@ type PoolConfig struct {
 	// several pools (one per server) may share one PoolGauges for a
 	// tier-wide view.
 	Gauges *metrics.PoolGauges
+	// RTTObserver, when non-nil, receives every request's wall time
+	// from submission to completion — queueing for a connection and
+	// replays included, because that is the latency the caller actually
+	// experienced. Failed requests are stamped too (they are the tail).
+	RTTObserver func(time.Duration)
 }
 
 // Pool defaults.
@@ -113,6 +119,7 @@ func NewPool(addr string, timeout time.Duration, cfg PoolConfig) (*Pool, error) 
 		depth:   cfg.Depth,
 		idle:    cfg.IdleTimeout,
 		gauges:  cfg.Gauges,
+		rttObs:  cfg.RTTObserver,
 	}
 	p.cond = sync.NewCond(&p.mu)
 	c, err := p.dial()
@@ -326,6 +333,10 @@ func (e *connDeadError) Unwrap() error { return e.cause }
 // do submits one request and waits for its completion, handling
 // rerouting and the per-request idempotent replay rule.
 func (p *Pool) do(idempotent bool, write func(w *bufio.Writer) error, read func(r *bufio.Reader) error) error {
+	if p.rttObs != nil {
+		start := time.Now()
+		defer func() { p.rttObs(time.Since(start)) }()
+	}
 	req := &poolRequest{write: write, read: read, idempotent: idempotent, done: make(chan error, 1)}
 	replayed := false
 	resubmits := 0

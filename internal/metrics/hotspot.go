@@ -1,9 +1,6 @@
 package metrics
 
 import (
-	"fmt"
-	"sort"
-	"strings"
 	"sync/atomic"
 )
 
@@ -51,20 +48,5 @@ func (h *Hotspot) Snapshot() map[string]uint64 {
 
 // String renders the non-zero counters compactly, in stable order.
 func (h *Hotspot) String() string {
-	snap := h.Snapshot()
-	names := make([]string, 0, len(snap))
-	for name := range snap {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	parts := make([]string, 0, len(names))
-	for _, name := range names {
-		if snap[name] > 0 {
-			parts = append(parts, fmt.Sprintf("%s=%d", strings.TrimPrefix(name, "hotspot_"), snap[name]))
-		}
-	}
-	if len(parts) == 0 {
-		return "hotspot[quiet]"
-	}
-	return "hotspot[" + strings.Join(parts, " ") + "]"
+	return FormatCompact("hotspot", "hotspot_", h.Snapshot())
 }

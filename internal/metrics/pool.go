@@ -1,9 +1,6 @@
 package metrics
 
 import (
-	"fmt"
-	"sort"
-	"strings"
 	"sync/atomic"
 )
 
@@ -63,20 +60,5 @@ func (g *PoolGauges) Snapshot() map[string]int64 {
 
 // String renders the non-zero gauges compactly, in stable order.
 func (g *PoolGauges) String() string {
-	snap := g.Snapshot()
-	names := make([]string, 0, len(snap))
-	for name := range snap {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	parts := make([]string, 0, len(names))
-	for _, name := range names {
-		if snap[name] != 0 {
-			parts = append(parts, fmt.Sprintf("%s=%d", name, snap[name]))
-		}
-	}
-	if len(parts) == 0 {
-		return "pool[quiet]"
-	}
-	return "pool[" + strings.Join(parts, " ") + "]"
+	return FormatCompact("pool", "", g.Snapshot())
 }

@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the shared registry adapter over the Snapshot-style
+// counter maps (Resilience, Hotspot, PoolGauges): one place that
+// decides iteration order, so every stats renderer — proxy stats,
+// rnbproxy -stats-every lines, the /metrics exporter in internal/obs —
+// walks the same sorted names instead of whatever order a Go map
+// iteration deals.
+
+// Number covers the value types the snapshot maps use.
+type Number interface {
+	~uint64 | ~int64 | ~float64
+}
+
+// SortedNames returns m's keys in sorted order.
+func SortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FormatCompact renders the non-zero entries of a snapshot map as
+// "tag[k1=v1 k2=v2]" in sorted key order, with trimPrefix stripped
+// from the keys; an all-zero map renders as "tag[quiet]".
+func FormatCompact[V Number](tag, trimPrefix string, snap map[string]V) string {
+	parts := make([]string, 0, len(snap))
+	for _, name := range SortedNames(snap) {
+		if snap[name] != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", strings.TrimPrefix(name, trimPrefix), int64(snap[name])))
+		}
+	}
+	if len(parts) == 0 {
+		return tag + "[quiet]"
+	}
+	return tag + "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,9 +1,6 @@
 package metrics
 
 import (
-	"fmt"
-	"sort"
-	"strings"
 	"sync/atomic"
 )
 
@@ -44,20 +41,5 @@ func (r *Resilience) Snapshot() map[string]uint64 {
 
 // String renders the non-zero counters compactly, in stable order.
 func (r *Resilience) String() string {
-	snap := r.Snapshot()
-	names := make([]string, 0, len(snap))
-	for name := range snap {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	parts := make([]string, 0, len(names))
-	for _, name := range names {
-		if snap[name] > 0 {
-			parts = append(parts, fmt.Sprintf("%s=%d", name, snap[name]))
-		}
-	}
-	if len(parts) == 0 {
-		return "resilience[quiet]"
-	}
-	return "resilience[" + strings.Join(parts, " ") + "]"
+	return FormatCompact("resilience", "", r.Snapshot())
 }

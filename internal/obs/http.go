@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// RequestSource yields flight-recorder dumps; *Tracer implements it.
+type RequestSource interface {
+	Requests() []Span
+}
+
+// NewMux assembles the debug endpoint:
+//
+//	/metrics         Prometheus text format, stable sorted names
+//	/debug/requests  flight-recorder dump as JSON, newest first (?n= caps it)
+//	/debug/pprof/*   the standard net/http/pprof handlers
+//
+// src may be nil (a daemon with no request tracer); /debug/requests
+// then serves an empty list.
+func NewMux(reg *Registry, src RequestSource) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		spans := []Span{}
+		if src != nil {
+			spans = src.Requests()
+		}
+		if s := r.URL.Query().Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(spans) {
+				spans = spans[:n]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Count    int    `json:"count"`
+			Requests []Span `json:"requests"`
+		}{Count: len(spans), Requests: spans})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe binds addr and serves handler in a background
+// goroutine, returning the listener so the caller can report the bound
+// address and close it on shutdown.
+func ListenAndServe(addr string, handler http.Handler) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, handler) }()
+	return ln, nil
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestSortedDeterministicOutput registers families out of order and
+// checks every render walks the same sorted sequence — the fix for
+// stats output that used to follow map iteration order.
+func TestSortedDeterministicOutput(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta_total", "alpha_total", "mid_total"} {
+		name := name
+		r.RegisterFunc(name, "test.", Counter, func() float64 { return 1 })
+	}
+	first := render(t, r)
+	ia := strings.Index(first, "alpha_total")
+	im := strings.Index(first, "mid_total")
+	iz := strings.Index(first, "zeta_total")
+	if !(ia < im && im < iz) {
+		t.Fatalf("families not sorted:\n%s", first)
+	}
+	for i := 0; i < 10; i++ {
+		if got := render(t, r); got != first {
+			t.Fatalf("render %d differs from first:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}
+
+// TestRegisterMapExpandsSorted: a Snapshot map becomes one family per
+// key, all in the sorted namespace.
+func TestRegisterMapExpandsSorted(t *testing.T) {
+	r := NewRegistry()
+	snap := map[string]uint64{"bravo": 2, "alpha": 1, "charlie": 3}
+	r.RegisterUint64Map("t_", "test.", Counter, func() map[string]uint64 { return snap })
+	out := render(t, r)
+	for _, line := range []string{"t_alpha 1", "t_bravo 2", "t_charlie 3"} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+	if !(strings.Index(out, "t_alpha") < strings.Index(out, "t_bravo") &&
+		strings.Index(out, "t_bravo") < strings.Index(out, "t_charlie")) {
+		t.Fatalf("map families not sorted:\n%s", out)
+	}
+	snap["alpha"] = 42 // live: collectors re-read at scrape time
+	if !strings.Contains(render(t, r), "t_alpha 42") {
+		t.Fatalf("collector not live")
+	}
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFunc("dup_total", "x.", Counter, func() float64 { return 0 })
+	mustPanic(t, "duplicate name", func() {
+		r.RegisterFunc("dup_total", "x.", Counter, func() float64 { return 0 })
+	})
+	mustPanic(t, "invalid name", func() {
+		r.RegisterFunc("bad name", "x.", Counter, func() float64 { return 0 })
+	})
+	mustPanic(t, "duration histogram without _seconds suffix", func() {
+		r.RegisterDurationHist("latency_ms", "x.", &Hist{})
+	})
+	mustPanic(t, "odd Labels", func() { Labels("key") })
+}
+
+// TestHistogramRendering pins the Prometheus histogram layout: the
+// seconds-unit ladder, cumulative buckets, +Inf, _sum, _count.
+func TestHistogramRendering(t *testing.T) {
+	h := &Hist{}
+	h.Observe(5 * time.Millisecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(2 * time.Second)
+	r := NewRegistry()
+	r.RegisterDurationHist("req_duration_seconds", "test.", h)
+	out := render(t, r)
+	for _, line := range []string{
+		"# TYPE req_duration_seconds histogram",
+		`req_duration_seconds_bucket{le="0.01"} 2`,
+		`req_duration_seconds_bucket{le="2.5"} 3`,
+		`req_duration_seconds_bucket{le="+Inf"} 3`,
+		"req_duration_seconds_count 3",
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+// TestLabels checks rendering and escaping.
+func TestLabels(t *testing.T) {
+	got := Labels("server", "3", "addr", `va"l\ue`)
+	want := `{server="3",addr="va\"l\\ue"}`
+	if got != want {
+		t.Fatalf("Labels = %s, want %s", got, want)
+	}
+}
+
+// TestServeHTTP checks the scrape handler end to end.
+func TestServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFunc("up", "test.", Gauge, func() float64 { return 1 })
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up 1") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+}

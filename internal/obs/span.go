@@ -1,0 +1,75 @@
+package obs
+
+import "time"
+
+// TxnRTT is one server round trip inside a request: which server, how
+// many keys rode the transaction, which phase issued it, and how long
+// the client waited for it. In the pooled transport the duration
+// includes queueing for a connection — it is the latency the request
+// actually experienced, not the wire time alone.
+type TxnRTT struct {
+	// Server is the client's server index.
+	Server int `json:"server"`
+	// Addr is the server address.
+	Addr string `json:"addr"`
+	// Keys is the number of keys requested (primaries + hitchhikers).
+	Keys int `json:"keys"`
+	// Phase labels which stage issued the trip: "fanout" (the planned
+	// round-1 multi-gets), "replan" (mid-request re-plan rounds), or
+	// "round2" (distinguished-copy recovery).
+	Phase string `json:"phase"`
+	// Round is the 1-based re-plan round for phase "replan", 0
+	// otherwise.
+	Round int `json:"round,omitempty"`
+	// DurNS is the round trip's wall time in nanoseconds.
+	DurNS int64 `json:"dur_ns"`
+	// Err is the failure, if the transaction hit one.
+	Err string `json:"err,omitempty"`
+}
+
+// Span is one request's lifecycle record: where the time went (plan,
+// fan-out, recovery, loader), what the planner decided, and what went
+// wrong. Spans land in the flight recorder for post-mortem dumps and,
+// above the slow threshold, in the slow-request log. All durations are
+// nanoseconds internally; exported metric names derived from spans use
+// seconds (see registry.go).
+type Span struct {
+	// ID is a monotonically increasing per-tracer sequence number.
+	ID uint64 `json:"id"`
+	// Op names the API call ("get_multi", "get_multi_limit",
+	// "get_multi_budget").
+	Op string `json:"op"`
+	// Start is when the request began.
+	Start time.Time `json:"start"`
+	// Keys is the number of keys requested.
+	Keys int `json:"keys"`
+
+	// Phase durations, nanoseconds.
+	PlanNS   int64 `json:"plan_ns"`   // greedy set-cover planning
+	FanoutNS int64 `json:"fanout_ns"` // round-1 fan-out plus re-plan rounds
+	Round2NS int64 `json:"round2_ns"` // distinguished-copy recovery
+	LoaderNS int64 `json:"loader_ns"` // cache-aside backing-store fetch
+	TotalNS  int64 `json:"total_ns"`
+
+	// Plan/outcome counters (mirroring rnb.Stats).
+	Transactions int `json:"transactions"`
+	Round2       int `json:"round2"`
+	Hitchhikers  int `json:"hitchhikers"`
+	Retries      int `json:"retries"`
+	Replans      int `json:"replans"`
+	Failed       int `json:"failed"`
+	Loaded       int `json:"loaded"`
+	ItemsFound   int `json:"items_found"`
+	// BreakerTrips is how many breaker open transitions the whole tier
+	// saw while this request ran (concurrent requests share the
+	// breakers, so trips caused by neighbors are counted too).
+	BreakerTrips int `json:"breaker_trips"`
+
+	// RTTs holds every server round trip the request issued.
+	RTTs []TxnRTT `json:"rtts,omitempty"`
+	// Err is the request-level failure, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// Total returns the span's wall time.
+func (sp *Span) Total() time.Duration { return time.Duration(sp.TotalNS) }

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer defaults.
+const (
+	DefaultRingSize   = 256
+	DefaultSlowSample = 1
+)
+
+// Config parameterizes a Tracer. The zero value is ready: a 256-entry
+// flight recorder, histograms always on, slow-request logging off.
+type Config struct {
+	// RingSize is the flight recorder's capacity in spans (default 256;
+	// < 0 disables the recorder entirely).
+	RingSize int
+	// SlowThreshold turns on the slow-request log: finished spans whose
+	// total exceeds it are handed to SlowLog (0 disables).
+	SlowThreshold time.Duration
+	// SlowSample thins the slow log: only every Nth slow span is logged
+	// (default 1 — every slow span). The SlowSeen counter still counts
+	// them all.
+	SlowSample int
+	// SlowLog receives sampled slow spans (default: the standard log
+	// package, one compact line per span).
+	SlowLog func(sp *Span)
+}
+
+// Tracer is the per-client observability hub: latency histograms for
+// each request phase, the always-on flight recorder of the last
+// RingSize spans, and the sampled slow-request log. All methods are
+// safe for concurrent use.
+type Tracer struct {
+	// Request-level histograms. Total spans the whole request; Plan and
+	// Fanout isolate the planning and fan-out phases. RTT is fed by the
+	// transports with every server round trip (including single Gets
+	// and writes, which carry no span).
+	Total  Hist
+	Plan   Hist
+	Fanout Hist
+	RTT    Hist
+
+	slowNS     int64
+	slowSample uint64
+	slowLog    func(sp *Span)
+	slowSeen   atomic.Uint64
+	slowLogged atomic.Uint64
+
+	nextID atomic.Uint64
+
+	mu   sync.Mutex
+	ring []Span
+	head int // next write position
+	n    int // spans recorded, saturating at len(ring)
+}
+
+// New builds a Tracer from cfg.
+func New(cfg Config) *Tracer {
+	size := cfg.RingSize
+	if size == 0 {
+		size = DefaultRingSize
+	}
+	if size < 0 {
+		size = 0
+	}
+	sample := cfg.SlowSample
+	if sample <= 0 {
+		sample = DefaultSlowSample
+	}
+	slowLog := cfg.SlowLog
+	if slowLog == nil {
+		slowLog = logSlowSpan
+	}
+	return &Tracer{
+		slowNS:     int64(cfg.SlowThreshold),
+		slowSample: uint64(sample),
+		slowLog:    slowLog,
+		ring:       make([]Span, size),
+	}
+}
+
+func logSlowSpan(sp *Span) {
+	log.Printf("obs: slow request op=%s keys=%d total=%v plan=%v fanout=%v round2=%v loader=%v txns=%d retries=%d failed=%d",
+		sp.Op, sp.Keys, time.Duration(sp.TotalNS), time.Duration(sp.PlanNS),
+		time.Duration(sp.FanoutNS), time.Duration(sp.Round2NS),
+		time.Duration(sp.LoaderNS), sp.Transactions, sp.Retries, sp.Failed)
+}
+
+// NextID stamps a fresh span id.
+func (t *Tracer) NextID() uint64 { return t.nextID.Add(1) }
+
+// ObserveRTT feeds the transport-level round-trip histogram; both the
+// single-connection and the pooled transport call it once per request.
+func (t *Tracer) ObserveRTT(d time.Duration) { t.RTT.Observe(d) }
+
+// Record finishes a span: phase histograms, flight recorder, slow log.
+// The span is copied into the ring; the caller may reuse it.
+func (t *Tracer) Record(sp *Span) {
+	t.Total.ObserveNS(sp.TotalNS)
+	t.Plan.ObserveNS(sp.PlanNS)
+	t.Fanout.ObserveNS(sp.FanoutNS)
+	if t.slowNS > 0 && sp.TotalNS > t.slowNS {
+		seen := t.slowSeen.Add(1)
+		if (seen-1)%t.slowSample == 0 {
+			t.slowLogged.Add(1)
+			t.slowLog(sp)
+		}
+	}
+	if len(t.ring) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.head] = *sp
+	// The ring owns its own RTT backing arrays: the caller's slice may
+	// be appended to after Record returns.
+	t.ring[t.head].RTTs = append([]TxnRTT(nil), sp.RTTs...)
+	t.head = (t.head + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Requests dumps the flight recorder, newest span first.
+func (t *Tracer) Requests() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.n)
+	for i := 1; i <= t.n; i++ {
+		out = append(out, t.ring[(t.head-i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// SlowSeen returns how many finished spans exceeded the slow
+// threshold; SlowLogged how many of those the sampler actually logged.
+func (t *Tracer) SlowSeen() uint64   { return t.slowSeen.Load() }
+func (t *Tracer) SlowLogged() uint64 { return t.slowLogged.Load() }

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func span(id uint64, total time.Duration) *Span {
+	return &Span{ID: id, Op: "get_multi", TotalNS: int64(total)}
+}
+
+// TestRingNewestFirst fills the flight recorder past capacity and
+// checks Requests dumps the newest RingSize spans, newest first.
+func TestRingNewestFirst(t *testing.T) {
+	tr := New(Config{RingSize: 4})
+	for i := 1; i <= 10; i++ {
+		tr.Record(span(uint64(i), time.Millisecond))
+	}
+	got := tr.Requests()
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if got[i].ID != want {
+			t.Fatalf("got[%d].ID = %d, want %d", i, got[i].ID, want)
+		}
+	}
+	if tr.Total.Count() != 10 {
+		t.Fatalf("Total histogram count = %d, want 10", tr.Total.Count())
+	}
+}
+
+// TestRingDisabled: RingSize < 0 turns the recorder off but keeps the
+// histograms.
+func TestRingDisabled(t *testing.T) {
+	tr := New(Config{RingSize: -1})
+	tr.Record(span(1, time.Millisecond))
+	if got := tr.Requests(); len(got) != 0 {
+		t.Fatalf("disabled ring returned %d spans", len(got))
+	}
+	if tr.Total.Count() != 1 {
+		t.Fatalf("histogram skipped with disabled ring")
+	}
+}
+
+// TestRingCopiesRTTs: the ring must own its RTT slices — the caller
+// reuses and appends to the original after Record.
+func TestRingCopiesRTTs(t *testing.T) {
+	tr := New(Config{RingSize: 2})
+	sp := span(1, time.Millisecond)
+	sp.RTTs = append(sp.RTTs, TxnRTT{Server: 0, Keys: 3, Phase: "fanout", DurNS: 100})
+	tr.Record(sp)
+	sp.RTTs[0].Keys = 999
+	sp.RTTs = append(sp.RTTs, TxnRTT{Server: 1})
+	got := tr.Requests()
+	if len(got) != 1 || len(got[0].RTTs) != 1 || got[0].RTTs[0].Keys != 3 {
+		t.Fatalf("ring shares the caller's RTT backing array: %+v", got)
+	}
+}
+
+// TestSlowSampling: every slow span counts, every Nth is logged.
+func TestSlowSampling(t *testing.T) {
+	var mu sync.Mutex
+	var logged []uint64
+	tr := New(Config{
+		RingSize:      1,
+		SlowThreshold: 10 * time.Millisecond,
+		SlowSample:    3,
+		SlowLog: func(sp *Span) {
+			mu.Lock()
+			logged = append(logged, sp.ID)
+			mu.Unlock()
+		},
+	})
+	for i := 1; i <= 7; i++ {
+		tr.Record(span(uint64(i), 20*time.Millisecond))
+	}
+	tr.Record(span(8, time.Millisecond)) // fast: not slow
+	if tr.SlowSeen() != 7 {
+		t.Fatalf("SlowSeen = %d, want 7", tr.SlowSeen())
+	}
+	if tr.SlowLogged() != 3 {
+		t.Fatalf("SlowLogged = %d, want 3 (spans 1, 4, 7)", tr.SlowLogged())
+	}
+	if len(logged) != 3 || logged[0] != 1 || logged[1] != 4 || logged[2] != 7 {
+		t.Fatalf("logged IDs = %v, want [1 4 7]", logged)
+	}
+}
+
+// TestTracerConcurrent exercises Record/Requests/ObserveRTT under
+// contention; run with -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := New(Config{RingSize: 8, SlowThreshold: time.Nanosecond, SlowSample: 2, SlowLog: func(*Span) {}})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp := span(tr.NextID(), time.Millisecond)
+				sp.RTTs = []TxnRTT{{Server: i % 4, DurNS: int64(i)}}
+				tr.Record(sp)
+				tr.ObserveRTT(time.Microsecond)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = tr.Requests()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if tr.Total.Count() != 2000 || tr.RTT.Count() != 2000 {
+		t.Fatalf("counts: total=%d rtt=%d, want 2000 each", tr.Total.Count(), tr.RTT.Count())
+	}
+	if got := tr.Requests(); len(got) != 8 {
+		t.Fatalf("ring holds %d spans, want 8", len(got))
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"rnb"
 	"rnb/internal/memcache"
+	"rnb/internal/obs"
 )
 
 // Proxy adapts an rnb.Client to the memcache.Backend interface so a
@@ -41,6 +42,28 @@ func New(client *rnb.Client) *Proxy {
 
 // Client returns the underlying RnB client.
 func (p *Proxy) Client() *rnb.Client { return p.client }
+
+// RegisterMetrics exports the proxy's request counters plus every
+// family of the underlying client (resilience, hotspot, pool, latency
+// histograms, per-server breaker gauges) into reg, under stable sorted
+// names — the /metrics side of BackendStats.
+func (p *Proxy) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterFunc("proxy_requests", "Multi-get requests served.",
+		obs.Counter, func() float64 { return float64(p.requests.Load()) })
+	reg.RegisterFunc("proxy_backend_txns", "Backend round trips issued for those requests.",
+		obs.Counter, func() float64 { return float64(p.backendTxns.Load()) })
+	reg.RegisterFunc("proxy_round2_txns", "Distinguished-copy recovery round trips.",
+		obs.Counter, func() float64 { return float64(p.round2.Load()) })
+	reg.RegisterFunc("proxy_hitchhikers", "Extra keys piggybacked onto planned transactions.",
+		obs.Counter, func() float64 { return float64(p.hitchhikers.Load()) })
+	reg.RegisterFunc("proxy_db_loads", "Keys fetched from the cache-aside loader.",
+		obs.Counter, func() float64 { return float64(p.loadedFromDB.Load()) })
+	reg.RegisterFunc("proxy_replicas", "Configured logical replication level.",
+		obs.Gauge, func() float64 { return float64(p.client.Replicas()) })
+	reg.RegisterFunc("proxy_servers", "Backend server count.",
+		obs.Gauge, func() float64 { return float64(len(p.client.Servers())) })
+	p.client.RegisterMetrics(reg)
+}
 
 // GetMulti implements memcache.Backend with full RnB bundling.
 func (p *Proxy) GetMulti(keys []string) (map[string]*memcache.Item, error) {

@@ -40,8 +40,13 @@ import (
 	"rnb/internal/hotspot"
 	"rnb/internal/memcache"
 	"rnb/internal/metrics"
+	"rnb/internal/obs"
 	"rnb/internal/xhash"
 )
+
+// ObsConfig re-exports the observability configuration for
+// WithObservability callers.
+type ObsConfig = obs.Config
 
 // AdaptiveConfig re-exports the hotspot controller configuration for
 // WithAdaptiveReplication callers.
@@ -75,6 +80,7 @@ type clientConfig struct {
 	retryBackoff     time.Duration
 	adaptive         *hotspot.Config
 	poolSize         int
+	obs              obs.Config
 }
 
 // WithReplicas sets the logical replication level (default 2).
@@ -183,6 +189,22 @@ func WithPoolSize(n int) Option {
 	return func(c *clientConfig) { c.poolSize = n }
 }
 
+// WithObservability configures the client's always-on tracing layer:
+// the flight-recorder ring size, the slow-request threshold and
+// sampling rate, and the slow-log sink (see obs.Config). The zero
+// value — also the default without this option — keeps a 256-span
+// flight recorder and all latency histograms but logs nothing.
+func WithObservability(cfg ObsConfig) Option {
+	return func(c *clientConfig) { c.obs = cfg }
+}
+
+// WithSlowRequestThreshold is WithObservability sugar: requests slower
+// than d are logged (every one of them) through the standard log
+// package, and counted either way. d <= 0 disables the log.
+func WithSlowRequestThreshold(d time.Duration) Option {
+	return func(c *clientConfig) { c.obs.SlowThreshold = d }
+}
+
 // WithLoader installs a cache-aside backing store: keys that miss on
 // every replica AND on their distinguished server are fetched through
 // the loader (one call per GetMulti), stored back (distinguished copy
@@ -215,7 +237,10 @@ type Client struct {
 	adaptive   *hotspot.AdaptivePlacement
 	resilience metrics.Resilience
 	hotspot    metrics.Hotspot
-	shut       atomic.Bool
+	// tracer is the always-on observability hub: request-phase latency
+	// histograms, the flight recorder, and the slow-request log.
+	tracer *obs.Tracer
+	shut   atomic.Bool
 }
 
 // Minimal atomic wrapper (keep the struct copyable-by-pointer only).
@@ -254,6 +279,71 @@ func (c *Client) Hotspot() *metrics.Hotspot { return &c.hotspot }
 // across every server's pool. Nil when WithPoolSize was not set above
 // one (the single-connection transport has nothing to gauge).
 func (c *Client) PoolGauges() *metrics.PoolGauges { return c.poolGauges }
+
+// Tracer exposes the client's observability hub: request-phase latency
+// histograms, the flight recorder of recent request spans, and the
+// slow-request counters. Never nil.
+func (c *Client) Tracer() *obs.Tracer { return c.tracer }
+
+// RecentRequests dumps the flight recorder: the last requests' full
+// lifecycle spans (plan/fan-out/recovery timings, per-server RTTs,
+// retries), newest first. Intended for post-mortem debugging and the
+// /debug/requests endpoint.
+func (c *Client) RecentRequests() []obs.Span { return c.tracer.Requests() }
+
+// RegisterMetrics exports every one of the client's metric families
+// into reg under stable, sorted names: rnb_resilience_* (breaker and
+// retry counters), rnb_hotspot_* (adaptive replication), rnb_pool_*
+// (pooled transport, when enabled), per-server breaker gauges, and the
+// latency histograms (exported in seconds, recorded in nanoseconds).
+func (c *Client) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterUint64Map("rnb_resilience_", "Failure-handling counters: breaker transitions, probes, re-plans.",
+		obs.Counter, c.resilience.Snapshot)
+	reg.RegisterUint64Map("rnb_", "Adaptive hot-key replication counters.",
+		obs.Gauge, c.hotspot.Snapshot)
+	if c.poolGauges != nil {
+		reg.RegisterInt64Map("rnb_", "Pooled transport gauges.",
+			obs.Gauge, c.poolGauges.Snapshot)
+	}
+	reg.RegisterFunc("rnb_server_errors", "Total network errors observed against backends.",
+		obs.Counter, func() float64 { return float64(c.Failures()) })
+	reg.RegisterFunc("rnb_transactions", "Total protocol round trips issued.",
+		obs.Counter, func() float64 { return float64(c.Transactions()) })
+	reg.RegisterFunc("rnb_slow_requests", "Requests over the slow threshold.",
+		obs.Counter, func() float64 { return float64(c.tracer.SlowSeen()) })
+	reg.Register("rnb_server_breaker_state", "Breaker state per backend: 0 closed, 1 open, 2 half-open.",
+		obs.Gauge, func() []obs.Sample {
+			states := c.ServerStates()
+			out := make([]obs.Sample, len(states))
+			for i, st := range states {
+				out[i] = obs.Sample{
+					Labels: obs.Labels("server", fmt.Sprintf("%d", i), "addr", st.Addr),
+					Value:  float64(st.State),
+				}
+			}
+			return out
+		})
+	reg.Register("rnb_server_consecutive_failures", "Current unbroken failure run per backend.",
+		obs.Gauge, func() []obs.Sample {
+			states := c.ServerStates()
+			out := make([]obs.Sample, len(states))
+			for i, st := range states {
+				out[i] = obs.Sample{
+					Labels: obs.Labels("server", fmt.Sprintf("%d", i), "addr", st.Addr),
+					Value:  float64(st.ConsecutiveFailures),
+				}
+			}
+			return out
+		})
+	reg.RegisterDurationHist("rnb_request_duration_seconds",
+		"End-to-end GetMulti latency.", &c.tracer.Total)
+	reg.RegisterDurationHist("rnb_plan_duration_seconds",
+		"Greedy set-cover planning latency per request.", &c.tracer.Plan)
+	reg.RegisterDurationHist("rnb_fanout_duration_seconds",
+		"Round-1 fan-out latency per request (re-plan rounds included).", &c.tracer.Fanout)
+	reg.RegisterDurationHist("rnb_transport_rtt_seconds",
+		"Per-round-trip transport latency, all operations.", &c.tracer.RTT)
+}
 
 // AdaptiveEnabled reports whether adaptive hot-key replication is on.
 func (c *Client) AdaptiveEnabled() bool { return c.adaptive != nil }
@@ -345,6 +435,9 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 		cfg.replicas = len(addrs)
 	}
 	ring := hashring.New(cfg.vnodes)
+	// The tracer exists before the transports so every connection can
+	// stamp its round trips into the shared RTT histogram.
+	tracer := obs.New(cfg.obs)
 	// The transport is chosen once, here: WithPoolSize above one swaps
 	// each server's single mutex-guarded connection for a pipelined
 	// pool. Either way a dead address fails construction immediately.
@@ -364,11 +457,17 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 		)
 		if poolGauges != nil {
 			cl, err = memcache.NewPool(addr, cfg.timeout, memcache.PoolConfig{
-				Size:   cfg.poolSize,
-				Gauges: poolGauges,
+				Size:        cfg.poolSize,
+				Gauges:      poolGauges,
+				RTTObserver: tracer.ObserveRTT,
 			})
 		} else {
-			cl, err = memcache.Dial(addr, cfg.timeout)
+			var single *memcache.Client
+			single, err = memcache.Dial(addr, cfg.timeout)
+			if err == nil {
+				single.SetRTTObserver(tracer.ObserveRTT)
+				cl = single
+			}
 		}
 		if err != nil {
 			closeAll(conns)
@@ -382,6 +481,7 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 		conns:      conns,
 		cfg:        cfg,
 		poolGauges: poolGauges,
+		tracer:     tracer,
 	}
 	if cfg.adaptive != nil {
 		c.adaptive = hotspot.NewAdaptive(placement, *cfg.adaptive, &c.hotspot)
@@ -760,11 +860,16 @@ func (c *Client) GetMultiLimit(keys []string, minItems int) (map[string]*Item, S
 // most maxTransactions round trips — "fetch as many items as you can
 // within a budget" (§III-F, thesis variant). No second round is issued:
 // the budget is a hard cap, so replica misses simply reduce the result.
-func (c *Client) GetMultiBudget(keys []string, maxTransactions int) (map[string]*Item, Stats, error) {
-	var stats Stats
+func (c *Client) GetMultiBudget(keys []string, maxTransactions int) (out map[string]*Item, stats Stats, err error) {
 	if len(keys) == 0 || maxTransactions <= 0 {
 		return map[string]*Item{}, stats, nil
 	}
+	sp := &obs.Span{ID: c.tracer.NextID(), Op: "get_multi_budget", Start: time.Now(), Keys: len(keys)}
+	trips0 := c.resilience.BreakerOpened.Load()
+	defer func() {
+		sp.BreakerTrips = int(c.resilience.BreakerOpened.Load() - trips0)
+		c.finishSpan(sp, out, &stats, err)
+	}()
 	ids, keyOf, err := c.keyIDs(keys)
 	if err != nil {
 		return nil, stats, err
@@ -772,30 +877,55 @@ func (c *Client) GetMultiBudget(keys []string, maxTransactions int) (map[string]
 	if c.adaptive != nil {
 		c.adaptive.Observe(ids)
 	}
+	planStart := time.Now()
 	plan, err := c.planner.BuildBudget(ids, maxTransactions)
+	sp.PlanNS = int64(time.Since(planStart))
 	if err != nil {
 		return nil, stats, err
 	}
-	out := make(map[string]*Item, len(keys))
+	out = make(map[string]*Item, len(keys))
 	for _, txn := range plan.Transactions {
 		stats.Hitchhikers += len(txn.Hitchhikers)
 	}
 	stats.Transactions += len(plan.Transactions)
-	stats.Failed += len(c.fanout(plan.Transactions, keyOf, out))
+	fanStart := time.Now()
+	stats.Failed += len(c.fanout(plan.Transactions, keyOf, out, sp, "fanout", 0))
+	sp.FanoutNS = int64(time.Since(fanStart))
 	return out, stats, nil
+}
+
+// finishSpan closes out a request span from the request's results and
+// hands it to the tracer (histograms, flight recorder, slow log).
+func (c *Client) finishSpan(sp *obs.Span, out map[string]*Item, stats *Stats, err error) {
+	sp.TotalNS = int64(time.Since(sp.Start))
+	sp.Transactions = stats.Transactions
+	sp.Round2 = stats.Round2
+	sp.Hitchhikers = stats.Hitchhikers
+	sp.Retries = stats.Retries
+	sp.Replans = stats.Replans
+	sp.Failed = stats.Failed
+	sp.Loaded = stats.Loaded
+	sp.ItemsFound = len(out)
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	c.tracer.Record(sp)
 }
 
 // fanout executes the planned transactions concurrently, merging found
 // items into out. A failing transaction quarantines its server; the
 // returned slice holds the failed transactions' servers (one entry per
 // failed transaction), which the caller feeds into the re-plan
-// exclusion set.
-func (c *Client) fanout(txns []core.Transaction, keyOf map[uint64]string, out map[string]*Item) (failed []int) {
+// exclusion set. Each transaction's round trip is stamped into sp
+// (when non-nil) under the given phase label and re-plan round.
+func (c *Client) fanout(txns []core.Transaction, keyOf map[uint64]string, out map[string]*Item, sp *obs.Span, phase string, round int) (failed []int) {
 	if len(txns) == 0 {
 		return nil
 	}
 	if len(txns) == 1 {
+		start := time.Now()
 		items, err := c.execTxn(&txns[0], keyOf)
+		c.stampRTT(sp, &txns[0], phase, round, start, err)
 		if err != nil {
 			c.markDown(txns[0].Server)
 			return []int{txns[0].Server}
@@ -812,9 +942,11 @@ func (c *Client) fanout(txns []core.Transaction, keyOf map[uint64]string, out ma
 		wg.Add(1)
 		go func(txn *core.Transaction) {
 			defer wg.Done()
+			start := time.Now()
 			items, err := c.execTxn(txn, keyOf)
 			mu.Lock()
 			defer mu.Unlock()
+			c.stampRTT(sp, txn, phase, round, start, err)
 			if err != nil {
 				c.markDown(txn.Server)
 				failed = append(failed, txn.Server)
@@ -826,6 +958,26 @@ func (c *Client) fanout(txns []core.Transaction, keyOf map[uint64]string, out ma
 	}
 	wg.Wait()
 	return failed
+}
+
+// stampRTT appends one fan-out round trip to the span. The caller must
+// ensure exclusive access to sp (fanout stamps under its merge mutex).
+func (c *Client) stampRTT(sp *obs.Span, txn *core.Transaction, phase string, round int, start time.Time, err error) {
+	if sp == nil {
+		return
+	}
+	rtt := obs.TxnRTT{
+		Server: txn.Server,
+		Addr:   c.conns[txn.Server].Addr(),
+		Keys:   len(txn.Primary) + len(txn.Hitchhikers),
+		Phase:  phase,
+		Round:  round,
+		DurNS:  int64(time.Since(start)),
+	}
+	if err != nil {
+		rtt.Err = err.Error()
+	}
+	sp.RTTs = append(sp.RTTs, rtt)
 }
 
 // maxBackoff caps the re-plan backoff: past it, more waiting buys
@@ -897,11 +1049,24 @@ func (c *Client) keyIDs(keys []string) ([]uint64, map[uint64]string, error) {
 	return ids, keyOf, nil
 }
 
-func (c *Client) getMulti(keys []string, target int) (map[string]*Item, Stats, error) {
-	var stats Stats
+func (c *Client) getMulti(keys []string, target int) (out map[string]*Item, stats Stats, err error) {
 	if len(keys) == 0 {
 		return map[string]*Item{}, stats, nil
 	}
+	// The span is this request's lifecycle record: where the time went
+	// (plan, fan-out, recovery, loader), every server round trip, and
+	// what failed. It lands in the flight recorder and, when slow, in
+	// the slow-request log.
+	op := "get_multi"
+	if target > 0 {
+		op = "get_multi_limit"
+	}
+	sp := &obs.Span{ID: c.tracer.NextID(), Op: op, Start: time.Now(), Keys: len(keys)}
+	trips0 := c.resilience.BreakerOpened.Load()
+	defer func() {
+		sp.BreakerTrips = int(c.resilience.BreakerOpened.Load() - trips0)
+		c.finishSpan(sp, out, &stats, err)
+	}()
 	ids, keyOf, err := c.keyIDs(keys)
 	if err != nil {
 		return nil, stats, err
@@ -918,7 +1083,9 @@ func (c *Client) getMulti(keys []string, target int) (map[string]*Item, Stats, e
 	if c.cfg.cooldown > 0 {
 		avoid = c.isDown
 	}
+	planStart := time.Now()
 	plan, err := c.planner.BuildAvoiding(ids, target, avoid)
+	sp.PlanNS = int64(time.Since(planStart))
 	if err != nil {
 		return nil, stats, err
 	}
@@ -927,12 +1094,13 @@ func (c *Client) getMulti(keys []string, target int) (map[string]*Item, Stats, e
 	// chosen servers in parallel (each server has its own connection).
 	// Transaction failures quarantine the server and degrade to the
 	// re-plan/round-2 recovery below rather than failing the request.
-	out := make(map[string]*Item, len(keys))
+	out = make(map[string]*Item, len(keys))
 	for _, txn := range plan.Transactions {
 		stats.Hitchhikers += len(txn.Hitchhikers)
 	}
 	stats.Transactions += len(plan.Transactions)
-	failedSrvs := c.fanout(plan.Transactions, keyOf, out)
+	fanStart := time.Now()
+	failedSrvs := c.fanout(plan.Transactions, keyOf, out, sp, "fanout", 0)
 	stats.Failed += len(failedSrvs)
 
 	// Re-plan rounds: re-cover the still-missing planned keys over the
@@ -973,9 +1141,10 @@ func (c *Client) getMulti(keys []string, target int) (map[string]*Item, Stats, e
 		stats.Transactions += len(replan.Transactions)
 		stats.Retries += len(replan.Transactions)
 		c.resilience.RetryTransactions.Add(uint64(len(replan.Transactions)))
-		failedSrvs = c.fanout(replan.Transactions, keyOf, out)
+		failedSrvs = c.fanout(replan.Transactions, keyOf, out, sp, "replan", attempt+1)
 		stats.Failed += len(failedSrvs)
 	}
+	sp.FanoutNS = int64(time.Since(fanStart))
 	// Servers that failed during this request stay excluded for the
 	// rest of it, whatever the breaker threshold says.
 	for _, s := range failedSrvs {
@@ -1007,6 +1176,7 @@ func (c *Client) getMulti(keys []string, target int) (map[string]*Item, Stats, e
 			missAssigned[id] = plan.ItemServer[i]
 		}
 	}
+	round2Start := time.Now()
 	for _, txn := range core.SecondRound(missIDs, missReplicas) {
 		reqKeys := make([]string, 0, len(txn.Primary))
 		for _, id := range txn.Primary {
@@ -1014,7 +1184,9 @@ func (c *Client) getMulti(keys []string, target int) (map[string]*Item, Stats, e
 		}
 		stats.Transactions++
 		stats.Round2++
+		txnStart := time.Now()
 		items, err := c.conns[txn.Server].GetMulti(reqKeys)
+		c.stampRTT(sp, &txn, "round2", 0, txnStart, err)
 		if err != nil {
 			// Quarantine and degrade: these items fall to the loader or
 			// come back absent.
@@ -1038,11 +1210,15 @@ func (c *Client) getMulti(keys []string, target int) (map[string]*Item, Stats, e
 		}
 	}
 
+	sp.Round2NS = int64(time.Since(round2Start))
+
 	// Cache-aside: keys the cache tier could not serve go to the backing
 	// store, then back into the tier. Under a LIMIT plan only the
 	// shortfall below the target is loaded — deliberately dropped items
 	// stay dropped.
 	if c.cfg.loader != nil {
+		loaderStart := time.Now()
+		defer func() { sp.LoaderNS = int64(time.Since(loaderStart)) }()
 		full := target <= 0 || target >= len(ids)
 		want := len(ids)
 		if !full {
