@@ -1,12 +1,26 @@
 GO ?= go
 
-.PHONY: build vet test race chaos obs-smoke ci bench-skew bench-pool
+.PHONY: build vet lint fix-check test race chaos obs-smoke ci bench-skew bench-pool
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis (internal/lint via cmd/rnblint):
+# lock discipline, atomic-only fields, seeded RNGs, metric-name
+# hygiene, %w wrapping, t.Helper(). Suppress a finding with
+# //rnblint:ignore <analyzer> <reason> — the reason is mandatory.
+lint:
+	$(GO) run ./cmd/rnblint ./...
+
+# Fail if any file is not gofmt-formatted (fixtures included).
+fix-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -27,7 +41,7 @@ chaos:
 obs-smoke:
 	./scripts/obs_smoke.sh
 
-ci: build vet race chaos obs-smoke
+ci: build vet lint fix-check race chaos obs-smoke
 	# Transport smoke: a tiny pooled-vs-single sweep proving the pool
 	# mode still runs end to end (full sweep lives in bench-pool).
 	$(GO) run ./cmd/rnbbench -ops 60 pool

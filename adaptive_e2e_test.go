@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"testing"
 
+	"rnb/internal/leakcheck"
 	"rnb/internal/memcache"
 )
 
@@ -17,6 +18,7 @@ import (
 // serve the old value afterwards (the invalidation set covers boosted
 // copies).
 func TestAdaptiveEndToEnd(t *testing.T) {
+	leakcheck.Check(t)
 	cl, _ := newTestClient(t, 8,
 		WithReplicas(2),
 		WithAdaptiveReplication(AdaptiveConfig{
@@ -100,6 +102,7 @@ func TestAdaptiveEndToEnd(t *testing.T) {
 // the whole max-boost set, not just the current replicas — otherwise
 // the lingering copy shadows the new value after re-promotion.
 func TestSetClearsMaxBoostSet(t *testing.T) {
+	leakcheck.Check(t)
 	cl, servers := newTestClient(t, 8,
 		WithReplicas(2),
 		WithAdaptiveReplication(AdaptiveConfig{

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rnb/internal/chaos"
+	"rnb/internal/leakcheck"
 	"rnb/internal/memcache"
 )
 
@@ -78,6 +79,7 @@ func seedKeys(t *testing.T, cl *Client, ks []string) {
 // via mid-request re-planning onto the surviving replicas, then via the
 // open breaker keeping the backend out of plans entirely.
 func TestChaosScriptedFaultsFullRecovery(t *testing.T) {
+	leakcheck.Check(t)
 	prof := chaos.Profile{Seed: 7, Script: []chaos.ConnPlan{
 		{ResetAfterWrites: 1}, // serves one response, then dies mid-stream
 		{Blackhole: true},     // accepts, never answers: deadline failure
@@ -115,6 +117,7 @@ func TestChaosScriptedFaultsFullRecovery(t *testing.T) {
 // whatever mix of resets and black holes the seed draws on backend 0,
 // every GetMulti must still return the full item set.
 func TestChaosSeededFaultsFullRecovery(t *testing.T) {
+	leakcheck.Check(t)
 	prof := chaos.Profile{Seed: 42, PReset: 0.5, PBlackhole: 0.25, ResetAfterWrites: 1}
 	cl, _, injectors := newChaosClient(t, 4, map[int]chaos.Profile{0: prof},
 		WithReplicas(3), WithTimeout(250*time.Millisecond),
@@ -143,6 +146,7 @@ func TestChaosSeededFaultsFullRecovery(t *testing.T) {
 // server re-enters plans (its distinguished keys are served by it
 // again, with zero failed transactions).
 func TestChaosKillReviveBreakerLifecycle(t *testing.T) {
+	leakcheck.Check(t)
 	const victim = 1
 	cl, servers, injectors := newChaosClient(t, 4, map[int]chaos.Profile{victim: {}},
 		WithReplicas(3), WithTimeout(300*time.Millisecond),
@@ -244,6 +248,7 @@ func TestChaosKillReviveBreakerLifecycle(t *testing.T) {
 // design could not pass stably: the breaker absorbs each down phase,
 // and half-open probes re-admit the backend during up phases.
 func TestChaosFlappingBackendFullRecovery(t *testing.T) {
+	leakcheck.Check(t)
 	const victim = 2
 	prof := chaos.Profile{Seed: 9, FlapDown: 2, FlapUp: 4, PReset: 1, ResetAfterWrites: 2}
 	cl, _, injectors := newChaosClient(t, 4, map[int]chaos.Profile{victim: prof},

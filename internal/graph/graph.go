@@ -152,11 +152,11 @@ func ReadEdgeList(r io.Reader, name string) (*Graph, error) {
 		}
 		u, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad source id: %v", line, err)
+			return nil, fmt.Errorf("graph: line %d: bad source id: %w", line, err)
 		}
 		v, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad target id: %v", line, err)
+			return nil, fmt.Errorf("graph: line %d: bad target id: %w", line, err)
 		}
 		if err := b.AddEdge(id(u), id(v)); err != nil {
 			return nil, err

@@ -1,0 +1,143 @@
+// Package leakcheck verifies that a test leaves no goroutines behind.
+//
+// Check snapshots the live goroutine set when called and registers a
+// cleanup that diffs the set at test end against that baseline. The
+// diff retries over a short settle window, so goroutines that are
+// mid-exit when the test returns (a closed pool's drained workers, an
+// HTTP server finishing its last response) do not flake the suite;
+// only goroutines that persist past the window are reported, with
+// their full stacks.
+//
+// The transports, the hotspot manager, and the chaos harness all own
+// background goroutines whose lifecycles are tied to Close methods —
+// this package is how the e2e suites prove those Closes actually join
+// everything they started.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// settleWindow bounds how long the cleanup waits for stragglers to
+// exit before declaring them leaked.
+const settleWindow = 2 * time.Second
+
+// defaultIgnores matches goroutines owned by the runtime or the test
+// framework, which come and go outside the test's control.
+var defaultIgnores = []string{
+	"runtime.gcBgMarkWorker",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime/trace.Start",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"testing.(*T).Run",
+	"testing.(*B).run1",
+	"testing.(*B).doBench",
+}
+
+// Check arms the leak checker for t. Call it first thing in a test;
+// the registered cleanup runs after the test body (and any later
+// cleanups, such as deferred Closes) complete. Extra ignore strings
+// are matched as substrings against a goroutine's full stack text, for
+// suites that intentionally leave a long-lived goroutine running.
+func Check(t testing.TB, ignore ...string) {
+	t.Helper()
+	baseline := make(map[int]bool)
+	for _, g := range stacks() {
+		baseline[g.id] = true
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			return // don't stack leak noise on top of a real failure
+		}
+		var leaked []goroutine
+		deadline := time.Now().Add(settleWindow)
+		for {
+			leaked = leaked[:0]
+			for _, g := range stacks() {
+				if baseline[g.id] || ignored(g.stack, ignore) {
+					continue
+				}
+				leaked = append(leaked, g)
+			}
+			if len(leaked) == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if len(leaked) > 0 {
+			var sb strings.Builder
+			for _, g := range leaked {
+				fmt.Fprintf(&sb, "goroutine %d:\n%s\n\n", g.id, g.stack)
+			}
+			t.Errorf("leakcheck: %d goroutine(s) leaked past the %v settle window:\n%s",
+				len(leaked), settleWindow, sb.String())
+		}
+	})
+}
+
+type goroutine struct {
+	id    int
+	stack string
+}
+
+// stacks captures and parses the full goroutine dump.
+func stacks() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []goroutine
+	for _, rec := range strings.Split(string(buf), "\n\n") {
+		id, ok := parseHeader(rec)
+		if !ok {
+			continue
+		}
+		out = append(out, goroutine{id: id, stack: strings.TrimSpace(rec)})
+	}
+	return out
+}
+
+// parseHeader extracts the goroutine id from a "goroutine N [state]:"
+// dump header.
+func parseHeader(rec string) (int, bool) {
+	if !strings.HasPrefix(rec, "goroutine ") {
+		return 0, false
+	}
+	rest := rec[len("goroutine "):]
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return 0, false
+	}
+	id, err := strconv.Atoi(rest[:sp])
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+func ignored(stack string, extra []string) bool {
+	for _, pat := range defaultIgnores {
+		if strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	for _, pat := range extra {
+		if pat != "" && strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	return false
+}

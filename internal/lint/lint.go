@@ -1,0 +1,207 @@
+// Package lint is a small, stdlib-only static-analysis framework plus
+// the suite of analyzers that machine-check this repository's
+// concurrency, determinism, and observability invariants (run by
+// cmd/rnblint, wired into `make ci`).
+//
+// The framework loads packages with go/parser, type-checks them with
+// go/types against compiler export data (load.go), runs each Analyzer
+// over every loaded compilation unit, and filters the diagnostics
+// through //rnblint:ignore suppression directives. Analyzers are
+// intraprocedural and best-effort by design: they encode the specific
+// invariants this codebase relies on — lock discipline around blocking
+// calls, atomic-only field access, seeded randomness in experiment
+// packages, Prometheus metric-name hygiene, error wrapping, test
+// helper marking — not general-purpose soundness.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run receives every loaded
+// compilation unit at once (some analyzers, like atomiconly, need a
+// whole-program collection pass before they can judge a single use)
+// and reports findings through report.
+type Analyzer struct {
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	Run func(pkgs []*Package, report ReportFunc)
+}
+
+// ReportFunc records one diagnostic for the named analyzer.
+type ReportFunc func(pkg *Package, pos token.Pos, format string, args ...any)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AtomicOnly,
+		ErrWrap,
+		LockHeld,
+		MetricName,
+		SeededRand,
+		THelper,
+	}
+}
+
+// ByName returns the named analyzers, or an error naming the first
+// unknown one.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over pkgs and returns the surviving
+// diagnostics sorted by position: suppressed findings are dropped,
+// malformed suppression directives are themselves diagnostics (from
+// the pseudo-analyzer "rnblint").
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a := a
+		report := func(pkg *Package, pos token.Pos, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(pos),
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+		a.Run(pkgs, report)
+	}
+
+	sup, supDiags := collectSuppressions(pkgs)
+	kept := supDiags
+	for _, d := range diags {
+		if !sup.matches(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// Suppression directives.
+//
+//	//rnblint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The directive suppresses the named analyzers' diagnostics on its own
+// line and on the line below it (so it works both as a trailing
+// comment and on a line of its own above the flagged statement). The
+// reason is mandatory: an ignore that does not say why is itself a
+// diagnostic — reviewers should never have to archaeology a bare
+// suppression.
+var ignoreRE = regexp.MustCompile(`^//rnblint:ignore(?:\s+(\S+))?(?:\s+(.*))?$`)
+
+type suppression struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+}
+
+type suppressions []suppression
+
+func (s suppressions) matches(d Diagnostic) bool {
+	for _, sup := range s {
+		if sup.file != d.Pos.Filename {
+			continue
+		}
+		if d.Pos.Line != sup.line && d.Pos.Line != sup.line+1 {
+			continue
+		}
+		if sup.analyzers[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+func collectSuppressions(pkgs []*Package) (suppressions, []Diagnostic) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var sups suppressions
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := ignoreRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					bad := func(format string, args ...any) {
+						diags = append(diags, Diagnostic{
+							Pos:      pos,
+							Analyzer: "rnblint",
+							Message:  fmt.Sprintf(format, args...),
+						})
+					}
+					if m[1] == "" {
+						bad("ignore directive names no analyzer (want //rnblint:ignore <analyzer> <reason>)")
+						continue
+					}
+					names := strings.Split(m[1], ",")
+					set := make(map[string]bool, len(names))
+					ok := true
+					for _, n := range names {
+						if !known[n] {
+							bad("ignore directive names unknown analyzer %q", n)
+							ok = false
+							break
+						}
+						set[n] = true
+					}
+					if !ok {
+						continue
+					}
+					if strings.TrimSpace(m[2]) == "" {
+						bad("ignore directive for %s is missing a reason", m[1])
+						continue
+					}
+					sups = append(sups, suppression{file: pos.Filename, line: pos.Line, analyzers: set})
+				}
+			}
+		}
+	}
+	return sups, diags
+}

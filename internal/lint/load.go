@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked compilation unit handed to analyzers:
+// the syntax trees, the type information, and the import path. For a
+// package with in-package test files the unit is the test variant
+// (library files plus _test.go files, as the compiler builds it);
+// external foo_test packages are separate units.
+type Package struct {
+	// Path is the unbracketed import path ("rnb/internal/obs", or
+	// "rnb/internal/obs_test" for an external test package).
+	Path string
+	// Fset is shared by every package of one Load call.
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors holds type-checker complaints. Analysis proceeds on a
+	// best-effort basis, but a non-empty list usually means diagnostics
+	// are incomplete and the run should be reported as failed.
+	TypeErrors []error
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	ForTest      string
+	DepOnly      bool
+	Standard     bool
+	GoFiles      []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns (as the go tool
+// resolves them, e.g. "./...") rooted at dir, returning one Package
+// per compilation unit. Dependencies are imported from compiler export
+// data produced by `go list -export`, so only the packages under
+// analysis are parsed from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for every dependency, keyed by plain import path.
+	exports := make(map[string]string)
+	for _, p := range listed {
+		if p.Export != "" && !strings.Contains(p.ImportPath, " ") {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	// Pick the units to analyze: for each requested package prefer the
+	// in-package test variant "p [p.test]" (its GoFiles are a superset
+	// of plain p's); external test packages "p_test [p.test]" are their
+	// own units.
+	type unit struct {
+		path    string // unbracketed path
+		dir     string
+		files   []string
+		forTest string // package under test, for external test packages
+	}
+	variants := make(map[string]bool) // plain paths that have a test variant
+	for _, p := range listed {
+		if p.ForTest != "" && !strings.HasSuffix(unbracket(p.ImportPath), "_test") {
+			variants[p.ForTest] = true
+		}
+	}
+	var units []unit
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || p.Error != nil {
+			continue
+		}
+		path := unbracket(p.ImportPath)
+		switch {
+		case strings.HasSuffix(path, ".test"):
+			continue // generated test main
+		case p.ForTest == "" && variants[p.ImportPath]:
+			continue // superseded by its test variant
+		case p.ForTest != "" && strings.HasSuffix(path, "_test"):
+			units = append(units, unit{path: path, dir: p.Dir, files: p.XTestGoFiles, forTest: p.ForTest})
+		default:
+			units = append(units, unit{path: path, dir: p.Dir, files: p.GoFiles})
+		}
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].path < units[j].path })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+
+	var pkgs []*Package
+	for _, u := range units {
+		var files []*ast.File
+		for _, name := range u.files {
+			f, err := parser.ParseFile(fset, filepath.Join(u.dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		pkg := &Package{Path: u.path, Fset: fset, Files: files}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		tpkg, _ := conf.Check(u.path, fset, files, info) // errors collected via conf.Error
+		pkg.Types = tpkg
+		pkg.Info = info
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func unbracket(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-test", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %w\n%s", err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves every import from the compiler export data
+// gathered by `go list -export` through one shared gc importer, so
+// dependency type identity is stable across every unit of the run.
+// (External test packages consequently see the plain library exports
+// of the package under test, not its test-file exports — mixing a
+// source-checked variant in would split type identity against the
+// same package reached through other dependencies.)
+type exportImporter struct {
+	gc types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{
+		gc: importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+	}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.ImportFrom(path, "", 0)
+}
+
+func (e *exportImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,401 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held: channel sends and receives, selects without a
+// default case, time.Sleep, WaitGroup.Wait, net dials and socket
+// reads/writes, and round trips through the internal/memcache
+// transports. Holding a mutex across any of these turns one slow peer
+// into a pile-up of every goroutine that touches the lock — the
+// pooled transport, breaker, and hotspot controller all depend on
+// their critical sections staying O(memory access).
+//
+// The analysis is intraprocedural and tracks lock state through
+// straight-line code, branches (a path that unlocks and returns does
+// not poison the code after the branch), and loops. sync.Cond.Wait is
+// deliberately not a violation: it releases the mutex while waiting —
+// that is its contract.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "no blocking call (I/O, channel op, sleep, transport round trip) while a sync mutex is held",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(pkgs []*Package, report ReportFunc) {
+	for _, pkg := range pkgs {
+		lh := &lockHeld{pkg: pkg, report: report}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						lh.block(fn.Body.List, newHeldSet())
+					}
+					return false // function literals inside are visited by block
+				}
+				return true
+			})
+		}
+	}
+}
+
+type lockHeld struct {
+	pkg    *Package
+	report ReportFunc
+}
+
+// heldSet maps the printed form of a mutex expression ("c.mu") to the
+// position where it was locked.
+type heldSet map[string]token.Pos
+
+func newHeldSet() heldSet { return heldSet{} }
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only mutexes held in both sets — the merge rule at
+// control-flow joins, chosen to under-approximate "held" so a branch
+// that unlocks cannot cause false positives downstream.
+func (h heldSet) intersect(o heldSet) heldSet {
+	c := make(heldSet)
+	for k, v := range h {
+		if _, ok := o[k]; ok {
+			c[k] = v
+		}
+	}
+	return c
+}
+
+// block processes a statement list sequentially, threading lock state
+// through it, and returns the state at its end.
+func (l *lockHeld) block(stmts []ast.Stmt, held heldSet) heldSet {
+	for _, s := range stmts {
+		held = l.stmt(s, held)
+	}
+	return held
+}
+
+// terminates reports whether a statement list ends by leaving the
+// enclosing flow (return, branch, panic), so its lock state cannot
+// reach the code after the construct it belongs to.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (l *lockHeld) stmt(s ast.Stmt, held heldSet) heldSet {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if name, ok := l.mutexOp(call); ok {
+				switch name {
+				case "Lock", "RLock":
+					held[types.ExprString(mutexRecv(call))] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, types.ExprString(mutexRecv(call)))
+				}
+				return held
+			}
+		}
+		l.checkExpr(s.X, held)
+		return held
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the mutex held to the end of the
+		// function (correct: later statements still run locked). The
+		// deferred call's own body, if a literal, starts lock-free.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			l.block(lit.Body.List, newHeldSet())
+		}
+		return held
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			l.block(lit.Body.List, newHeldSet())
+		}
+		l.checkArgs(s.Call, held)
+		return held
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			l.reportBlocked(s.Pos(), held, "channel send")
+		}
+		return held
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			l.reportBlocked(s.Pos(), held, "blocking select")
+		}
+		out := held.clone()
+		first := true
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			after := l.block(cc.Body, held.clone())
+			if terminates(cc.Body) {
+				continue
+			}
+			if first {
+				out, first = after, false
+			} else {
+				out = out.intersect(after)
+			}
+		}
+		return out
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			l.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			l.checkExpr(e, held)
+		}
+		return held
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				l.checkExpr(e, held)
+				return false
+			}
+			return true
+		})
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			l.checkExpr(e, held)
+		}
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = l.stmt(s.Init, held)
+		}
+		l.checkExpr(s.Cond, held)
+		thenOut := l.block(s.Body.List, held.clone())
+		thenTerm := terminates(s.Body.List)
+		elseOut := held.clone()
+		elseTerm := false
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseOut = l.block(e.List, held.clone())
+				elseTerm = terminates(e.List)
+			default:
+				elseOut = l.stmt(s.Else, held.clone())
+			}
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held
+		case thenTerm:
+			return elseOut
+		case elseTerm:
+			return thenOut
+		default:
+			return thenOut.intersect(elseOut)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = l.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			l.checkExpr(s.Cond, held)
+		}
+		body := l.block(s.Body.List, held.clone())
+		if s.Post != nil {
+			l.stmt(s.Post, body)
+		}
+		return held.intersect(body)
+	case *ast.RangeStmt:
+		l.checkExpr(s.X, held)
+		if len(held) > 0 {
+			if tv, ok := l.pkg.Info.Types[s.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					l.reportBlocked(s.Pos(), held, "range over channel")
+				}
+			}
+		}
+		body := l.block(s.Body.List, held.clone())
+		return held.intersect(body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = l.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			l.checkExpr(s.Tag, held)
+		}
+		return l.caseClauses(s.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = l.stmt(s.Init, held)
+		}
+		return l.caseClauses(s.Body.List, held)
+	case *ast.BlockStmt:
+		return l.block(s.List, held.clone()).intersect(held.clone())
+	case *ast.LabeledStmt:
+		return l.stmt(s.Stmt, held)
+	}
+	return held
+}
+
+func (l *lockHeld) caseClauses(clauses []ast.Stmt, held heldSet) heldSet {
+	out := held.clone() // no case may match (or empty switch)
+	for _, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			l.checkExpr(e, held)
+		}
+		after := l.block(cc.Body, held.clone())
+		if !terminates(cc.Body) {
+			out = out.intersect(after)
+		}
+	}
+	return out
+}
+
+// mutexOp reports whether call is Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex receiver.
+func (l *lockHeld) mutexOp(call *ast.CallExpr) (string, bool) {
+	recv, name, ok := callReceiver(l.pkg.Info, call)
+	if !ok {
+		return "", false
+	}
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", false
+	}
+	if isNamedType(recv, "sync", "Mutex") || isNamedType(recv, "sync", "RWMutex") {
+		return name, true
+	}
+	return "", false
+}
+
+// mutexRecv returns the receiver expression of a method call
+// ("c.mu" in "c.mu.Lock()").
+func mutexRecv(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return call.Fun
+}
+
+// checkExpr walks an expression flagging blocking operations when any
+// mutex is held. Function literals start with a clean slate.
+func (l *lockHeld) checkExpr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			l.block(n.Body.List, newHeldSet())
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				l.reportBlocked(n.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			if len(held) > 0 {
+				if what, ok := l.blockingCall(n); ok {
+					l.reportBlocked(n.Pos(), held, what)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (l *lockHeld) checkArgs(call *ast.CallExpr, held heldSet) {
+	for _, a := range call.Args {
+		l.checkExpr(a, held)
+	}
+}
+
+// netBlockingMethods are socket operations that park the goroutine on
+// the network (Close is quick and deliberately absent).
+var netBlockingMethods = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"ReadFromUDP": true, "WriteToUDP": true, "ReadMsgUDP": true,
+	"Accept": true, "AcceptTCP": true,
+}
+
+// memcacheBlockingMethods are the internal/memcache transport entry
+// points — each is a full network round trip.
+var memcacheBlockingMethods = map[string]bool{
+	"Do": true, "Get": true, "GetMulti": true, "GetsMulti": true,
+	"Set": true, "SetPinned": true, "Add": true, "Replace": true,
+	"CompareAndSwap": true, "Append": true, "Prepend": true,
+	"Incr": true, "Decr": true, "Delete": true, "Touch": true,
+	"FlushAll": true, "Version": true, "Stats": true,
+}
+
+// blockingCall classifies a call as blocking, returning a short label
+// for the diagnostic.
+func (l *lockHeld) blockingCall(call *ast.CallExpr) (string, bool) {
+	info := l.pkg.Info
+	if isPkgFunc(info, call, "time", "Sleep") {
+		return "time.Sleep", true
+	}
+	for _, fn := range []string{"Dial", "DialTimeout", "DialTCP", "DialUDP", "DialIP", "DialUnix", "Listen", "ListenTCP", "ListenUDP", "ListenPacket"} {
+		if isPkgFunc(info, call, "net", fn) {
+			return "net." + fn, true
+		}
+	}
+	recv, name, ok := callReceiver(info, call)
+	if !ok {
+		return "", false
+	}
+	if isNamedType(recv, "sync", "WaitGroup") && name == "Wait" {
+		return "WaitGroup.Wait", true
+	}
+	if isNamedType(recv, "net", "Dialer") && (name == "Dial" || name == "DialContext") {
+		return "Dialer." + name, true
+	}
+	// namedTypePkgPath resolves concrete and interface receivers alike
+	// (net.Conn methods included).
+	pkgPath := namedTypePkgPath(recv)
+	if pkgPath == "net" && netBlockingMethods[name] {
+		return "net conn " + name, true
+	}
+	if pkgPath == "rnb/internal/memcache" && memcacheBlockingMethods[name] {
+		return "memcache transport " + name, true
+	}
+	return "", false
+}
+
+func (l *lockHeld) reportBlocked(pos token.Pos, held heldSet, what string) {
+	// Name one held mutex (deterministically: the smallest printed
+	// form) so the message reads concretely.
+	var mu string
+	for k := range held {
+		if mu == "" || k < mu {
+			mu = k
+		}
+	}
+	l.report(l.pkg, pos, "%s while %s is held", what, mu)
+}

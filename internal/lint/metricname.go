@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// MetricName promotes the obs registry's runtime name validation to a
+// compile gate. Every string-literal name (or prefix) passed to a
+// Registry registration call must match the Prometheus name grammar,
+// duration histograms must be named *_seconds, and no family may end
+// in another unit suffix (_ms, _ns, ...) — the unit-drift guard that
+// currently panics at first scrape moves to `make lint`, where it
+// fails before the binary ever runs. Names computed at runtime are
+// out of scope (the registry still panics on those).
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric registration literals must match the Prometheus grammar; duration families end in _seconds",
+	Run:  runMetricName,
+}
+
+// promNameRE is the Prometheus metric name grammar, as enforced at
+// runtime by internal/obs.
+var promNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// wrongUnitSuffixes are duration-ish suffixes that indicate unit drift
+// away from the repo's seconds-only export policy.
+var wrongUnitSuffixes = []string{
+	"_ns", "_nanos", "_nanoseconds", "_us", "_micros", "_microseconds",
+	"_ms", "_millis", "_milliseconds", "_minutes", "_hours",
+}
+
+// registryMethods maps registration method names (on any type named
+// Registry) to whether the name argument is a full family name or a
+// prefix.
+var registryMethods = map[string]bool{ // method -> isPrefix
+	"Register": false, "RegisterFunc": false, "RegisterDurationHist": false,
+	"RegisterUint64Map": true, "RegisterInt64Map": true,
+}
+
+func runMetricName(pkgs []*Package, report ReportFunc) {
+	for _, pkg := range pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				recv, method, ok := callReceiver(info, call)
+				if !ok {
+					return true
+				}
+				isPrefix, ok := registryMethods[method]
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if n := namedOf(recv); n == nil || n.Obj().Name() != "Registry" {
+					return true
+				}
+				name, ok := stringLit(info, call.Args[0])
+				if !ok {
+					return true // runtime-computed; registry validates at startup
+				}
+				if !promNameRE.MatchString(name) {
+					report(pkg, call.Args[0].Pos(),
+						"metric %s %q does not match the Prometheus name grammar [a-zA-Z_:][a-zA-Z0-9_:]*",
+						argKind(isPrefix), name)
+					return true
+				}
+				if method == "RegisterDurationHist" && !strings.HasSuffix(name, "_seconds") {
+					report(pkg, call.Args[0].Pos(),
+						"duration histogram %q must be named *_seconds (durations are exported in seconds)", name)
+					return true
+				}
+				if !isPrefix {
+					for _, suf := range wrongUnitSuffixes {
+						if strings.HasSuffix(name, suf) {
+							report(pkg, call.Args[0].Pos(),
+								"metric name %q ends in %q; durations are exported in seconds (*_seconds)", name, suf)
+							break
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func argKind(isPrefix bool) string {
+	if isPrefix {
+		return "prefix"
+	}
+	return "name"
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SeededRand keeps the experiment pipeline reproducible: inside the
+// simulation and workload packages (any package with a path segment
+// in seededRandSegments), the global math/rand generator is forbidden
+// — its stream is shared, seedable from anywhere, and (since Go 1.20)
+// randomly seeded — and rand.New sources must not be seeded from the
+// clock. Every RNG in those packages flows from an explicit seed in
+// the experiment config, which is what makes `rnbsim` runs, the
+// paper-figure reproductions, and the chaos fault mixes replayable.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "experiment packages must use explicitly seeded RNGs, never global math/rand or clock seeds",
+	Run:  runSeededRand,
+}
+
+// seededRandSegments are the path segments naming determinism-critical
+// packages.
+var seededRandSegments = map[string]bool{
+	"sim": true, "workload": true, "chaos": true, "hotspot": true,
+}
+
+// randConstructors are allowed package-level functions of math/rand
+// (and v2): building a generator is fine, the analyzer polices how it
+// is seeded and that the global stream stays untouched.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func seededRandApplies(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seededRandSegments[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+func runSeededRand(pkgs []*Package, report ReportFunc) {
+	for _, pkg := range pkgs {
+		if !seededRandApplies(strings.TrimSuffix(pkg.Path, "_test")) {
+			continue
+		}
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				path := fn.Pkg().Path()
+				if path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods on *rand.Rand / *rand.Zipf are fine
+				}
+				if !randConstructors[fn.Name()] {
+					report(pkg, call.Pos(), "global %s.%s in a determinism-critical package; use an explicitly seeded *rand.Rand", path, fn.Name())
+					return true
+				}
+				// Constructor: reject clock-derived seeds anywhere in the
+				// arguments (time.Now().UnixNano() and friends).
+				for _, arg := range call.Args {
+					if pos, found := clockCall(info, arg); found {
+						report(pkg, pos, "%s.%s seeded from the clock; thread an explicit seed through the config", path, fn.Name())
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// clockCall finds a call to time.Now (or time.Since) inside e.
+func clockCall(info *types.Info, e ast.Expr) (pos token.Pos, found bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgFunc(info, call, "time", "Now") || isPkgFunc(info, call, "time", "Since") {
+			pos, found = call.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}

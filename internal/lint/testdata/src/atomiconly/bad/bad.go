@@ -1,0 +1,29 @@
+// Package bad mixes sync/atomic and plain accesses to the same
+// fields — the data-race class atomiconly exists to catch.
+package bad
+
+import "sync/atomic"
+
+type counters struct {
+	hits    uint64
+	misses  uint64
+	buckets []uint64
+}
+
+func (c *counters) record(i int) {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.misses, 1)
+	atomic.AddUint64(&c.buckets[i], 1)
+}
+
+func (c *counters) snapshotRacy() uint64 {
+	return c.hits // want atomiconly "field bad.counters.hits is accessed with sync/atomic elsewhere"
+}
+
+func (c *counters) resetRacy() {
+	c.misses = 0 // want atomiconly "field bad.counters.misses is accessed with sync/atomic elsewhere"
+}
+
+func (c *counters) bucketRacy() uint64 {
+	return c.buckets[0] // want atomiconly "elements of bad.counters.buckets are accessed with sync/atomic elsewhere"
+}

@@ -1,0 +1,33 @@
+// Package good uses sync/atomic consistently: every access to an
+// atomic field goes through the atomic API (or the typed wrappers,
+// which cannot be misused), and plainly-accessed fields never appear
+// as atomic operands.
+package good
+
+import "sync/atomic"
+
+type counters struct {
+	hits    uint64
+	typed   atomic.Uint64
+	plain   int
+	buckets []uint64
+}
+
+func (c *counters) record(i int) {
+	atomic.AddUint64(&c.hits, 1)
+	c.typed.Add(1)
+	atomic.AddUint64(&c.buckets[i], 1)
+	c.plain++ // never touched atomically: plain access is fine
+}
+
+func (c *counters) snapshot() (uint64, uint64) {
+	return atomic.LoadUint64(&c.hits), c.typed.Load()
+}
+
+func (c *counters) bucketSum() uint64 {
+	var sum uint64
+	for i := range c.buckets { // reading the slice header, not elements
+		sum += atomic.LoadUint64(&c.buckets[i])
+	}
+	return sum
+}

@@ -1,0 +1,26 @@
+// Package bad flattens error causes with %v/%s, breaking errors.Is
+// and errors.As through the wrap.
+package bad
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func flattenV(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want errwrap "error operand formatted with %v"
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("load failed: %s", err) // want errwrap "error operand formatted with %s"
+}
+
+func flattenSecondOperand(name string, err error) error {
+	return fmt.Errorf("load %q: %v", name, err) // want errwrap "error operand formatted with %v"
+}
+
+func flattenAfterWrap(err error) error {
+	return fmt.Errorf("%w: %v", errSentinel, err) // want errwrap "error operand formatted with %v"
+}

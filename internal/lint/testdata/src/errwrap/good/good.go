@@ -1,0 +1,32 @@
+// Package good wraps error operands with %w and uses %v only for
+// non-error values — nothing here should fire.
+package good
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func wrap(err error) error {
+	return fmt.Errorf("load failed: %w", err)
+}
+
+func wrapTwo(err error) error {
+	return fmt.Errorf("%w: %w", errSentinel, err)
+}
+
+func nonErrorOperands(name string, n int) error {
+	return fmt.Errorf("bad size %v for %q at %d%%", n, name, n)
+}
+
+func starWidth(n int, err error) error {
+	return fmt.Errorf("%*d: %w", 8, n, err)
+}
+
+func indexedFormatSkipped(err error) error {
+	// Explicit argument indexes are out of scope; the analyzer must
+	// skip rather than mis-map operands.
+	return fmt.Errorf("%[1]v", err)
+}

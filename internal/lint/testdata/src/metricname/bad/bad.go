@@ -1,0 +1,19 @@
+// Package bad registers metrics whose literal names violate the
+// Prometheus grammar or the seconds-only unit policy. The Registry
+// type is a local stub: metricname keys on the type name and method
+// set, so fixtures need not import internal/obs.
+package bad
+
+type Registry struct{}
+
+func (r *Registry) Register(name, help, kind string, collect func() float64)       {}
+func (r *Registry) RegisterDurationHist(name, help string)                         {}
+func (r *Registry) RegisterUint64Map(prefix, help string, collect func() []uint64) {}
+
+func register(r *Registry) {
+	r.Register("rnb bad name", "spaces are not allowed", "gauge", nil) // want metricname "does not match the Prometheus name grammar"
+	r.Register("9starts_with_digit", "leading digit", "gauge", nil)    // want metricname "does not match the Prometheus name grammar"
+	r.RegisterDurationHist("rnb_req_latency", "missing unit suffix")   // want metricname "must be named *_seconds"
+	r.Register("rnb_poll_interval_ms", "wrong unit", "gauge", nil)     // want metricname "durations are exported in seconds (*_seconds)"
+	r.RegisterUint64Map("bad-prefix", "dashes are not allowed", nil)   // want metricname "does not match the Prometheus name grammar"
+}

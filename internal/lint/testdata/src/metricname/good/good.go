@@ -1,0 +1,24 @@
+// Package good registers metrics that satisfy the grammar and unit
+// policy, plus the cases metricname must leave alone: runtime-computed
+// names (the registry validates those at startup) and registration
+// methods on types not named Registry.
+package good
+
+type Registry struct{}
+
+func (r *Registry) Register(name, help, kind string, collect func() float64)       {}
+func (r *Registry) RegisterDurationHist(name, help string)                         {}
+func (r *Registry) RegisterUint64Map(prefix, help string, collect func() []uint64) {}
+
+type fakeSink struct{}
+
+func (fakeSink) Register(name, help, kind string, collect func() float64) {}
+
+func register(r *Registry, dynamic string) {
+	r.Register("rnb_pool_conns_active", "open connections", "gauge", nil)
+	r.Register("rnb_hotspot_promotions_total", "promotions", "counter", nil)
+	r.RegisterDurationHist("rnb_request_latency_seconds", "request latency")
+	r.RegisterUint64Map("rnb_server_ops", "per-server op counts", nil)
+	r.Register(dynamic, "computed names are checked at startup", "gauge", nil)
+	fakeSink{}.Register("not a metric name", "different receiver type", "gauge", nil)
+}

@@ -1,0 +1,22 @@
+// Package sim lives under a determinism-critical path segment ("sim")
+// and misuses math/rand in the ways seededrand forbids: the global
+// generator and clock-derived seeds.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func pickShard(n int) int {
+	return rand.Intn(n) // want seededrand "global math/rand.Intn"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want seededrand "global math/rand.Shuffle"
+}
+
+func clockSeeded() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want seededrand "math/rand.NewSource seeded from the clock"
+	return rand.New(src)
+}

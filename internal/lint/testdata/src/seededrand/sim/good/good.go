@@ -1,0 +1,19 @@
+// Package good is inside seededrand's scope (its path contains the
+// "sim" segment) but does everything right: generators built from
+// explicit seeds, drawn from via methods, never the global stream.
+package good
+
+import "math/rand"
+
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func zipf(seed int64) *rand.Zipf {
+	r := rand.New(rand.NewSource(seed))
+	return rand.NewZipf(r, 1.1, 1, 1<<20)
+}
+
+func draw(r *rand.Rand, n int) int {
+	return r.Intn(n) // method on an explicit generator: fine
+}

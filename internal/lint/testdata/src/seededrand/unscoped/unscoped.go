@@ -1,0 +1,9 @@
+// Package unscoped is outside seededrand's scope (no determinism-
+// critical path segment), so the global generator is permitted here.
+package unscoped
+
+import "math/rand"
+
+func jitter(n int) int {
+	return rand.Intn(n)
+}

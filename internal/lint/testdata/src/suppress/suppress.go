@@ -1,0 +1,38 @@
+// Package suppress exercises //rnblint:ignore directive handling:
+// well-formed directives (own-line and trailing) silence the named
+// analyzer, and malformed directives are themselves diagnostics and
+// suppress nothing. Expectations for this package live in
+// TestSuppressionDirectives, not in want comments, because the
+// rnblint diagnostics land on comment-only lines.
+package suppress
+
+import "fmt"
+
+func suppressedAbove(err error) error {
+	//rnblint:ignore errwrap fixture proves an own-line suppression covers the next line
+	return fmt.Errorf("op: %v", err)
+}
+
+func suppressedTrailing(err error) error {
+	return fmt.Errorf("op: %v", err) //rnblint:ignore errwrap fixture proves a trailing suppression covers its own line
+}
+
+func suppressedList(err error) error {
+	//rnblint:ignore errwrap,lockheld fixture proves a comma list names several analyzers
+	return fmt.Errorf("op: %v", err)
+}
+
+func bareDirective(err error) error {
+	//rnblint:ignore
+	return fmt.Errorf("op: %v", err)
+}
+
+func unknownAnalyzer(err error) error {
+	//rnblint:ignore nosuchanalyzer the analyzer name is checked before the reason
+	return fmt.Errorf("op: %v", err)
+}
+
+func missingReason(err error) error {
+	//rnblint:ignore errwrap
+	return fmt.Errorf("op: %v", err)
+}

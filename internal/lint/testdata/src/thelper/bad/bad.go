@@ -1,0 +1,20 @@
+// Package bad declares test helpers that never call Helper(), so
+// their failures would point at the helper body instead of the caller.
+package bad
+
+import "testing"
+
+func mustPut(t *testing.T, key string) { // want thelper "test helper mustPut must call t.Helper()"
+	if key == "" {
+		t.Fatal("empty key")
+	}
+}
+
+func helperInLit(t *testing.T) { // want thelper "test helper helperInLit must call t.Helper()"
+	f := func() { t.Helper() } // inside a nested literal: marks the literal, not helperInLit
+	f()
+}
+
+func benchSetup(b *testing.B) { // want thelper "test helper benchSetup must call b.Helper()"
+	b.ReportAllocs()
+}

@@ -1,0 +1,38 @@
+// Package good covers what thelper must accept: helpers that call
+// Helper(), Test/Benchmark entry points (which must not call it),
+// function literals (exempt), and functions without testing params.
+package good
+
+import "testing"
+
+func mustPut(t *testing.T, key string) {
+	t.Helper()
+	if key == "" {
+		t.Fatal("empty key")
+	}
+}
+
+func anyTB(tb testing.TB) {
+	tb.Helper()
+	tb.Log("ok")
+}
+
+func TestEntryPoint(t *testing.T) {
+	mustPut(t, "k")
+}
+
+func BenchmarkEntryPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = plainFunc(i)
+	}
+}
+
+func TestSubtests(t *testing.T) {
+	t.Run("case", func(t *testing.T) {
+		t.Log("function literals are exempt")
+	})
+}
+
+func plainFunc(n int) int {
+	return n + 1
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// THelper requires test helpers — declared functions with a
+// *testing.T, *testing.B, or testing.TB parameter that are not
+// themselves Test/Benchmark/Fuzz entry points — to call t.Helper().
+// Without it, every failure a helper reports points at the helper's
+// own file and line, and a broken assertion in a ten-call-site helper
+// sends the reader to the wrong place ten different ways. Function
+// literals (subtest bodies passed to t.Run) are exempt.
+var THelper = &Analyzer{
+	Name: "thelper",
+	Doc:  "test helpers taking *testing.T must call t.Helper()",
+	Run:  runTHelper,
+}
+
+var testEntryRE = regexp.MustCompile(`^(Test|Benchmark|Fuzz|Example)`)
+
+func runTHelper(pkgs []*Package, report ReportFunc) {
+	for _, pkg := range pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || testEntryRE.MatchString(fn.Name.Name) {
+					continue
+				}
+				params := testingParams(info, fn)
+				if len(params) == 0 {
+					continue
+				}
+				if callsHelper(info, fn.Body, params) {
+					continue
+				}
+				report(pkg, fn.Pos(), "test helper %s must call %s.Helper() so failures point at its callers", fn.Name.Name, params[0].Name())
+			}
+		}
+	}
+}
+
+// testingParams returns the function's parameters of type *testing.T,
+// *testing.B, or testing.TB.
+func testingParams(info *types.Info, fn *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj, ok := info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			t := obj.Type()
+			if isNamedType(t, "testing", "T") || isNamedType(t, "testing", "B") || isNamedType(t, "testing", "TB") {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// callsHelper reports whether body contains param.Helper() for any of
+// the given parameters, outside nested function literals.
+func callsHelper(info *types.Info, body *ast.BlockStmt, params []*types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Helper" {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		for _, p := range params {
+			if info.Uses[id] == p {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -11,6 +11,7 @@ import (
 // verifies the server neither panics nor wedges: a well-behaved client
 // must still be served afterwards.
 func fuzzTarget(t *testing.T, data []byte) {
+	t.Helper()
 	srv := NewServer(NewStore(1 << 20))
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

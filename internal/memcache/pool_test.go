@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rnb/internal/chaos"
+	"rnb/internal/leakcheck"
 )
 
 // poolTestServer starts an in-process server (optionally behind a
@@ -43,6 +44,7 @@ func newTestPool(t *testing.T, addr string, cfg PoolConfig) *Pool {
 // TestPoolBasicOps drives every Conn operation once through the
 // pipelined transport.
 func TestPoolBasicOps(t *testing.T) {
+	leakcheck.Check(t)
 	p := newTestPool(t, poolTestServer(t, nil), PoolConfig{})
 	if err := p.Set(&Item{Key: "k", Value: []byte("v")}); err != nil {
 		t.Fatal(err)
@@ -117,6 +119,7 @@ func TestPoolBasicOps(t *testing.T) {
 // and the observed pipeline depth must exceed one (they overlapped on
 // the wire instead of taking turns).
 func TestPoolPipelines(t *testing.T) {
+	leakcheck.Check(t)
 	p := newTestPool(t, poolTestServer(t, nil), PoolConfig{Size: 1, Depth: 64})
 	if err := p.Set(&Item{Key: "k", Value: []byte("v")}); err != nil {
 		t.Fatal(err)
@@ -153,6 +156,7 @@ func TestPoolPipelines(t *testing.T) {
 // saturates its connection, so concurrent callers force dial-on-demand
 // up to Size.
 func TestPoolGrowsUnderLoad(t *testing.T) {
+	leakcheck.Check(t)
 	p := newTestPool(t, poolTestServer(t, nil), PoolConfig{Size: 4, Depth: 1})
 	var wg sync.WaitGroup
 	for g := 0; g < 16; g++ {
@@ -176,6 +180,7 @@ func TestPoolGrowsUnderLoad(t *testing.T) {
 // TestPoolIdleReap: an idle pool sheds its connections, then revives
 // transparently via dial-on-demand.
 func TestPoolIdleReap(t *testing.T) {
+	leakcheck.Check(t)
 	p := newTestPool(t, poolTestServer(t, nil), PoolConfig{IdleTimeout: 50 * time.Millisecond})
 	if err := p.Set(&Item{Key: "k", Value: []byte("v")}); err != nil {
 		t.Fatal(err)
@@ -201,6 +206,7 @@ func TestPoolIdleReap(t *testing.T) {
 // invisible to read callers — the request replays once on a fresh
 // connection. Mirrors the Client's stale-conn rule, per request.
 func TestPoolIdempotentReplay(t *testing.T) {
+	leakcheck.Check(t)
 	// First accepted conn serves one op then resets; later conns are
 	// clean.
 	in := chaos.New(chaos.Profile{Seed: 1, Script: []chaos.ConnPlan{{ResetAfterWrites: 1}, {}, {}, {}}})
@@ -226,6 +232,7 @@ func TestPoolIdempotentReplay(t *testing.T) {
 // TestPoolMutationsNotReplayed: a mutation whose connection dies after
 // the bytes went out must surface the error, never silently replay.
 func TestPoolMutationsNotReplayed(t *testing.T) {
+	leakcheck.Check(t)
 	in := chaos.New(chaos.Profile{Seed: 1, Script: []chaos.ConnPlan{{ResetAfterWrites: 1}, {}, {}, {}}})
 	p := newTestPool(t, poolTestServer(t, in), PoolConfig{Size: 2})
 	if err := p.Set(&Item{Key: "k", Value: []byte("v")}); err != nil {
@@ -246,6 +253,7 @@ func TestPoolMutationsNotReplayed(t *testing.T) {
 // TestPoolKillFailsFast: once the server is killed, in-flight requests
 // fail, and subsequent requests fail on the dial instead of hanging.
 func TestPoolKillFailsFast(t *testing.T) {
+	leakcheck.Check(t)
 	in := chaos.New(chaos.Profile{Seed: 1})
 	p := newTestPool(t, poolTestServer(t, in), PoolConfig{})
 	if err := p.Set(&Item{Key: "k", Value: []byte("v")}); err != nil {
@@ -269,6 +277,7 @@ func TestPoolKillFailsFast(t *testing.T) {
 // TestPoolCloseIdempotentAndFailsPending: Close is safe to call twice
 // and new requests after Close fail immediately.
 func TestPoolCloseIdempotentAndFailsPending(t *testing.T) {
+	leakcheck.Check(t)
 	p := newTestPool(t, poolTestServer(t, nil), PoolConfig{})
 	if err := p.Close(); err != nil {
 		t.Fatal(err)
@@ -290,6 +299,7 @@ func TestPoolCloseIdempotentAndFailsPending(t *testing.T) {
 // sizes (including empty and >64KiB — past the bufio buffer), and miss
 // patterns.
 func TestPoolDifferentialAgainstClient(t *testing.T) {
+	leakcheck.Check(t)
 	addr := poolTestServer(t, nil)
 	pool := newTestPool(t, addr, PoolConfig{Size: 3, Depth: 8})
 	cl, err := Dial(addr, time.Second)
@@ -355,6 +365,7 @@ func TestPoolDifferentialAgainstClient(t *testing.T) {
 // pipelined responses must demux onto the right requests even when
 // many multi-gets share a connection.
 func TestPoolDifferentialConcurrent(t *testing.T) {
+	leakcheck.Check(t)
 	addr := poolTestServer(t, nil)
 	pool := newTestPool(t, addr, PoolConfig{Size: 2, Depth: 16})
 	cl, err := Dial(addr, time.Second)
@@ -385,7 +396,7 @@ func TestPoolDifferentialConcurrent(t *testing.T) {
 				}
 				items, err := pool.GetMulti(keys)
 				if err != nil {
-					errs <- fmt.Errorf("goroutine %d round %d: %v", g, round, err)
+					errs <- fmt.Errorf("goroutine %d round %d: %w", g, round, err)
 					return
 				}
 				for _, k := range keys {
@@ -414,6 +425,7 @@ func TestPoolDifferentialConcurrent(t *testing.T) {
 // TestPoolBadKeyAndTooLarge: input validation happens before any wire
 // contact, identically to Client.
 func TestPoolBadKeyAndTooLarge(t *testing.T) {
+	leakcheck.Check(t)
 	p := newTestPool(t, poolTestServer(t, nil), PoolConfig{})
 	if _, err := p.GetMulti([]string{"has space"}); err != ErrBadKey {
 		t.Fatalf("bad key: %v", err)

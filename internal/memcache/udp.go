@@ -246,6 +246,10 @@ func (c *UDPClient) roundTrip(cmd []byte) ([]byte, error) {
 	frame := make([]byte, udpHeaderLen+len(cmd))
 	putUDPHeader(frame, id, 0, 1)
 	copy(frame[udpHeaderLen:], cmd)
+	// The mutex intentionally makes this transport single-flight: the
+	// response is matched to the request by reqID on a shared socket
+	// and read buffer, so exclusivity must span the full round trip.
+	//rnblint:ignore lockheld single-flight UDP transport; the lock must span the socket round trip
 	if _, err := c.conn.Write(frame); err != nil {
 		return nil, err
 	}
@@ -257,10 +261,11 @@ func (c *UDPClient) roundTrip(cmd []byte) ([]byte, error) {
 	received := 0
 	for {
 		c.conn.SetReadDeadline(deadline)
+		//rnblint:ignore lockheld single-flight UDP transport; the lock must span the socket round trip
 		n, err := c.conn.Read(buf)
 		if err != nil {
 			c.losses++
-			return nil, fmt.Errorf("%w: %v", ErrUDPLoss, err)
+			return nil, fmt.Errorf("%w: %w", ErrUDPLoss, err)
 		}
 		reqID, seq, tot, err := parseUDPHeader(buf[:n])
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"rnb/internal/leakcheck"
 	"rnb/internal/obs"
 )
 
@@ -16,6 +17,7 @@ import (
 // records in the flight recorder, phase histograms, the metric
 // registry render, and the HTTP debug mux.
 func TestObservabilityEndToEnd(t *testing.T) {
+	leakcheck.Check(t)
 	addrs, _ := startServers(t, 3, 0)
 	cl, err := NewClient(addrs,
 		WithReplicas(2),
@@ -125,6 +127,7 @@ func TestObservabilityEndToEnd(t *testing.T) {
 // TestSlowRequestLogging wires a tiny threshold so every request is
 // "slow" and checks the sampled counters through the public API.
 func TestSlowRequestLogging(t *testing.T) {
+	leakcheck.Check(t)
 	addrs, _ := startServers(t, 2, 0)
 	cl, err := NewClient(addrs,
 		WithObservability(ObsConfig{
@@ -158,6 +161,7 @@ func TestSlowRequestLogging(t *testing.T) {
 // TestObservabilityPooledTransport checks the pooled transport stamps
 // RTTs too, and that pool gauges join the registry.
 func TestObservabilityPooledTransport(t *testing.T) {
+	leakcheck.Check(t)
 	addrs, _ := startServers(t, 2, 0)
 	cl, err := NewClient(addrs,
 		WithPoolSize(2),

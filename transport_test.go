@@ -89,7 +89,7 @@ func TestPooledClientStress(t *testing.T) {
 					}
 					items, _, err := cl.GetMulti(ks)
 					if err != nil {
-						errs <- fmt.Errorf("reader %d: %v", g, err)
+						errs <- fmt.Errorf("reader %d: %w", g, err)
 						return
 					}
 					for k, it := range items {
@@ -101,12 +101,12 @@ func TestPooledClientStress(t *testing.T) {
 				case 1: // writer
 					k := key(rng.Intn(space))
 					if err := cl.Set(&Item{Key: k, Value: val(k)}); err != nil {
-						errs <- fmt.Errorf("writer %d: %v", g, err)
+						errs <- fmt.Errorf("writer %d: %w", g, err)
 						return
 					}
 				default: // deleter (miss is fine: someone else got there)
 					if err := cl.Delete(key(rng.Intn(space))); err != nil && !errors.Is(err, ErrCacheMiss) {
-						errs <- fmt.Errorf("deleter %d: %v", g, err)
+						errs <- fmt.Errorf("deleter %d: %w", g, err)
 						return
 					}
 				}
