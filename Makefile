@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint fix-check test race chaos obs-smoke ci bench-skew bench-pool
+.PHONY: build vet lint fix-check test race chaos chaos-resize obs-smoke ci bench-skew bench-pool bench-topology
 
 build:
 	$(GO) build ./...
@@ -35,13 +35,19 @@ race:
 chaos:
 	$(GO) test -race -count=5 -run 'TestChaos' .
 
+# Live-elasticity suite under the race detector: the seeded resize
+# storm (membership churn + crashes under load, zero failed idempotent
+# reads, leakcheck) plus the rest of the topology e2e scenarios.
+chaos-resize:
+	$(GO) test -race -count=3 -run 'TestResize|TestRejoin|TestSetServers' .
+
 # Observability smoke: boot rnbmemd backends + rnbproxy -debug-addr,
 # drive traffic, and assert /metrics serves the promised families and
 # /debug/requests dumps flight-recorder spans.
 obs-smoke:
 	./scripts/obs_smoke.sh
 
-ci: build vet lint fix-check race chaos obs-smoke
+ci: build vet lint fix-check race chaos chaos-resize obs-smoke
 	# Transport smoke: a tiny pooled-vs-single sweep proving the pool
 	# mode still runs end to end (full sweep lives in bench-pool).
 	$(GO) run ./cmd/rnbbench -ops 60 pool
@@ -57,3 +63,9 @@ bench-skew:
 # BENCH_pool.json.
 bench-pool:
 	$(GO) run ./cmd/rnbbench -json BENCH_pool.json pool
+
+# Resize benchmark: ring continuum vs jump consistent hash on a live
+# resize — key-movement fraction (add/remove) and post-resize load
+# skew — machine-readable output in BENCH_topology.json.
+bench-topology:
+	$(GO) run ./cmd/rnbsim -json BENCH_topology.json topology

@@ -114,7 +114,7 @@ func TestSetClearsMaxBoostSet(t *testing.T) {
 
 	const hot = "celebrity:9:profile"
 	current := cl.replicaServers(hot)
-	maxSet := cl.invalidationServers(hot)
+	maxSet := cl.invalidationServers(cl.cur.Load(), hot)
 	if len(maxSet) <= len(current) {
 		t.Fatalf("max-boost set %v does not extend the current set %v", maxSet, current)
 	}

@@ -45,6 +45,18 @@ func main() {
 	flag.Parse()
 
 	if flag.Arg(0) == "pool" {
+		if *servers < 1 {
+			fmt.Fprintf(os.Stderr, "rnbbench: -servers must be >= 1 (got %d)\n", *servers)
+			os.Exit(2)
+		}
+		if *poolSize < 1 {
+			fmt.Fprintf(os.Stderr, "rnbbench: -pool-size must be >= 1 (got %d)\n", *poolSize)
+			os.Exit(2)
+		}
+		if *ops < 1 {
+			fmt.Fprintf(os.Stderr, "rnbbench: -ops must be >= 1 (got %d)\n", *ops)
+			os.Exit(2)
+		}
 		if err := poolSweep(*jsonOut, *poolSize, *servers, *ops); err != nil {
 			fmt.Fprintf(os.Stderr, "rnbbench: %v\n", err)
 			os.Exit(1)

@@ -8,6 +8,17 @@
 //
 //	rnbproxy -listen :11211 -replicas 3 10.0.0.1:11211 10.0.0.2:11211 ...
 //
+// or, for live membership changes without a restart:
+//
+//	rnbproxy -listen :11211 -replicas 3 -topology servers.conf
+//
+// With -topology the backend list comes from the config file (one or
+// more addresses per line; '#' comments). The file is polled (interval
+// set by -topology-poll) and every content change is applied as a live
+// resize: new servers join and warm up, removed servers drain
+// gracefully, and reads never miss mid-transition. SIGHUP forces an
+// immediate re-read of the file.
+//
 // Backend servers should be this repository's rnbmemd (for the "setp"
 // distinguished-copy pinning extension); pass -no-pin for stock
 // memcached backends.
@@ -25,6 +36,7 @@ import (
 	"rnb/internal/memcache"
 	"rnb/internal/obs"
 	"rnb/internal/proxy"
+	"rnb/internal/topology"
 )
 
 func main() {
@@ -42,6 +54,8 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/requests (flight recorder) and /debug/pprof on this address (empty disables)")
 		slowLog    = flag.Duration("slow-log", 0, "log requests slower than this threshold (0 disables)")
 		ringSize   = flag.Int("flight-recorder", 0, "flight-recorder capacity in request spans (0 = default 256)")
+		topoFile   = flag.String("topology", "", "backend list config file; watched for changes and re-read on SIGHUP (replaces positional backends)")
+		topoPoll   = flag.Duration("topology-poll", 2*time.Second, "poll interval for the -topology file")
 
 		adaptive    = flag.Bool("adaptive", false, "adaptive hot-key replication: boost replication of keys that dominate recent traffic")
 		maxBoost    = flag.Int("adaptive-max-boost", 2, "extra replicas a hot key can earn (with -adaptive)")
@@ -50,9 +64,29 @@ func main() {
 	)
 	flag.Parse()
 	backends := flag.Args()
-	if len(backends) == 0 {
-		fmt.Fprintln(os.Stderr, "rnbproxy: need at least one backend address")
+	if *topoFile != "" {
+		if len(backends) != 0 {
+			fmt.Fprintln(os.Stderr, "rnbproxy: -topology and positional backends are mutually exclusive")
+			os.Exit(2)
+		}
+		list, err := topology.LoadFile(*topoFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rnbproxy: %v\n", err)
+			os.Exit(2)
+		}
+		backends = list
+	} else if len(backends) == 0 {
+		fmt.Fprintln(os.Stderr, "rnbproxy: need at least one backend address (or -topology <file>)")
 		os.Exit(2)
+	} else {
+		// Validate positional backends the same way the config file is:
+		// trimmed, no empties, no duplicates.
+		list, err := topology.ParseServerList(backends)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rnbproxy: %v\n", err)
+			os.Exit(2)
+		}
+		backends = list
 	}
 
 	opts := []rnb.Option{
@@ -84,6 +118,40 @@ func main() {
 	}
 	defer client.Close()
 
+	if *topoFile != "" {
+		// Membership changes arrive one at a time through the watcher's
+		// callback goroutine, which matches SetServers' single-caller
+		// contract. SIGHUP forces a re-read even if the content is
+		// unchanged (a no-op resize).
+		watcher, err := topology.Watch(*topoFile, topology.WatchConfig{
+			Interval: *topoPoll,
+			OnChange: func(list []string) {
+				if err := client.SetServers(list); err != nil {
+					fmt.Fprintf(os.Stderr, "rnbproxy: topology reload: %v\n", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "rnbproxy: topology reloaded: %d backends, epoch %d\n",
+					len(list), client.Epoch())
+			},
+			OnError: func(err error) {
+				fmt.Fprintf(os.Stderr, "rnbproxy: topology watch: %v\n", err)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rnbproxy: %v\n", err)
+			os.Exit(1)
+		}
+		defer watcher.Close()
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				fmt.Fprintln(os.Stderr, "rnbproxy: SIGHUP, re-reading topology")
+				watcher.Reload()
+			}
+		}()
+	}
+
 	pxy := proxy.New(client)
 	srv := memcache.NewServerBackend(pxy)
 	if *debugAddr != "" {
@@ -110,6 +178,9 @@ func main() {
 					}
 				}
 				status := fmt.Sprintf("rnbproxy: backends%s; %s", line, client.Resilience())
+				if *topoFile != "" {
+					status += "; " + client.Topology().String()
+				}
 				if client.AdaptiveEnabled() {
 					status += "; " + client.Hotspot().String()
 				}

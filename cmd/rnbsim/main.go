@@ -37,6 +37,18 @@ func main() {
 	)
 	flag.Parse()
 
+	if *scale < 1 {
+		fmt.Fprintf(os.Stderr, "rnbsim: -scale must be >= 1 (got %d)\n", *scale)
+		os.Exit(2)
+	}
+	if *requests < 1 {
+		fmt.Fprintf(os.Stderr, "rnbsim: -requests must be >= 1 (got %d)\n", *requests)
+		os.Exit(2)
+	}
+	if *warmup < 0 {
+		fmt.Fprintf(os.Stderr, "rnbsim: -warmup must be >= 0 (got %d)\n", *warmup)
+		os.Exit(2)
+	}
 	if *list {
 		for _, id := range sim.IDs() {
 			fmt.Println(id)

@@ -120,7 +120,7 @@ func TestReadFailoverWithLoaderCoversOrphans(t *testing.T) {
 func TestCooldownExpiresAndServerReturns(t *testing.T) {
 	cl, _ := newTestClient(t, 2, WithReplicas(2),
 		WithFailureCooldown(50*time.Millisecond))
-	cl.markDown(0)
+	cl.markDown(cl.cur.Load(), 0)
 	if !cl.isDown(0) {
 		t.Fatal("server not quarantined")
 	}
@@ -135,7 +135,7 @@ func TestCooldownExpiresAndServerReturns(t *testing.T) {
 		t.Fatal("half-open server admitted to plans before its probe")
 	}
 	// The server is actually alive, so the probe re-closes the breaker.
-	cl.probeHalfOpen()
+	cl.probeHalfOpen(cl.cur.Load())
 	deadline := time.Now().Add(2 * time.Second)
 	for cl.isDown(0) {
 		if time.Now().After(deadline) {
@@ -156,7 +156,7 @@ func TestCooldownExpiresAndServerReturns(t *testing.T) {
 // quarantining.
 func TestFailureTrackingDisabled(t *testing.T) {
 	cl, _ := newTestClient(t, 2, WithFailureCooldown(0))
-	cl.markDown(0)
+	cl.markDown(cl.cur.Load(), 0)
 	if cl.isDown(0) {
 		t.Fatal("server quarantined with tracking disabled")
 	}

@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file adds the "resize storm" scenario to the chaos harness:
+// a seeded script of concurrent-feeling membership churn (servers
+// joining and draining) interleaved with crashes and recoveries. The
+// generator is model-based — it tracks which servers are in the tier
+// and which are down — so every emitted step is legal at the point it
+// executes, and the same seed always yields the same storm. Drivers
+// (the topology e2e suite) replay the script against a live client
+// and its injectors while readers assert zero failed idempotent reads.
+
+// StormOp is one kind of storm action.
+type StormOp int
+
+const (
+	// StormAdd joins a server to the tier (AddServer).
+	StormAdd StormOp = iota
+	// StormRemove drains a server out of the tier (RemoveServer).
+	StormRemove
+	// StormKill crashes a server in place (Injector.Kill): it stays a
+	// member, but refuses all connections until revived.
+	StormKill
+	// StormRevive restores a killed server (Injector.Revive).
+	StormRevive
+)
+
+// String names the op for test failure messages.
+func (op StormOp) String() string {
+	switch op {
+	case StormAdd:
+		return "add"
+	case StormRemove:
+		return "remove"
+	case StormKill:
+		return "kill"
+	case StormRevive:
+		return "revive"
+	}
+	return fmt.Sprintf("StormOp(%d)", int(op))
+}
+
+// StormStep is one action of a resize storm, targeting a server by its
+// index in the driver's address list.
+type StormStep struct {
+	Op     StormOp
+	Target int
+}
+
+// StormConfig parameterizes ResizeStorm.
+type StormConfig struct {
+	// Seed for the script PRNG; equal configs generate equal scripts.
+	Seed int64
+	// Servers is the total addressable pool (members + spares).
+	Servers int
+	// Members is how many servers start in the tier: indices
+	// [0, Members). The rest are spares available to StormAdd.
+	Members int
+	// MinMembers is the floor the script never drains below (default:
+	// 1). Keep it at or above the replication level so reads always
+	// have live copies to fall back on.
+	MinMembers int
+	// MaxKilled bounds how many servers are crashed at once (default 1).
+	MaxKilled int
+	// Steps is the number of churn actions to draw. The script appends
+	// a revive for every server still down afterwards, so it always
+	// ends with the whole pool reachable.
+	Steps int
+}
+
+// ResizeStorm generates a seeded membership-churn script. Invariants,
+// checked by the generator's own tests and safe for drivers to rely on:
+//
+//   - StormAdd targets a server that is out of the tier and not killed
+//     (so the driver's dial can succeed once any prior drain settles);
+//   - StormRemove never drops tier membership below MinMembers;
+//   - StormKill targets a live in-tier server, with at most MaxKilled
+//     down at any point;
+//   - StormRevive targets a killed server;
+//   - after the final step every server is revived.
+func ResizeStorm(cfg StormConfig) []StormStep {
+	if cfg.Servers < 1 || cfg.Members < 1 || cfg.Members > cfg.Servers {
+		panic(fmt.Sprintf("chaos: bad storm config: %+v", cfg))
+	}
+	if cfg.MinMembers < 1 {
+		cfg.MinMembers = 1
+	}
+	if cfg.MaxKilled < 1 {
+		cfg.MaxKilled = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inTier := make([]bool, cfg.Servers)
+	killed := make([]bool, cfg.Servers)
+	for i := 0; i < cfg.Members; i++ {
+		inTier[i] = true
+	}
+	members := cfg.Members
+	downed := 0
+
+	pick := func(ok func(int) bool) (int, bool) {
+		var cand []int
+		for i := 0; i < cfg.Servers; i++ {
+			if ok(i) {
+				cand = append(cand, i)
+			}
+		}
+		if len(cand) == 0 {
+			return 0, false
+		}
+		return cand[rng.Intn(len(cand))], true
+	}
+
+	var steps []StormStep
+	for len(steps) < cfg.Steps {
+		// Draw ops until one is legal in the current model state; every
+		// state admits at least StormAdd or StormRemove, so this
+		// terminates.
+		switch op := StormOp(rng.Intn(4)); op {
+		case StormAdd:
+			if t, ok := pick(func(i int) bool { return !inTier[i] && !killed[i] }); ok {
+				inTier[t] = true
+				members++
+				steps = append(steps, StormStep{Op: op, Target: t})
+			}
+		case StormRemove:
+			if members <= cfg.MinMembers {
+				continue
+			}
+			if t, ok := pick(func(i int) bool { return inTier[i] }); ok {
+				inTier[t] = false
+				members--
+				steps = append(steps, StormStep{Op: op, Target: t})
+			}
+		case StormKill:
+			if downed >= cfg.MaxKilled {
+				continue
+			}
+			if t, ok := pick(func(i int) bool { return inTier[i] && !killed[i] }); ok {
+				killed[t] = true
+				downed++
+				steps = append(steps, StormStep{Op: op, Target: t})
+			}
+		case StormRevive:
+			if t, ok := pick(func(i int) bool { return killed[i] }); ok {
+				killed[t] = false
+				downed--
+				steps = append(steps, StormStep{Op: op, Target: t})
+			}
+		}
+	}
+	// Leave no server crashed: the storm's aftermath must be fully
+	// recoverable, so final assertions measure the design, not the
+	// script's parting shot.
+	for i := 0; i < cfg.Servers; i++ {
+		if killed[i] {
+			steps = append(steps, StormStep{Op: StormRevive, Target: i})
+		}
+	}
+	return steps
+}

@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestResizeStormInvariants replays generated scripts against the same
+// model the generator uses and checks every documented invariant, over
+// many seeds.
+func TestResizeStormInvariants(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		cfg := StormConfig{Seed: seed, Servers: 7, Members: 5, MinMembers: 3, MaxKilled: 2, Steps: 40}
+		steps := ResizeStorm(cfg)
+		if len(steps) < cfg.Steps {
+			t.Fatalf("seed %d: %d steps generated, want >= %d", seed, len(steps), cfg.Steps)
+		}
+		inTier := make([]bool, cfg.Servers)
+		killed := make([]bool, cfg.Servers)
+		for i := 0; i < cfg.Members; i++ {
+			inTier[i] = true
+		}
+		members, downed := cfg.Members, 0
+		for n, s := range steps {
+			if s.Target < 0 || s.Target >= cfg.Servers {
+				t.Fatalf("seed %d step %d: target %d out of range", seed, n, s.Target)
+			}
+			switch s.Op {
+			case StormAdd:
+				if inTier[s.Target] || killed[s.Target] {
+					t.Fatalf("seed %d step %d: add of in-tier or killed server %d", seed, n, s.Target)
+				}
+				inTier[s.Target] = true
+				members++
+			case StormRemove:
+				if !inTier[s.Target] {
+					t.Fatalf("seed %d step %d: remove of non-member %d", seed, n, s.Target)
+				}
+				inTier[s.Target] = false
+				if members--; members < cfg.MinMembers {
+					t.Fatalf("seed %d step %d: membership fell to %d < %d", seed, n, members, cfg.MinMembers)
+				}
+			case StormKill:
+				if !inTier[s.Target] || killed[s.Target] {
+					t.Fatalf("seed %d step %d: kill of non-member or already-killed %d", seed, n, s.Target)
+				}
+				killed[s.Target] = true
+				if downed++; downed > cfg.MaxKilled {
+					t.Fatalf("seed %d step %d: %d servers down > MaxKilled %d", seed, n, downed, cfg.MaxKilled)
+				}
+			case StormRevive:
+				if !killed[s.Target] {
+					t.Fatalf("seed %d step %d: revive of live server %d", seed, n, s.Target)
+				}
+				killed[s.Target] = false
+				downed--
+			default:
+				t.Fatalf("seed %d step %d: unknown op %v", seed, n, s.Op)
+			}
+		}
+		if downed != 0 {
+			t.Fatalf("seed %d: %d servers left killed at script end", seed, downed)
+		}
+	}
+}
+
+// TestResizeStormDeterministic: same config, same script.
+func TestResizeStormDeterministic(t *testing.T) {
+	cfg := StormConfig{Seed: 42, Servers: 6, Members: 4, MinMembers: 2, Steps: 25}
+	a, b := ResizeStorm(cfg), ResizeStorm(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different scripts:\n%v\n%v", a, b)
+	}
+	cfg.Seed = 43
+	if c := ResizeStorm(cfg); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical scripts")
+	}
+}
+
+// TestResizeStormExercisesEveryOp: a long enough script under a mixed
+// config uses all four ops (otherwise the storm proves little).
+func TestResizeStormExercisesEveryOp(t *testing.T) {
+	steps := ResizeStorm(StormConfig{Seed: 7, Servers: 7, Members: 5, MinMembers: 3, Steps: 60})
+	seen := map[StormOp]bool{}
+	for _, s := range steps {
+		seen[s.Op] = true
+	}
+	for _, op := range []StormOp{StormAdd, StormRemove, StormKill, StormRevive} {
+		if !seen[op] {
+			t.Fatalf("op %v never drawn in 60 steps", op)
+		}
+	}
+}

@@ -58,15 +58,22 @@ func NewWithServers(n, vnodes int) *Ring {
 }
 
 // AddServer inserts a server into the continuum and returns its stable
-// index. Adding a name that already exists (even removed) is an error.
+// index. Adding a live name is an error; re-adding a previously
+// removed name revives it at its old index (a server that left the
+// tier and later rejoined keeps its slot, so index-keyed structures —
+// connections, breakers, metrics — stay valid).
 func (r *Ring) AddServer(name string) (int, error) {
-	if _, ok := r.index[name]; ok {
+	idx, ok := r.index[name]
+	if ok && r.live[idx] {
 		return 0, fmt.Errorf("hashring: server %q already present", name)
 	}
-	idx := len(r.servers)
-	r.servers = append(r.servers, name)
-	r.live = append(r.live, true)
-	r.index[name] = idx
+	if !ok {
+		idx = len(r.servers)
+		r.servers = append(r.servers, name)
+		r.live = append(r.live, false)
+		r.index[name] = idx
+	}
+	r.live[idx] = true
 	r.nLive++
 	for v := 0; v < r.vnodes; v++ {
 		h := xhash.StringUint64(name, uint64(v))
@@ -74,6 +81,25 @@ func (r *Ring) AddServer(name string) (int, error) {
 	}
 	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
 	return idx, nil
+}
+
+// Clone returns an independent copy of the ring. The dynamic topology
+// layer snapshots the continuum per membership epoch: each epoch's
+// placement reads its own immutable clone, so in-flight plans built
+// against an old epoch never race a mutation for the next one.
+func (r *Ring) Clone() *Ring {
+	cp := &Ring{
+		vnodes:  r.vnodes,
+		points:  append([]point(nil), r.points...),
+		servers: append([]string(nil), r.servers...),
+		index:   make(map[string]int, len(r.index)),
+		live:    append([]bool(nil), r.live...),
+		nLive:   r.nLive,
+	}
+	for name, idx := range r.index {
+		cp.index[name] = idx
+	}
+	return cp
 }
 
 // RemoveServer removes a server's points from the continuum. The server

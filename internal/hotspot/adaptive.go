@@ -105,7 +105,12 @@ type heatTable struct {
 // set; the surplus physical copies go cold and the server LRUs evict
 // them.
 type AdaptivePlacement struct {
-	base     hashring.Placement
+	// base is swapped atomically when the tier resizes (the topology
+	// layer replaces the baseline with a per-epoch union placement).
+	// atomic.Pointer rather than atomic.Value: the stored concrete
+	// types differ across swaps (RCHPlacement, *topology.Union), which
+	// atomic.Value forbids.
+	base     atomic.Pointer[hashring.Placement]
 	cfg      Config
 	tracker  *Tracker
 	counters *metrics.Hotspot
@@ -126,28 +131,36 @@ func NewAdaptive(base hashring.Placement, cfg Config, counters *metrics.Hotspot)
 	}
 	perShardTopK := cfg.MaxHotKeys/cfg.Shards + 8
 	a := &AdaptivePlacement{
-		base:     base,
 		cfg:      cfg,
 		tracker:  NewTracker(cfg.Shards, cfg.SketchWidth, cfg.SketchDepth, perShardTopK, cfg.Seed),
 		counters: counters,
 		cold:     make(map[uint64]int),
 	}
+	a.base.Store(&base)
 	a.heat.Store(&heatTable{boost: map[uint64]int{}})
 	return a
 }
 
 // Base returns the wrapped placement.
-func (a *AdaptivePlacement) Base() hashring.Placement { return a.base }
+func (a *AdaptivePlacement) Base() hashring.Placement { return *a.base.Load() }
+
+// SetBase atomically replaces the wrapped placement. Concurrent reads
+// see either the old or the new baseline in full — never a mix within
+// one Replicas call. The caller (the topology layer) is responsible
+// for the superset invariant: during a membership transition the new
+// base must be a union that still contains every replica the old base
+// could have advertised.
+func (a *AdaptivePlacement) SetBase(base hashring.Placement) { a.base.Store(&base) }
 
 // Counters returns the controller's metrics.
 func (a *AdaptivePlacement) Counters() *metrics.Hotspot { return a.counters }
 
 // NumServers implements hashring.Placement.
-func (a *AdaptivePlacement) NumServers() int { return a.base.NumServers() }
+func (a *AdaptivePlacement) NumServers() int { return a.Base().NumServers() }
 
 // NumReplicas implements hashring.Placement: the declared level is the
 // baseline's (boost is a per-key, per-epoch addition on top).
-func (a *AdaptivePlacement) NumReplicas() int { return a.base.NumReplicas() }
+func (a *AdaptivePlacement) NumReplicas() int { return a.Base().NumReplicas() }
 
 // Boost returns the extra replicas currently granted to item (0 when
 // the item is not promoted).
@@ -165,12 +178,13 @@ func (a *AdaptivePlacement) HotKeyCount() int {
 // by the item's boosted replicas, all distinct, capped at the server
 // count.
 func (a *AdaptivePlacement) Replicas(item uint64, buf []int) []int {
-	out := a.base.Replicas(item, buf)
+	base := a.Base() // one load: base set and server count must agree
+	out := base.Replicas(item, buf)
 	boost := a.heat.Load().boost[item]
 	if boost == 0 {
 		return out
 	}
-	n := a.base.NumServers()
+	n := base.NumServers()
 	want := len(out) + boost
 	if want > n {
 		want = n
@@ -200,8 +214,9 @@ func (a *AdaptivePlacement) Replicas(item uint64, buf []int) []int {
 // so a demoted-then-repromoted key can never resurface old data from a
 // lingering boosted copy.
 func (a *AdaptivePlacement) MaxReplicas(item uint64, buf []int) []int {
-	out := a.base.Replicas(item, buf)
-	n := a.base.NumServers()
+	base := a.Base()
+	out := base.Replicas(item, buf)
+	n := base.NumServers()
 	want := len(out) + a.cfg.MaxBoost
 	if want > n {
 		want = n

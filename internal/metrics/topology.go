@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"sync/atomic"
+)
+
+// Topology tracks the dynamic-membership machinery: joins, drains,
+// epoch retirements, and the warm-handoff prewarm traffic. All fields
+// are safe for concurrent use; the zero value is ready.
+type Topology struct {
+	// Epoch mirrors the membership state machine's current epoch
+	// (gauge; bumps on every accepted transition).
+	Epoch atomic.Uint64
+
+	// Membership transitions.
+	Joins   atomic.Uint64 // servers added (first time or rejoin)
+	Rejoins atomic.Uint64 // of those, revivals of a previously drained slot
+	Drains  atomic.Uint64 // drains initiated
+
+	// Drain completions.
+	DrainsCompleted atomic.Uint64 // connection closed with zero in-flight requests
+	DrainsForced    atomic.Uint64 // drain timeout expired with requests still in flight
+
+	// Transition-window bookkeeping.
+	EpochsRetired atomic.Uint64 // superseded epochs dropped from the union
+
+	// Warm handoff.
+	PrewarmKeys   atomic.Uint64 // hot keys copied onto their new owners
+	PrewarmErrors atomic.Uint64 // best-effort copies that failed
+
+	// Config reloads (file watch / SIGHUP via SetServers).
+	Reloads      atomic.Uint64
+	ReloadErrors atomic.Uint64
+}
+
+// Snapshot returns the counters as a name -> value map (stable names,
+// suitable for stats outputs).
+func (t *Topology) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"epoch":            t.Epoch.Load(),
+		"joins":            t.Joins.Load(),
+		"rejoins":          t.Rejoins.Load(),
+		"drains":           t.Drains.Load(),
+		"drains_completed": t.DrainsCompleted.Load(),
+		"drains_forced":    t.DrainsForced.Load(),
+		"epochs_retired":   t.EpochsRetired.Load(),
+		"prewarm_keys":     t.PrewarmKeys.Load(),
+		"prewarm_errors":   t.PrewarmErrors.Load(),
+		"reloads":          t.Reloads.Load(),
+		"reload_errors":    t.ReloadErrors.Load(),
+	}
+}
+
+// String renders the non-zero counters compactly, in stable order.
+func (t *Topology) String() string {
+	return FormatCompact("topology", "", t.Snapshot())
+}

@@ -170,11 +170,18 @@ func (p *Proxy) BackendStats() map[string]string {
 		out["proxy_tpr_milli"] = fmt.Sprintf("%d", txns*1000/reqs)
 	}
 	// Per-backend breaker health, so "stats" against the proxy shows
-	// which servers are quarantined and why.
-	for i, st := range p.client.ServerStates() {
-		out[fmt.Sprintf("proxy_server_%d_addr", i)] = st.Addr
-		out[fmt.Sprintf("proxy_server_%d_state", i)] = st.State.String()
-		out[fmt.Sprintf("proxy_server_%d_failures", i)] = fmt.Sprintf("%d", st.ConsecutiveFailures)
+	// which servers are quarantined and why. Keys are the stable slot
+	// index; a drained backend's keys disappear with it (ServerStates
+	// omits completed drains), so resizes leave no ghost entries.
+	for _, st := range p.client.ServerStates() {
+		out[fmt.Sprintf("proxy_server_%d_addr", st.Index)] = st.Addr
+		out[fmt.Sprintf("proxy_server_%d_phase", st.Index)] = st.Phase
+		out[fmt.Sprintf("proxy_server_%d_state", st.Index)] = st.State.String()
+		out[fmt.Sprintf("proxy_server_%d_failures", st.Index)] = fmt.Sprintf("%d", st.ConsecutiveFailures)
+	}
+	// Dynamic-membership counters: epoch, joins/drains, warm handoff.
+	for k, v := range p.client.Topology().Snapshot() {
+		out["proxy_topology_"+k] = fmt.Sprintf("%d", v)
 	}
 	for k, v := range p.client.Resilience().Snapshot() {
 		out["proxy_"+k] = fmt.Sprintf("%d", v)

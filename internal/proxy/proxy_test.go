@@ -245,3 +245,59 @@ func TestProxyStatsEndToEnd(t *testing.T) {
 		t.Fatalf("missing counters: %v", st)
 	}
 }
+
+// TestProxyStatsNoGhostSeriesAfterDrain resizes the tier behind the
+// proxy and checks the "stats" surface: per-server keys are labeled by
+// the stable slot index, a drained backend's keys vanish entirely (no
+// ghost series), and the topology counters report the transition.
+func TestProxyStatsNoGhostSeriesAfterDrain(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 5; i++ {
+		srv := memcache.NewServer(memcache.NewStore(0))
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, ln.Addr().String())
+	}
+	client, err := rnb.NewClient(addrs, rnb.WithReplicas(3),
+		rnb.WithTransitionWindow(100*time.Millisecond),
+		rnb.WithDrainTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	p := New(client)
+
+	before := p.BackendStats()
+	for i := range addrs {
+		if got := before[fmt.Sprintf("proxy_server_%d_addr", i)]; got != addrs[i] {
+			t.Fatalf("server %d key: got %q, want %q (stats %v)", i, got, addrs[i], before)
+		}
+		if got := before[fmt.Sprintf("proxy_server_%d_phase", i)]; got != "active" {
+			t.Fatalf("server %d phase: %q", i, got)
+		}
+	}
+
+	const victim = 4
+	if err := client.RemoveServer(addrs[victim]); err != nil {
+		t.Fatal(err)
+	}
+	if !client.WaitSettled(10 * time.Second) {
+		t.Fatal("drain never settled")
+	}
+	after := p.BackendStats()
+	for _, suffix := range []string{"addr", "phase", "state", "failures"} {
+		if v, ok := after[fmt.Sprintf("proxy_server_%d_%s", victim, suffix)]; ok {
+			t.Fatalf("ghost series for drained server: proxy_server_%d_%s=%q", victim, suffix, v)
+		}
+	}
+	if after["proxy_servers"] != "4" {
+		t.Fatalf("proxy_servers = %q after drain", after["proxy_servers"])
+	}
+	if after["proxy_topology_drains"] != "1" || after["proxy_topology_drains_completed"] != "1" {
+		t.Fatalf("topology counters missing from stats: %v", after)
+	}
+}

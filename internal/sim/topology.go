@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"fmt"
+
+	"rnb/internal/hashring"
+)
+
+func init() { register("topology", Topology) }
+
+// Topology compares the two Placement backends under a live resize —
+// the decision the dynamic-membership layer has to make when a server
+// joins or drains. Two quantities matter:
+//
+//   - key movement: the fraction of (item, replica-slot) placements
+//     that change across the resize. Every moved slot is a cold cache
+//     entry, i.e. a DB fetch during the transition window.
+//   - load skew after the resize: max-over-mean replica slots per
+//     server. Skew caps the tier's usable throughput at the hottest
+//     server (paper §II's balanced-load assumption).
+//
+// Ranged consistent hashing (the ring continuum) and jump consistent
+// hash both achieve near-minimal movement on growth — the ideal is
+// K/(N+1) of the slots, the new server's fair share. They split on the
+// other axes: jump is measurably flatter (no virtual-node variance)
+// and allocation-free, but can only retire the HIGHEST-numbered
+// bucket cheaply — draining an arbitrary server renumbers everyone
+// after it and moves almost everything — while the ring drains any
+// server for its fair 1/N share. That asymmetry is why the elastic
+// client keeps the ring as its default backend.
+//
+// This is an extension experiment (no corresponding paper figure).
+func Topology(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	const replicas = 3
+	items := cfg.Requests * 5
+	if items < 2000 {
+		items = 2000
+	}
+	t := Table{
+		ID:     "topology",
+		Title:  "Resize cost: ring continuum vs jump hash (movement and skew)",
+		XLabel: "servers before resize",
+		YLabel: "fraction of replica slots moved / load max-over-mean",
+		Notes: []string{
+			fmt.Sprintf("%d items, %d replicas each", items, replicas),
+			"moved(add 1): fraction of replica slots relocated when one server joins; ideal = 1/(n+1)",
+			"moved(remove): ring drains an arbitrary server (ideal 1/n); jump can only drop its last bucket",
+			"jump remove of a NON-last server would renumber buckets and move nearly all slots",
+			"skew(after add): per-server replica-slot load, max/mean over the grown tier (1.0 = perfectly flat)",
+			"extension experiment: backs the dynamic-topology layer's choice of placement backend",
+		},
+	}
+	counts := []int{8, 12, 16, 24, 32, 48}
+
+	ringAdd := Series{Label: "ring: moved (add 1)"}
+	jumpAdd := Series{Label: "jump: moved (add 1)"}
+	idealAdd := Series{Label: "ideal add: 1/(n+1)"}
+	ringRemove := Series{Label: "ring: moved (remove any)"}
+	jumpRemove := Series{Label: "jump: moved (remove last)"}
+	idealRemove := Series{Label: "ideal remove: 1/n"}
+	ringSkew := Series{Label: "ring: skew after add"}
+	jumpSkew := Series{Label: "jump: skew after add"}
+
+	for _, n := range counts {
+		x := float64(n)
+
+		// Growth: n -> n+1.
+		ringBefore := hashring.NewRCHPlacement(
+			hashring.NewWithServers(n, hashring.DefaultVirtualNodes), replicas)
+		grown := hashring.NewWithServers(n+1, hashring.DefaultVirtualNodes)
+		ringAfterAdd := hashring.NewRCHPlacement(grown, replicas)
+		jumpBefore := hashring.NewJumpPlacement(n, replicas, uint64(cfg.Seed))
+		jumpAfterAdd := hashring.NewJumpPlacement(n+1, replicas, uint64(cfg.Seed))
+
+		ringAdd.X, ringAdd.Y = append(ringAdd.X, x),
+			append(ringAdd.Y, movedFraction(ringBefore, ringAfterAdd, items, replicas))
+		jumpAdd.X, jumpAdd.Y = append(jumpAdd.X, x),
+			append(jumpAdd.Y, movedFraction(jumpBefore, jumpAfterAdd, items, replicas))
+		idealAdd.X, idealAdd.Y = append(idealAdd.X, x), append(idealAdd.Y, 1/float64(n+1))
+
+		// Shrink: n -> n-1. The ring removes a mid-roster server (the
+		// hard case jump cannot serve); jump drops its last bucket (the
+		// only shrink it supports without renumbering).
+		shrunk := hashring.NewWithServers(n, hashring.DefaultVirtualNodes)
+		if err := shrunk.RemoveServer(fmt.Sprintf("s%d", n/2)); err != nil {
+			return Table{}, err
+		}
+		ringAfterRemove := hashring.NewRCHPlacement(shrunk, replicas)
+		jumpAfterRemove := hashring.NewJumpPlacement(n-1, replicas, uint64(cfg.Seed))
+
+		ringRemove.X, ringRemove.Y = append(ringRemove.X, x),
+			append(ringRemove.Y, movedFraction(ringBefore, ringAfterRemove, items, replicas))
+		jumpRemove.X, jumpRemove.Y = append(jumpRemove.X, x),
+			append(jumpRemove.Y, movedFraction(jumpBefore, jumpAfterRemove, items, replicas))
+		idealRemove.X, idealRemove.Y = append(idealRemove.X, x), append(idealRemove.Y, 1/float64(n))
+
+		// Post-growth balance.
+		ringSkew.X, ringSkew.Y = append(ringSkew.X, x),
+			append(ringSkew.Y, loadSkew(ringAfterAdd, items, n+1))
+		jumpSkew.X, jumpSkew.Y = append(jumpSkew.X, x),
+			append(jumpSkew.Y, loadSkew(jumpAfterAdd, items, n+1))
+	}
+	t.Series = []Series{ringAdd, jumpAdd, idealAdd, ringRemove, jumpRemove, idealRemove, ringSkew, jumpSkew}
+	return t, nil
+}
+
+// loadSkew places items and returns max-over-mean replica slots per
+// server (1.0 = perfectly balanced).
+func loadSkew(p hashring.Placement, items, servers int) float64 {
+	loads := make([]int, p.NumServers())
+	var buf []int
+	total := 0
+	for item := 0; item < items; item++ {
+		buf = p.Replicas(uint64(item), buf)
+		for _, s := range buf {
+			loads[s]++
+			total++
+		}
+	}
+	max := 0
+	occupied := 0
+	for _, l := range loads {
+		if l > 0 {
+			occupied++
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if occupied == 0 || total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(servers)
+	return float64(max) / mean
+}

@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+// TestTopologyShape checks the resize experiment's acceptance bounds:
+// on a single add, both backends move close to the fair K/(N+1) share
+// (jump within ideal + epsilon); on a remove, jump's last-bucket drop
+// stays near 1/N while the ring's arbitrary-server drain does too; and
+// jump's post-resize load is flatter than the ring's.
+func TestTopologyShape(t *testing.T) {
+	tab, err := Topology(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "topology" || len(tab.Series) != 8 {
+		t.Fatalf("table shape: id %s, %d series", tab.ID, len(tab.Series))
+	}
+	jumpAdd := findSeries(t, tab, "jump: moved (add 1)")
+	ringAdd := findSeries(t, tab, "ring: moved (add 1)")
+	idealAdd := findSeries(t, tab, "ideal add")
+	jumpRemove := findSeries(t, tab, "jump: moved (remove last)")
+	idealRemove := findSeries(t, tab, "ideal remove")
+	ringSkew := findSeries(t, tab, "ring: skew")
+	jumpSkew := findSeries(t, tab, "jump: skew")
+
+	const eps = 0.05 // slack over the fair share: dedup cascades, sampling noise
+	for i := range jumpAdd.X {
+		if jumpAdd.Y[i] > idealAdd.Y[i]+eps {
+			t.Errorf("n=%v: jump add moved %.4f > ideal %.4f + %.2f",
+				jumpAdd.X[i], jumpAdd.Y[i], idealAdd.Y[i], eps)
+		}
+		if jumpRemove.Y[i] > idealRemove.Y[i]+eps {
+			t.Errorf("n=%v: jump remove moved %.4f > ideal %.4f + %.2f",
+				jumpRemove.X[i], jumpRemove.Y[i], idealRemove.Y[i], eps)
+		}
+		// The ring is consistent hashing too: adding one server must
+		// not reshuffle the tier (multi-hash-style near-1.0 movement).
+		if ringAdd.Y[i] > 3*idealAdd.Y[i]+eps {
+			t.Errorf("n=%v: ring add moved %.4f, not within 3x fair share %.4f",
+				ringAdd.X[i], ringAdd.Y[i], idealAdd.Y[i])
+		}
+		// Skews are sane: >= 1 by construction, and jump's flatness is
+		// the point of offering it as a backend.
+		if jumpSkew.Y[i] < 1 || ringSkew.Y[i] < 1 {
+			t.Errorf("n=%v: skew below 1: jump %.3f ring %.3f",
+				jumpSkew.X[i], jumpSkew.Y[i], ringSkew.Y[i])
+		}
+		if jumpSkew.Y[i] > ringSkew.Y[i]+eps {
+			t.Errorf("n=%v: jump skew %.3f not flatter than ring %.3f",
+				jumpSkew.X[i], jumpSkew.Y[i], ringSkew.Y[i])
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package topology
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+	"time"
+)
+
+// ParseServerList canonicalizes a raw server-address list: entries are
+// whitespace-trimmed, and empty or duplicate entries are rejected with
+// an error naming the offender. Every address list entering the tier —
+// rnbproxy backends, the topology config file, rnb.NewClient — goes
+// through this, so a stray space or a repeated address can never
+// silently construct a skewed ring (the ring keys servers by name, so
+// " a:1" and "a:1" would otherwise become two distinct servers).
+func ParseServerList(entries []string) ([]string, error) {
+	out := make([]string, 0, len(entries))
+	seen := make(map[string]int, len(entries))
+	for i, raw := range entries {
+		addr := strings.TrimSpace(raw)
+		if addr == "" {
+			return nil, fmt.Errorf("topology: server list entry %d is empty", i+1)
+		}
+		if prev, dup := seen[addr]; dup {
+			return nil, fmt.Errorf("topology: duplicate server %q (entries %d and %d)", addr, prev+1, i+1)
+		}
+		seen[addr] = i
+		out = append(out, addr)
+	}
+	return out, nil
+}
+
+// ParseConfig parses a topology config: one or more server addresses
+// per line, separated by whitespace or commas, with '#' starting a
+// comment that runs to end of line. Blank lines are ignored. The
+// resulting list is validated with ParseServerList. An empty config
+// (no addresses at all) is an error — an accidental truncation must
+// not drain the whole tier.
+func ParseConfig(data []byte) ([]string, error) {
+	var entries []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, field := range strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t' || r == '\r'
+		}) {
+			entries = append(entries, field)
+		}
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("topology: config lists no servers")
+	}
+	return ParseServerList(entries)
+}
+
+// LoadFile reads and parses a topology config file.
+func LoadFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	list, err := ParseConfig(data)
+	if err != nil {
+		return nil, fmt.Errorf("topology: %s: %w", path, err)
+	}
+	return list, nil
+}
+
+// Watcher polls a topology config file and reports parsed server lists
+// when the content changes. Polling (rather than inotify) keeps the
+// implementation portable and dependency-free; membership changes are
+// operator-timescale events, so a low-frequency poll costs nothing.
+//
+// Reload forces an immediate re-read that fires OnChange even when the
+// content is unchanged — the SIGHUP semantics: "re-apply the file now".
+type Watcher struct {
+	path     string
+	interval time.Duration
+	onChange func([]string)
+	onError  func(error)
+
+	reload chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// WatchConfig parameterizes a Watcher.
+type WatchConfig struct {
+	// Interval is the poll period (default 2s).
+	Interval time.Duration
+	// OnChange receives the parsed server list whenever the file's
+	// content changes (and on every forced Reload). Required.
+	OnChange func([]string)
+	// OnError receives read/parse failures; the previous list stays in
+	// effect. Optional.
+	OnError func(error)
+}
+
+// Watch starts polling path. The initial content is read immediately
+// to seed the change detector but does NOT fire OnChange — callers
+// load the initial list themselves (via LoadFile) before starting the
+// watcher, so construction errors are synchronous.
+func Watch(path string, cfg WatchConfig) (*Watcher, error) {
+	if cfg.OnChange == nil {
+		return nil, fmt.Errorf("topology: Watch needs an OnChange callback")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	w := &Watcher{
+		path:     path,
+		interval: cfg.Interval,
+		onChange: cfg.OnChange,
+		onError:  cfg.OnError,
+		reload:   make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.loop()
+	return w, nil
+}
+
+// Reload forces an immediate re-read and OnChange, content changed or
+// not. Non-blocking; coalesces with an already-pending reload.
+func (w *Watcher) Reload() {
+	select {
+	case w.reload <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the watcher and waits for its goroutine to exit.
+func (w *Watcher) Close() {
+	select {
+	case <-w.stop:
+		return // already closed
+	default:
+	}
+	close(w.stop)
+	<-w.done
+}
+
+func (w *Watcher) loop() {
+	defer close(w.done)
+	last, _ := w.hash() // seed; an unreadable file reports on first poll
+	tick := time.NewTicker(w.interval)
+	defer tick.Stop()
+	for {
+		var force bool
+		select {
+		case <-w.stop:
+			return
+		case <-w.reload:
+			force = true
+		case <-tick.C:
+		}
+		h, data := w.hash()
+		if data == nil {
+			continue // read failed; OnError already fired
+		}
+		if !force && h == last {
+			continue
+		}
+		list, err := ParseConfig(data)
+		if err != nil {
+			w.fail(fmt.Errorf("topology: %s: %w", w.path, err))
+			// Remember the bad content so an unchanged bad file is
+			// reported once, not every poll.
+			last = h
+			continue
+		}
+		last = h
+		w.onChange(list)
+	}
+}
+
+// hash reads the file and returns a content fingerprint. On read
+// failure it reports through OnError and returns nil data.
+func (w *Watcher) hash() (uint64, []byte) {
+	data, err := os.ReadFile(w.path)
+	if err != nil {
+		w.fail(fmt.Errorf("topology: %w", err))
+		return 0, nil
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64(), data
+}
+
+func (w *Watcher) fail(err error) {
+	if w.onError != nil {
+		w.onError(err)
+	}
+}

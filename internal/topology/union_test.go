@@ -1,0 +1,172 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rnb/internal/hashring"
+)
+
+func ringOver(t *testing.T, addrs []string) *hashring.Ring {
+	t.Helper()
+	r := hashring.New(32)
+	for _, a := range addrs {
+		if _, err := r.AddServer(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestUnionSingleEpochTransparent(t *testing.T) {
+	ring := ringOver(t, []string{"a", "b", "c", "d"})
+	base := hashring.NewRCHPlacement(ring, 3)
+	u := NewUnion(4, base)
+	for item := uint64(0); item < 200; item++ {
+		got := u.Replicas(item, nil)
+		want := base.Replicas(item, nil)
+		if len(got) != len(want) {
+			t.Fatalf("item %d: union %v != base %v", item, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("item %d: union %v != base %v", item, got, want)
+			}
+		}
+	}
+}
+
+func TestUnionSupersetOnResize(t *testing.T) {
+	ring := ringOver(t, []string{"a", "b", "c", "d"})
+	old := hashring.NewRCHPlacement(ring.Clone(), 3)
+	// Epoch 2 adds "e": same stable index space, one more live server.
+	grown := ring.Clone()
+	if _, err := grown.AddServer("e"); err != nil {
+		t.Fatal(err)
+	}
+	next := hashring.NewRCHPlacement(grown, 3)
+	u := NewUnion(5, old, next)
+
+	for item := uint64(0); item < 500; item++ {
+		got := u.Replicas(item, nil)
+		oldSet := old.Replicas(item, nil)
+		newSet := next.Replicas(item, nil)
+		// Old distinguished copy stays entry 0: it is the pinned,
+		// guaranteed-present replica during the transition.
+		if got[0] != oldSet[0] {
+			t.Fatalf("item %d: entry 0 = %d, want old distinguished %d", item, got[0], oldSet[0])
+		}
+		// Union ⊇ old ∪ new, all distinct.
+		have := map[int]bool{}
+		for _, s := range got {
+			if have[s] {
+				t.Fatalf("item %d: duplicate server %d in %v", item, s, got)
+			}
+			have[s] = true
+		}
+		for _, s := range oldSet {
+			if !have[s] {
+				t.Fatalf("item %d: union %v missing old replica %d", item, got, s)
+			}
+		}
+		for _, s := range newSet {
+			if !have[s] {
+				t.Fatalf("item %d: union %v missing new replica %d", item, got, s)
+			}
+		}
+	}
+}
+
+// TestTransitionCoverageProperty is the superset-invariant property
+// test: across randomized membership-change sequences (mirroring how
+// the client layers per-epoch ring clones), at every intermediate
+// epoch, every key's replica coverage under the union of live epochs
+// stays at least min(NumReplicas, smallest epoch's live server count) —
+// there is never a window in which a key is under-replicated relative
+// to what the declared level and the live server count allow.
+func TestTransitionCoverageProperty(t *testing.T) {
+	const replicas = 3
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		// Start with 3..8 servers on one persistent ring; epochs are
+		// clones taken after each membership change, so server indices
+		// are stable across the whole sequence.
+		n := 3 + rng.Intn(6)
+		ring := hashring.New(32)
+		var live []string
+		for i := 0; i < n; i++ {
+			addr := fmt.Sprintf("s%d:11211", i)
+			if _, err := ring.AddServer(addr); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, addr)
+		}
+		next := n  // next fresh server id
+		slots := n // size of the stable index space
+		window := []hashring.Placement{hashring.NewRCHPlacement(ring.Clone(), replicas)}
+
+		for step := 0; step < 12; step++ {
+			if grow := rng.Float64() < 0.5 || len(live) <= 2; grow {
+				addr := fmt.Sprintf("s%d:11211", next)
+				next++
+				if idx, err := ring.AddServer(addr); err != nil {
+					t.Fatal(err)
+				} else if idx >= slots {
+					slots = idx + 1
+				}
+				live = append(live, addr)
+			} else {
+				victim := rng.Intn(len(live))
+				if err := ring.RemoveServer(live[victim]); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live[:victim], live[victim+1:]...)
+			}
+			window = append(window, hashring.NewRCHPlacement(ring.Clone(), replicas))
+			// Epochs retire oldest-first at random, as the transition
+			// windows of a real resize storm would.
+			for len(window) > 1 && rng.Float64() < 0.3 {
+				window = window[1:]
+			}
+
+			u := NewUnion(slots, window...)
+			wantCover := replicas
+			if m := minServers(window); m < wantCover {
+				wantCover = m
+			}
+			oldest := window[0]
+			for probe := 0; probe < 100; probe++ {
+				item := rng.Uint64()
+				got := u.Replicas(item, nil)
+				if len(got) < wantCover {
+					t.Fatalf("trial %d step %d: item %d covered by %d < %d servers (%v)",
+						trial, step, item, len(got), wantCover, got)
+				}
+				if got[0] != oldest.Replicas(item, nil)[0] {
+					t.Fatalf("trial %d step %d: item %d lost its oldest distinguished copy", trial, step, item)
+				}
+				seen := map[int]bool{}
+				for _, s := range got {
+					if s < 0 || s >= slots {
+						t.Fatalf("trial %d step %d: server %d out of slot space %d", trial, step, s, slots)
+					}
+					if seen[s] {
+						t.Fatalf("trial %d step %d: duplicate server in %v", trial, step, got)
+					}
+					seen[s] = true
+				}
+			}
+		}
+	}
+}
+
+func minServers(eps []hashring.Placement) int {
+	m := eps[0].NumServers()
+	for _, p := range eps[1:] {
+		if n := p.NumServers(); n < m {
+			m = n
+		}
+	}
+	return m
+}

@@ -41,6 +41,7 @@ import (
 	"rnb/internal/memcache"
 	"rnb/internal/metrics"
 	"rnb/internal/obs"
+	"rnb/internal/topology"
 	"rnb/internal/xhash"
 )
 
@@ -81,6 +82,8 @@ type clientConfig struct {
 	adaptive         *hotspot.Config
 	poolSize         int
 	obs              obs.Config
+	transitionWindow time.Duration
+	drainTimeout     time.Duration
 }
 
 // WithReplicas sets the logical replication level (default 2).
@@ -217,26 +220,42 @@ func WithLoader(l Loader) Option {
 // Client is an RnB memcached client: a transport handle per server
 // (single connection, or a pipelined pool with WithPoolSize), replica
 // placement via ranged consistent hashing, and greedy bundling of
-// multi-gets.
+// multi-gets. The server set is dynamic: AddServer, RemoveServer, and
+// SetServers change membership under load with zero read downtime
+// (see elastic.go).
 type Client struct {
-	ring      *hashring.Ring
-	placement hashring.Placement
-	planner   *core.Planner
-	conns     []memcache.Conn
-	cfg       clientConfig
+	// cur is the immutable routing snapshot every request loads once:
+	// placement, planner, and the slot table at one membership epoch.
+	cur atomic.Pointer[tier]
+	cfg clientConfig
+
+	// Dynamic-topology state, serialized by topoMu (never touched by
+	// the request paths).
+	topoMu   sync.Mutex
+	machine  *topology.Machine
+	master   *hashring.Ring // the authoritative continuum; epochs are clones
+	epochs   []*epochSnap   // windowed epochs, oldest first (last = target)
+	slots    []*slot        // index-stable; shared with tiers by pointer
+	draining []*drainEntry
+	// janitor lifecycle: started lazily on the first membership
+	// change, joined in Close.
+	janitorOn  bool
+	stop       chan struct{}
+	wg         sync.WaitGroup
+	closedTxns atomic.Uint64 // transactions of already-closed slots
+	hot        hotNames      // boosted key id -> name, for warm handoff
+
 	// poolGauges is shared by every per-server pool (nil when the
 	// single-connection transport is in use).
 	poolGauges *metrics.PoolGauges
-	// breakers[s] is server s's circuit breaker (closed -> open on
-	// consecutive failures -> half-open after the cooldown -> closed
-	// on a successful probe).
-	breakers []*breaker
-	failures atomicUint64
+	failures   atomicUint64
 	// adaptive is non-nil when WithAdaptiveReplication is on; it is
-	// the same object as placement, kept typed for the observe hook.
+	// the tier placements' outermost wrapper, kept typed for the
+	// observe hook and the base swap on membership changes.
 	adaptive   *hotspot.AdaptivePlacement
 	resilience metrics.Resilience
 	hotspot    metrics.Hotspot
+	topo       metrics.Topology
 	// tracer is the always-on observability hub: request-phase latency
 	// histograms, the flight recorder, and the slow-request log.
 	tracer *obs.Tracer
@@ -249,19 +268,37 @@ type atomicUint64 struct{ v uint64 }
 func (a *atomicUint64) add(d uint64) { atomic.AddUint64(&a.v, d) }
 func (a *atomicUint64) load() uint64 { return atomic.LoadUint64(&a.v) }
 
+// replicaServers returns the key's replica server indices under the
+// current tier (tests and diagnostics; request paths work against one
+// tier snapshot instead).
+func (c *Client) replicaServers(key string) []int {
+	return c.cur.Load().replicas(key)
+}
+
+// isDown reports whether reads currently route around server s.
+func (c *Client) isDown(s int) bool {
+	return c.cur.Load().isDown(s)
+}
+
 // markDown records a network error against server s's breaker.
-func (c *Client) markDown(s int) {
+func (c *Client) markDown(t *tier, s int) {
 	c.failures.add(1)
-	c.breakers[s].onFailure()
+	t.slots[s].breaker.onFailure()
 }
 
 // markUp records a successful operation, resetting s's failure run.
-func (c *Client) markUp(s int) { c.breakers[s].onSuccess() }
+func (c *Client) markUp(t *tier, s int) { t.slots[s].breaker.onSuccess() }
 
-// isDown reports whether reads should route around server s (breaker
-// open or half-open).
-func (c *Client) isDown(s int) bool {
-	return !c.breakers[s].available()
+// onBreaker is the transition hook every slot's breaker shares.
+func (c *Client) onBreaker(from, to BreakerState) {
+	switch to {
+	case BreakerOpen:
+		c.resilience.BreakerOpened.Add(1)
+	case BreakerHalfOpen:
+		c.resilience.BreakerHalfOpen.Add(1)
+	case BreakerClosed:
+		c.resilience.BreakerClosed.Add(1)
+	}
 }
 
 // Failures returns the number of server network errors observed.
@@ -301,6 +338,8 @@ func (c *Client) RegisterMetrics(reg *obs.Registry) {
 		obs.Counter, c.resilience.Snapshot)
 	reg.RegisterUint64Map("rnb_", "Adaptive hot-key replication counters.",
 		obs.Gauge, c.hotspot.Snapshot)
+	reg.RegisterUint64Map("rnb_topology_", "Dynamic membership: joins, drains, epochs, warm handoff.",
+		obs.Gauge, c.topo.Snapshot)
 	if c.poolGauges != nil {
 		reg.RegisterInt64Map("rnb_", "Pooled transport gauges.",
 			obs.Gauge, c.poolGauges.Snapshot)
@@ -311,13 +350,17 @@ func (c *Client) RegisterMetrics(reg *obs.Registry) {
 		obs.Counter, func() float64 { return float64(c.Transactions()) })
 	reg.RegisterFunc("rnb_slow_requests", "Requests over the slow threshold.",
 		obs.Counter, func() float64 { return float64(c.tracer.SlowSeen()) })
+	// Per-server gauges are labeled by the stable slot index and emit
+	// only current members: a drained server's series disappears from
+	// /metrics with it (no ghost series), and reappears under the same
+	// index if the server rejoins.
 	reg.Register("rnb_server_breaker_state", "Breaker state per backend: 0 closed, 1 open, 2 half-open.",
 		obs.Gauge, func() []obs.Sample {
 			states := c.ServerStates()
 			out := make([]obs.Sample, len(states))
 			for i, st := range states {
 				out[i] = obs.Sample{
-					Labels: obs.Labels("server", fmt.Sprintf("%d", i), "addr", st.Addr),
+					Labels: obs.Labels("server", fmt.Sprintf("%d", st.Index), "addr", st.Addr),
 					Value:  float64(st.State),
 				}
 			}
@@ -329,7 +372,7 @@ func (c *Client) RegisterMetrics(reg *obs.Registry) {
 			out := make([]obs.Sample, len(states))
 			for i, st := range states {
 				out[i] = obs.Sample{
-					Labels: obs.Labels("server", fmt.Sprintf("%d", i), "addr", st.Addr),
+					Labels: obs.Labels("server", fmt.Sprintf("%d", st.Index), "addr", st.Addr),
 					Value:  float64(st.ConsecutiveFailures),
 				}
 			}
@@ -362,20 +405,36 @@ func (c *Client) HotKeyCount() int {
 type ServerState struct {
 	// Addr is the server's address.
 	Addr string
+	// Index is the server's stable slot index (kept across a leave
+	// and rejoin; per-server metric series are labeled with it).
+	Index int
+	// Phase is the membership lifecycle phase ("joining", "active",
+	// or "draining").
+	Phase string
 	// State is the breaker state (closed / open / half-open).
 	State BreakerState
 	// ConsecutiveFailures is the current run of unbroken failures.
 	ConsecutiveFailures int
 }
 
-// ServerStates reports every backend's breaker state and consecutive
-// failure count, in server index order. Intended for stats endpoints
-// and operator debugging; safe to call concurrently with requests.
+// ServerStates reports every current member's breaker state and
+// consecutive failure count, in slot index order. Servers whose drain
+// has completed are omitted — their series end rather than lingering
+// as ghosts. Intended for stats endpoints and operator debugging; safe
+// to call concurrently with requests.
 func (c *Client) ServerStates() []ServerState {
-	out := make([]ServerState, len(c.conns))
-	for s, conn := range c.conns {
-		state, fails := c.breakers[s].snapshot()
-		out[s] = ServerState{Addr: conn.Addr(), State: state, ConsecutiveFailures: fails}
+	t := c.cur.Load()
+	out := make([]ServerState, 0, len(t.slots))
+	for idx, sl := range t.slots {
+		if sl.closed.Load() {
+			continue
+		}
+		state, fails := sl.breaker.snapshot()
+		st := ServerState{Addr: sl.addr, Index: idx, Phase: "active", State: state, ConsecutiveFailures: fails}
+		if mem, ok := t.view.Find(sl.addr); ok {
+			st.Phase = mem.State.String()
+		}
+		out = append(out, st)
 	}
 	return out
 }
@@ -385,33 +444,42 @@ func (c *Client) ServerStates() []ServerState {
 // connection, asynchronously so requests never wait on a probe. A
 // successful probe closes the breaker and the server re-enters plans;
 // a failed one re-opens it and restarts the cooldown.
-func (c *Client) probeHalfOpen() {
+func (c *Client) probeHalfOpen(t *tier) {
 	if c.shut.Load() {
 		return
 	}
-	for s := range c.breakers {
-		if !c.breakers[s].tryAcquireProbe() {
+	for s := range t.slots {
+		sl := t.slots[s]
+		if sl.closed.Load() || !sl.breaker.tryAcquireProbe() {
 			continue
 		}
 		c.resilience.Probes.Add(1)
-		go func(s int) {
-			_, err := c.conns[s].Version()
+		go func(sl *slot) {
+			err := sl.do(func(conn memcache.Conn) error {
+				_, err := conn.Version()
+				return err
+			})
 			if err == nil {
 				c.resilience.ProbeSuccesses.Add(1)
 			} else {
 				c.resilience.ProbeFailures.Add(1)
 			}
-			c.breakers[s].onProbeResult(err == nil)
-		}(s)
+			sl.breaker.onProbeResult(err == nil)
+		}(sl)
 	}
 }
 
 // NewClient connects to the given memcached servers. At least one
-// address is required; the replication level is clamped to the server
-// count.
+// address is required; the replication level is clamped to the initial
+// server count. Addresses are validated like every other server-list
+// input (trimmed, no empties, no duplicates).
 func NewClient(addrs []string, opts ...Option) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("rnb: need at least one server address")
+	}
+	addrs, err := topology.ParseServerList(addrs)
+	if err != nil {
+		return nil, fmt.Errorf("rnb: %w", err)
 	}
 	cfg := clientConfig{
 		replicas:         2,
@@ -424,6 +492,8 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 		breakerThreshold: 1,
 		retryAttempts:    1,
 		retryBackoff:     15 * time.Millisecond,
+		transitionWindow: 5 * time.Second,
+		drainTimeout:     5 * time.Second,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -434,110 +504,132 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 	if cfg.replicas > len(addrs) {
 		cfg.replicas = len(addrs)
 	}
-	ring := hashring.New(cfg.vnodes)
+	machine, err := topology.NewMachine(addrs)
+	if err != nil {
+		return nil, fmt.Errorf("rnb: %w", err)
+	}
 	// The tracer exists before the transports so every connection can
 	// stamp its round trips into the shared RTT histogram.
-	tracer := obs.New(cfg.obs)
-	// The transport is chosen once, here: WithPoolSize above one swaps
-	// each server's single mutex-guarded connection for a pipelined
-	// pool. Either way a dead address fails construction immediately.
 	var poolGauges *metrics.PoolGauges
 	if cfg.poolSize > 1 {
 		poolGauges = &metrics.PoolGauges{}
 	}
-	conns := make([]memcache.Conn, 0, len(addrs))
+	c := &Client{
+		cfg:        cfg,
+		machine:    machine,
+		master:     hashring.New(cfg.vnodes),
+		poolGauges: poolGauges,
+		tracer:     obs.New(cfg.obs),
+		stop:       make(chan struct{}),
+	}
+	// The transport is chosen once, in dial: WithPoolSize above one
+	// swaps each server's single mutex-guarded connection for a
+	// pipelined pool. Either way a dead address fails construction
+	// immediately.
 	for _, addr := range addrs {
-		if _, err := ring.AddServer(addr); err != nil {
-			closeAll(conns)
+		idx, err := c.master.AddServer(addr)
+		if err != nil {
+			c.closeSlotsLocked()
 			return nil, err
 		}
-		var (
-			cl  memcache.Conn
-			err error
-		)
-		if poolGauges != nil {
-			cl, err = memcache.NewPool(addr, cfg.timeout, memcache.PoolConfig{
-				Size:        cfg.poolSize,
-				Gauges:      poolGauges,
-				RTTObserver: tracer.ObserveRTT,
-			})
-		} else {
-			var single *memcache.Client
-			single, err = memcache.Dial(addr, cfg.timeout)
-			if err == nil {
-				single.SetRTTObserver(tracer.ObserveRTT)
-				cl = single
-			}
-		}
+		conn, err := c.dial(addr)
 		if err != nil {
-			closeAll(conns)
+			c.closeSlotsLocked()
 			return nil, fmt.Errorf("rnb: dial %s: %w", addr, err)
 		}
-		conns = append(conns, cl)
-	}
-	var placement hashring.Placement = hashring.NewRCHPlacement(ring, cfg.replicas)
-	c := &Client{
-		ring:       ring,
-		conns:      conns,
-		cfg:        cfg,
-		poolGauges: poolGauges,
-		tracer:     tracer,
+		if idx != len(c.slots) {
+			conn.Close()
+			c.closeSlotsLocked()
+			return nil, fmt.Errorf("rnb: internal slot/ring index mismatch for %s", addr)
+		}
+		c.slots = append(c.slots, &slot{
+			addr:    addr,
+			conn:    conn,
+			breaker: newBreaker(cfg.breakerThreshold, cfg.cooldown, c.onBreaker),
+		})
 	}
 	if cfg.adaptive != nil {
-		c.adaptive = hotspot.NewAdaptive(placement, *cfg.adaptive, &c.hotspot)
-		placement = c.adaptive
+		// The base is a placeholder until the first rebuild swaps in
+		// the epoch placement.
+		c.adaptive = hotspot.NewAdaptive(hashring.NewRCHPlacement(c.master, cfg.replicas), *cfg.adaptive, &c.hotspot)
 	}
-	c.placement = placement
-	c.planner = core.NewPlanner(placement, core.Options{
-		Hitchhike:            cfg.hitchhike,
-		DistinguishedSingles: true,
-	})
-	onTransition := func(from, to BreakerState) {
-		switch to {
-		case BreakerOpen:
-			c.resilience.BreakerOpened.Add(1)
-		case BreakerHalfOpen:
-			c.resilience.BreakerHalfOpen.Add(1)
-		case BreakerClosed:
-			c.resilience.BreakerClosed.Add(1)
-		}
-	}
-	c.breakers = make([]*breaker, len(conns))
-	for s := range c.breakers {
-		c.breakers[s] = newBreaker(cfg.breakerThreshold, cfg.cooldown, onTransition)
-	}
+	clone := c.master.Clone()
+	c.epochs = []*epochSnap{{ring: clone, plc: hashring.NewRCHPlacement(clone, cfg.replicas)}}
+	c.rebuildLocked()
 	return c, nil
 }
 
-func closeAll(conns []memcache.Conn) {
-	for _, c := range conns {
-		c.Close()
+// dial opens the configured transport for one server address.
+func (c *Client) dial(addr string) (memcache.Conn, error) {
+	if c.poolGauges != nil {
+		return memcache.NewPool(addr, c.cfg.timeout, memcache.PoolConfig{
+			Size:        c.cfg.poolSize,
+			Gauges:      c.poolGauges,
+			RTTObserver: c.tracer.ObserveRTT,
+		})
 	}
+	single, err := memcache.Dial(addr, c.cfg.timeout)
+	if err != nil {
+		return nil, err
+	}
+	single.SetRTTObserver(c.tracer.ObserveRTT)
+	return single, nil
 }
 
-// Close tears down every server connection.
-func (c *Client) Close() error {
-	c.shut.Store(true)
-	var first error
-	for _, conn := range c.conns {
-		if err := conn.Close(); err != nil && first == nil {
+// closeSlotsLocked tears down every open slot (construction failure
+// and Close).
+func (c *Client) closeSlotsLocked() (first error) {
+	for _, s := range c.slots {
+		if s.closed.Swap(true) {
+			continue
+		}
+		c.closedTxns.Add(s.conn.Transactions())
+		if err := s.conn.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
 }
 
+// Close stops the topology janitor and tears down every server
+// connection, including those still draining.
+func (c *Client) Close() error {
+	if c.shut.Swap(true) {
+		return nil
+	}
+	close(c.stop)
+	c.wg.Wait()
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	c.draining = nil
+	return c.closeSlotsLocked()
+}
+
 // Replicas reports the effective replication level.
 func (c *Client) Replicas() int { return c.cfg.replicas }
 
-// Servers reports the server addresses in index order.
-func (c *Client) Servers() []string { return c.ring.Servers() }
+// Servers reports the current live server addresses (joining and
+// active members, plus draining members still inside the transition
+// window) in index order.
+func (c *Client) Servers() []string {
+	t := c.cur.Load()
+	out := make([]string, 0, len(t.slots))
+	for _, sl := range t.slots {
+		if !sl.closed.Load() {
+			out = append(out, sl.addr)
+		}
+	}
+	return out
+}
 
-// Transactions returns the total round trips issued across all servers.
+// Transactions returns the total round trips issued across all
+// servers, including servers that have since left the tier.
 func (c *Client) Transactions() uint64 {
-	var n uint64
-	for _, conn := range c.conns {
-		n += conn.Transactions()
+	n := c.closedTxns.Load()
+	for _, sl := range c.cur.Load().slots {
+		if !sl.closed.Load() {
+			n += sl.conn.Transactions()
+		}
 	}
 	return n
 }
@@ -545,22 +637,35 @@ func (c *Client) Transactions() uint64 {
 // keyID maps a key onto the planner's numeric item space.
 func keyID(key string) uint64 { return xhash.String(key) }
 
-// replicaConns returns the item's replica server indices.
-func (c *Client) replicaServers(key string) []int {
-	return c.placement.Replicas(keyID(key), nil)
-}
-
 // invalidationServers returns every server that may hold a copy of
 // key, current heat notwithstanding. With adaptive replication on,
 // mutations must clear the maximal boosted set: a copy left on a
 // since-demoted boosted replica would otherwise resurface stale when
 // the key re-heats (boosted placement is deterministic, so the same
-// server rejoins the set).
-func (c *Client) invalidationServers(key string) []int {
+// server rejoins the set). During a membership transition the
+// adaptive base is the epoch union, so this covers every windowed
+// layout too.
+func (c *Client) invalidationServers(t *tier, key string) []int {
 	if c.adaptive != nil {
 		return c.adaptive.MaxReplicas(keyID(key), nil)
 	}
-	return c.replicaServers(key)
+	return t.replicas(key)
+}
+
+// newestDistinguished returns the distinguished server for key under
+// the newest epoch's layout when it differs from the transition-wide
+// distinguished copy (entry 0 of the union), and -1 otherwise. Writes
+// pin both during a transition so the distinguished never-miss
+// guarantee holds on either side of the cutover for keys written
+// inside the window.
+func (t *tier) newestDistinguished(key string, oldDist int) int {
+	if t.union == nil {
+		return -1
+	}
+	if nd := t.newest.Replicas(keyID(key), nil)[0]; nd != oldDist {
+		return nd
+	}
+	return -1
 }
 
 // Set stores the item on every replica server. The first replica is
@@ -574,20 +679,27 @@ func (c *Client) invalidationServers(key string) []int {
 // lands it. Network errors on any replica, and any failure on the
 // distinguished copy, are errors.
 func (c *Client) Set(it *Item) error {
-	replicas := c.replicaServers(it.Key)
+	t := c.cur.Load()
+	replicas := t.replicas(it.Key)
+	// During a membership transition the set spans every windowed
+	// epoch (superset invalidation), and the newest layout's
+	// distinguished copy is pinned alongside the old one so the
+	// never-miss guarantee survives the cutover.
+	newDist := t.newestDistinguished(it.Key, replicas[0])
 	for i, s := range replicas {
-		var err error
-		if i == 0 && c.cfg.pinDistinguished {
-			err = c.conns[s].SetPinned(it)
-		} else {
-			err = c.conns[s].Set(it)
-		}
+		pin := c.cfg.pinDistinguished && (i == 0 || s == newDist)
+		err := t.slots[s].do(func(conn memcache.Conn) error {
+			if pin {
+				return conn.SetPinned(it)
+			}
+			return conn.Set(it)
+		})
 		if err != nil {
 			if i > 0 && errors.Is(err, memcache.ErrNotStored) {
 				continue // overbooked replica declined; acceptable
 			}
-			c.markDown(s)
-			return fmt.Errorf("rnb: set %q on %s: %w", it.Key, c.conns[s].Addr(), err)
+			c.markDown(t, s)
+			return fmt.Errorf("rnb: set %q on %s: %w", it.Key, t.slots[s].addr, err)
 		}
 	}
 	// The writes above cover only the key's *current* replica set. With
@@ -601,8 +713,9 @@ func (c *Client) Set(it *Item) error {
 			if containsServer(replicas, s) {
 				continue
 			}
-			if err := c.conns[s].Delete(it.Key); err != nil && !errors.Is(err, memcache.ErrCacheMiss) {
-				return fmt.Errorf("rnb: clearing replica of %q on %s: %w", it.Key, c.conns[s].Addr(), err)
+			err := t.slots[s].do(func(conn memcache.Conn) error { return conn.Delete(it.Key) })
+			if err != nil && !errors.Is(err, memcache.ErrCacheMiss) {
+				return fmt.Errorf("rnb: clearing replica of %q on %s: %w", it.Key, t.slots[s].addr, err)
 			}
 		}
 	}
@@ -622,14 +735,16 @@ func containsServer(set []int, s int) bool {
 // that do not currently hold a copy are not an error; a key unknown
 // everywhere returns ErrCacheMiss.
 func (c *Client) Delete(key string) error {
+	t := c.cur.Load()
 	found := false
-	for _, s := range c.invalidationServers(key) {
-		switch err := c.conns[s].Delete(key); {
+	for _, s := range c.invalidationServers(t, key) {
+		err := t.slots[s].do(func(conn memcache.Conn) error { return conn.Delete(key) })
+		switch {
 		case err == nil:
 			found = true
 		case errors.Is(err, memcache.ErrCacheMiss):
 		default:
-			return fmt.Errorf("rnb: delete %q on %s: %w", key, c.conns[s].Addr(), err)
+			return fmt.Errorf("rnb: delete %q on %s: %w", key, t.slots[s].addr, err)
 		}
 	}
 	if !found {
@@ -643,13 +758,15 @@ func (c *Client) Delete(key string) error {
 // demand — the §IV atomic-operation scheme shared by Append, Prepend,
 // Increment and UpdateCAS.
 func (c *Client) mutateDistinguished(key string, op func(conn memcache.Conn) error) error {
-	replicas := c.invalidationServers(key)
-	if err := op(c.conns[replicas[0]]); err != nil {
+	t := c.cur.Load()
+	replicas := c.invalidationServers(t, key)
+	if err := t.slots[replicas[0]].do(op); err != nil {
 		return err
 	}
 	for _, s := range replicas[1:] {
-		if err := c.conns[s].Delete(key); err != nil && !errors.Is(err, memcache.ErrCacheMiss) {
-			return fmt.Errorf("rnb: clearing replica of %q on %s: %w", key, c.conns[s].Addr(), err)
+		err := t.slots[s].do(func(conn memcache.Conn) error { return conn.Delete(key) })
+		if err != nil && !errors.Is(err, memcache.ErrCacheMiss) {
+			return fmt.Errorf("rnb: clearing replica of %q on %s: %w", key, t.slots[s].addr, err)
 		}
 	}
 	return nil
@@ -691,14 +808,16 @@ func (c *Client) Increment(key string, delta int64) (uint64, error) {
 // Touch updates the expiration of every replica of key. A key unknown
 // everywhere returns ErrCacheMiss.
 func (c *Client) Touch(key string, exp int32) error {
+	t := c.cur.Load()
 	found := false
-	for _, s := range c.replicaServers(key) {
-		switch err := c.conns[s].Touch(key, exp); {
+	for _, s := range t.replicas(key) {
+		err := t.slots[s].do(func(conn memcache.Conn) error { return conn.Touch(key, exp) })
+		switch {
 		case err == nil:
 			found = true
 		case errors.Is(err, memcache.ErrCacheMiss):
 		default:
-			return fmt.Errorf("rnb: touch %q on %s: %w", key, c.conns[s].Addr(), err)
+			return fmt.Errorf("rnb: touch %q on %s: %w", key, t.slots[s].addr, err)
 		}
 	}
 	if !found {
@@ -707,11 +826,16 @@ func (c *Client) Touch(key string, exp int32) error {
 	return nil
 }
 
-// FlushAll wipes every server in the tier.
+// FlushAll wipes every server in the tier (draining members included —
+// they are still readable through the union).
 func (c *Client) FlushAll() error {
-	for _, conn := range c.conns {
-		if err := conn.FlushAll(); err != nil {
-			return fmt.Errorf("rnb: flush_all on %s: %w", conn.Addr(), err)
+	t := c.cur.Load()
+	for _, sl := range t.slots {
+		if sl.closed.Load() {
+			continue
+		}
+		if err := sl.do(func(conn memcache.Conn) error { return conn.FlushAll() }); err != nil {
+			return fmt.Errorf("rnb: flush_all on %s: %w", sl.addr, err)
 		}
 	}
 	return nil
@@ -720,23 +844,34 @@ func (c *Client) FlushAll() error {
 // Update atomically replaces an item using the paper's §IV scheme:
 // remove every non-distinguished replica, then update the
 // distinguished copy; replicas repopulate on demand via write-back.
+// During a membership transition the newest layout's distinguished
+// copy is written (pinned) as well, so a key updated inside the window
+// still has its guaranteed copy after the old epoch retires.
 func (c *Client) Update(it *Item) error {
-	replicas := c.invalidationServers(it.Key)
+	t := c.cur.Load()
+	replicas := c.invalidationServers(t, it.Key)
 	for _, s := range replicas[1:] {
-		if err := c.conns[s].Delete(it.Key); err != nil && !errors.Is(err, memcache.ErrCacheMiss) {
+		err := t.slots[s].do(func(conn memcache.Conn) error { return conn.Delete(it.Key) })
+		if err != nil && !errors.Is(err, memcache.ErrCacheMiss) {
 			return fmt.Errorf("rnb: update %q: clearing replica on %s: %w",
-				it.Key, c.conns[s].Addr(), err)
+				it.Key, t.slots[s].addr, err)
 		}
 	}
-	var err error
-	if c.cfg.pinDistinguished {
-		err = c.conns[replicas[0]].SetPinned(it)
-	} else {
-		err = c.conns[replicas[0]].Set(it)
+	store := func(conn memcache.Conn) error {
+		if c.cfg.pinDistinguished {
+			return conn.SetPinned(it)
+		}
+		return conn.Set(it)
 	}
-	if err != nil {
+	if err := t.slots[replicas[0]].do(store); err != nil {
 		return fmt.Errorf("rnb: update %q on distinguished %s: %w",
-			it.Key, c.conns[replicas[0]].Addr(), err)
+			it.Key, t.slots[replicas[0]].addr, err)
+	}
+	if nd := t.newestDistinguished(it.Key, replicas[0]); nd >= 0 {
+		if err := t.slots[nd].do(store); err != nil {
+			return fmt.Errorf("rnb: update %q on next distinguished %s: %w",
+				it.Key, t.slots[nd].addr, err)
+		}
 	}
 	return nil
 }
@@ -747,16 +882,22 @@ func (c *Client) Update(it *Item) error {
 // valid for UpdateCAS, so this — not GetMulti — is the read half of a
 // read-modify-write cycle (§IV).
 func (c *Client) GetsDistinguished(keys []string) (map[string]*Item, error) {
+	t := c.cur.Load()
 	byServer := make(map[int][]string)
 	for _, k := range keys {
-		s := c.replicaServers(k)[0]
+		s := t.replicas(k)[0]
 		byServer[s] = append(byServer[s], k)
 	}
 	out := make(map[string]*Item, len(keys))
 	for s, group := range byServer {
-		items, err := c.conns[s].GetsMulti(group)
+		var items map[string]*Item
+		err := t.slots[s].do(func(conn memcache.Conn) error {
+			var err error
+			items, err = conn.GetsMulti(group)
+			return err
+		})
 		if err != nil {
-			return nil, fmt.Errorf("rnb: gets on %s: %w", c.conns[s].Addr(), err)
+			return nil, fmt.Errorf("rnb: gets on %s: %w", t.slots[s].addr, err)
 		}
 		for k, it := range items {
 			out[k] = it
@@ -772,14 +913,16 @@ func (c *Client) GetsDistinguished(keys []string) (map[string]*Item, error) {
 // memcache.ErrCASConflict on a lost race and ErrCacheMiss if the key
 // is gone.
 func (c *Client) UpdateCAS(it *Item) error {
-	replicas := c.invalidationServers(it.Key)
-	if err := c.conns[replicas[0]].CompareAndSwap(it); err != nil {
+	t := c.cur.Load()
+	replicas := c.invalidationServers(t, it.Key)
+	if err := t.slots[replicas[0]].do(func(conn memcache.Conn) error { return conn.CompareAndSwap(it) }); err != nil {
 		return err
 	}
 	for _, s := range replicas[1:] {
-		if err := c.conns[s].Delete(it.Key); err != nil && !errors.Is(err, memcache.ErrCacheMiss) {
+		err := t.slots[s].do(func(conn memcache.Conn) error { return conn.Delete(it.Key) })
+		if err != nil && !errors.Is(err, memcache.ErrCacheMiss) {
 			return fmt.Errorf("rnb: update-cas %q: clearing replica on %s: %w",
-				it.Key, c.conns[s].Addr(), err)
+				it.Key, t.slots[s].addr, err)
 		}
 	}
 	return nil
@@ -790,23 +933,33 @@ func (c *Client) UpdateCAS(it *Item) error {
 // distinguished server's breaker is open, the first live replica acts
 // in its stead.
 func (c *Client) Get(key string) (*Item, error) {
-	c.probeHalfOpen()
+	t := c.cur.Load()
+	c.probeHalfOpen(t)
 	if c.adaptive != nil {
-		c.adaptive.ObserveOne(keyID(key))
+		id := keyID(key)
+		c.adaptive.ObserveOne(id)
+		if c.adaptive.Boost(id) > 0 {
+			c.hot.record(id, key)
+		}
 	}
-	replicas := c.replicaServers(key)
+	replicas := t.replicas(key)
 	s := replicas[0]
 	if c.cfg.cooldown > 0 {
-		if acting, ok := core.ActingDistinguished(replicas, c.isDown); ok {
+		if acting, ok := core.ActingDistinguished(replicas, t.isDown); ok {
 			s = acting
 		}
 	}
-	it, err := c.conns[s].Get(key)
+	var it *Item
+	err := t.slots[s].do(func(conn memcache.Conn) error {
+		var err error
+		it, err = conn.Get(key)
+		return err
+	})
 	switch {
 	case err == nil:
-		c.markUp(s)
+		c.markUp(t, s)
 	case !errors.Is(err, ErrCacheMiss):
-		c.markDown(s)
+		c.markDown(t, s)
 	}
 	return it, err
 }
@@ -870,15 +1023,14 @@ func (c *Client) GetMultiBudget(keys []string, maxTransactions int) (out map[str
 		sp.BreakerTrips = int(c.resilience.BreakerOpened.Load() - trips0)
 		c.finishSpan(sp, out, &stats, err)
 	}()
+	t := c.cur.Load()
 	ids, keyOf, err := c.keyIDs(keys)
 	if err != nil {
 		return nil, stats, err
 	}
-	if c.adaptive != nil {
-		c.adaptive.Observe(ids)
-	}
+	c.observeHeat(ids, keys)
 	planStart := time.Now()
-	plan, err := c.planner.BuildBudget(ids, maxTransactions)
+	plan, err := t.planner.BuildBudget(ids, maxTransactions)
 	sp.PlanNS = int64(time.Since(planStart))
 	if err != nil {
 		return nil, stats, err
@@ -889,9 +1041,23 @@ func (c *Client) GetMultiBudget(keys []string, maxTransactions int) (out map[str
 	}
 	stats.Transactions += len(plan.Transactions)
 	fanStart := time.Now()
-	stats.Failed += len(c.fanout(plan.Transactions, keyOf, out, sp, "fanout", 0))
+	stats.Failed += len(c.fanout(t, plan.Transactions, keyOf, out, sp, "fanout", 0))
 	sp.FanoutNS = int64(time.Since(fanStart))
 	return out, stats, nil
+}
+
+// observeHeat feeds a request's keys to the hotspot tracker and
+// records the names of boosted keys for warm handoff on resize.
+func (c *Client) observeHeat(ids []uint64, keys []string) {
+	if c.adaptive == nil {
+		return
+	}
+	c.adaptive.Observe(ids)
+	for i, id := range ids {
+		if c.adaptive.Boost(id) > 0 {
+			c.hot.record(id, keys[i])
+		}
+	}
 }
 
 // finishSpan closes out a request span from the request's results and
@@ -918,19 +1084,19 @@ func (c *Client) finishSpan(sp *obs.Span, out map[string]*Item, stats *Stats, er
 // failed transaction), which the caller feeds into the re-plan
 // exclusion set. Each transaction's round trip is stamped into sp
 // (when non-nil) under the given phase label and re-plan round.
-func (c *Client) fanout(txns []core.Transaction, keyOf map[uint64]string, out map[string]*Item, sp *obs.Span, phase string, round int) (failed []int) {
+func (c *Client) fanout(t *tier, txns []core.Transaction, keyOf map[uint64]string, out map[string]*Item, sp *obs.Span, phase string, round int) (failed []int) {
 	if len(txns) == 0 {
 		return nil
 	}
 	if len(txns) == 1 {
 		start := time.Now()
-		items, err := c.execTxn(&txns[0], keyOf)
-		c.stampRTT(sp, &txns[0], phase, round, start, err)
+		items, err := c.execTxn(t, &txns[0], keyOf)
+		c.stampRTT(t, sp, &txns[0], phase, round, start, err)
 		if err != nil {
-			c.markDown(txns[0].Server)
+			c.markDown(t, txns[0].Server)
 			return []int{txns[0].Server}
 		}
-		c.markUp(txns[0].Server)
+		c.markUp(t, txns[0].Server)
 		mergeItems(out, items)
 		return nil
 	}
@@ -943,16 +1109,16 @@ func (c *Client) fanout(txns []core.Transaction, keyOf map[uint64]string, out ma
 		go func(txn *core.Transaction) {
 			defer wg.Done()
 			start := time.Now()
-			items, err := c.execTxn(txn, keyOf)
+			items, err := c.execTxn(t, txn, keyOf)
 			mu.Lock()
 			defer mu.Unlock()
-			c.stampRTT(sp, txn, phase, round, start, err)
+			c.stampRTT(t, sp, txn, phase, round, start, err)
 			if err != nil {
-				c.markDown(txn.Server)
+				c.markDown(t, txn.Server)
 				failed = append(failed, txn.Server)
 				return
 			}
-			c.markUp(txn.Server)
+			c.markUp(t, txn.Server)
 			mergeItems(out, items)
 		}(&txns[i])
 	}
@@ -962,13 +1128,13 @@ func (c *Client) fanout(txns []core.Transaction, keyOf map[uint64]string, out ma
 
 // stampRTT appends one fan-out round trip to the span. The caller must
 // ensure exclusive access to sp (fanout stamps under its merge mutex).
-func (c *Client) stampRTT(sp *obs.Span, txn *core.Transaction, phase string, round int, start time.Time, err error) {
+func (c *Client) stampRTT(t *tier, sp *obs.Span, txn *core.Transaction, phase string, round int, start time.Time, err error) {
 	if sp == nil {
 		return
 	}
 	rtt := obs.TxnRTT{
 		Server: txn.Server,
-		Addr:   c.conns[txn.Server].Addr(),
+		Addr:   t.slots[txn.Server].addr,
 		Keys:   len(txn.Primary) + len(txn.Hitchhikers),
 		Phase:  phase,
 		Round:  round,
@@ -1006,7 +1172,7 @@ func jitteredBackoff(base time.Duration, round int) time.Duration {
 }
 
 // execTxn issues one planned transaction as a single multi-get.
-func (c *Client) execTxn(txn *core.Transaction, keyOf map[uint64]string) (map[string]*Item, error) {
+func (c *Client) execTxn(t *tier, txn *core.Transaction, keyOf map[uint64]string) (map[string]*Item, error) {
 	reqKeys := make([]string, 0, len(txn.Primary)+len(txn.Hitchhikers))
 	for _, id := range txn.Primary {
 		reqKeys = append(reqKeys, keyOf[id])
@@ -1014,9 +1180,14 @@ func (c *Client) execTxn(txn *core.Transaction, keyOf map[uint64]string) (map[st
 	for _, id := range txn.Hitchhikers {
 		reqKeys = append(reqKeys, keyOf[id])
 	}
-	items, err := c.conns[txn.Server].GetMulti(reqKeys)
+	var items map[string]*Item
+	err := t.slots[txn.Server].do(func(conn memcache.Conn) error {
+		var err error
+		items, err = conn.GetMulti(reqKeys)
+		return err
+	})
 	if err != nil {
-		return nil, fmt.Errorf("rnb: multi-get on %s: %w", c.conns[txn.Server].Addr(), err)
+		return nil, fmt.Errorf("rnb: multi-get on %s: %w", t.slots[txn.Server].addr, err)
 	}
 	return items, nil
 }
@@ -1067,24 +1238,27 @@ func (c *Client) getMulti(keys []string, target int) (out map[string]*Item, stat
 		sp.BreakerTrips = int(c.resilience.BreakerOpened.Load() - trips0)
 		c.finishSpan(sp, out, &stats, err)
 	}()
+	// One immutable routing snapshot for the whole request: placement,
+	// planner, and slots cannot change underneath it even if the tier
+	// resizes mid-flight (the superset invariant keeps any server this
+	// snapshot names reachable for the transition window).
+	t := c.cur.Load()
 	ids, keyOf, err := c.keyIDs(keys)
 	if err != nil {
 		return nil, stats, err
 	}
 	// Heat tracking sees every multi-get key; the epoch controller may
 	// rotate the heat table here, before this request is planned.
-	if c.adaptive != nil {
-		c.adaptive.Observe(ids)
-	}
+	c.observeHeat(ids, keys)
 	// Give any half-open server its probe shot before planning.
-	c.probeHalfOpen()
+	c.probeHalfOpen(t)
 	// Plan around servers whose breaker is open or half-open.
 	var avoid func(int) bool
 	if c.cfg.cooldown > 0 {
-		avoid = c.isDown
+		avoid = t.isDown
 	}
 	planStart := time.Now()
-	plan, err := c.planner.BuildAvoiding(ids, target, avoid)
+	plan, err := t.planner.BuildAvoiding(ids, target, avoid)
 	sp.PlanNS = int64(time.Since(planStart))
 	if err != nil {
 		return nil, stats, err
@@ -1100,7 +1274,7 @@ func (c *Client) getMulti(keys []string, target int) (out map[string]*Item, stat
 	}
 	stats.Transactions += len(plan.Transactions)
 	fanStart := time.Now()
-	failedSrvs := c.fanout(plan.Transactions, keyOf, out, sp, "fanout", 0)
+	failedSrvs := c.fanout(t, plan.Transactions, keyOf, out, sp, "fanout", 0)
 	stats.Failed += len(failedSrvs)
 
 	// Re-plan rounds: re-cover the still-missing planned keys over the
@@ -1129,7 +1303,7 @@ func (c *Client) getMulti(keys []string, target int) (out map[string]*Item, stat
 		if attempt > 0 {
 			time.Sleep(jitteredBackoff(c.cfg.retryBackoff, attempt-1))
 		}
-		replan, err := c.planner.BuildExcluding(missIDs, 0, excluded, avoid)
+		replan, err := t.planner.BuildExcluding(missIDs, 0, excluded, avoid)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -1141,7 +1315,7 @@ func (c *Client) getMulti(keys []string, target int) (out map[string]*Item, stat
 		stats.Transactions += len(replan.Transactions)
 		stats.Retries += len(replan.Transactions)
 		c.resilience.RetryTransactions.Add(uint64(len(replan.Transactions)))
-		failedSrvs = c.fanout(replan.Transactions, keyOf, out, sp, "replan", attempt+1)
+		failedSrvs = c.fanout(t, replan.Transactions, keyOf, out, sp, "replan", attempt+1)
 		stats.Failed += len(failedSrvs)
 	}
 	sp.FanoutNS = int64(time.Since(fanStart))
@@ -1185,16 +1359,21 @@ func (c *Client) getMulti(keys []string, target int) (out map[string]*Item, stat
 		stats.Transactions++
 		stats.Round2++
 		txnStart := time.Now()
-		items, err := c.conns[txn.Server].GetMulti(reqKeys)
-		c.stampRTT(sp, &txn, "round2", 0, txnStart, err)
+		var items map[string]*Item
+		err := t.slots[txn.Server].do(func(conn memcache.Conn) error {
+			var err error
+			items, err = conn.GetMulti(reqKeys)
+			return err
+		})
+		c.stampRTT(t, sp, &txn, "round2", 0, txnStart, err)
 		if err != nil {
 			// Quarantine and degrade: these items fall to the loader or
 			// come back absent.
-			c.markDown(txn.Server)
+			c.markDown(t, txn.Server)
 			stats.Failed++
 			continue
 		}
-		c.markUp(txn.Server)
+		c.markUp(t, txn.Server)
 		for k, it := range items {
 			out[k] = it
 			// Write-back: repopulate the replica the planner assigned.
@@ -1202,8 +1381,10 @@ func (c *Client) getMulti(keys []string, target int) (out map[string]*Item, stat
 			// failure.
 			if c.cfg.writeBack {
 				if s, ok := missAssigned[keyID(k)]; ok && s != txn.Server && !avoidsServer(avoidNow, s) {
-					if err := c.conns[s].Set(it); err != nil && !errors.Is(err, memcache.ErrNotStored) {
-						c.markDown(s)
+					it := it
+					err := t.slots[s].do(func(conn memcache.Conn) error { return conn.Set(it) })
+					if err != nil && !errors.Is(err, memcache.ErrNotStored) {
+						c.markDown(t, s)
 					}
 				}
 			}
