@@ -9,6 +9,7 @@ import (
 
 	"rnb/internal/core"
 	"rnb/internal/hashring"
+	"rnb/internal/hotspot"
 	"rnb/internal/memcache"
 	"rnb/internal/metrics"
 	"rnb/internal/topology"
@@ -93,6 +94,12 @@ type tier struct {
 	// target layout. Writes pin its distinguished copies during a
 	// transition so the never-miss guarantee survives the cutover.
 	newest hashring.Placement
+	// adaptive is the snapshot's bound view of the hot-key controller
+	// (nil when adaptive replication is off). It shares the client-wide
+	// heat table but is fixed to this tier's baseline, so its replica
+	// indices never escape this tier's slot table even after newer
+	// epochs grow the server space.
+	adaptive *hotspot.Bound
 	// planner bundles multi-gets against placement.
 	planner *core.Planner
 	// slots is the index-stable slot table (shared pointers, private
@@ -331,9 +338,14 @@ func (c *Client) rebuildLocked() {
 		base = union
 	}
 	placement := base
+	var bound *hotspot.Bound
 	if c.adaptive != nil {
-		c.adaptive.SetBase(base)
-		placement = c.adaptive
+		// Each tier binds the shared controller to its own baseline:
+		// heat flows through, but this snapshot's replica indices are
+		// fixed to its slot table forever (older snapshots must not see
+		// indices a later epoch allocated).
+		bound = c.adaptive.Bind(base)
+		placement = bound
 	}
 	t := &tier{
 		epoch:     c.machine.Epoch(),
@@ -341,6 +353,7 @@ func (c *Client) rebuildLocked() {
 		placement: placement,
 		union:     union,
 		newest:    c.epochs[len(c.epochs)-1].plc,
+		adaptive:  bound,
 		planner: core.NewPlanner(placement, core.Options{
 			Hitchhike:            c.cfg.hitchhike,
 			DistinguishedSingles: true,
@@ -380,26 +393,45 @@ func (c *Client) AddServer(addr string) error {
 		c.topoMu.Unlock()
 		return errors.New("rnb: client is closed")
 	}
-	if _, err := c.machine.Join(addr); err != nil {
+	// Refuse live members before dialing (Join would refuse them too,
+	// but failing fast keeps the no-op error path free of network I/O).
+	if mem, ok := c.machine.View().Find(addr); ok && mem.State != topology.StateGone {
 		c.topoMu.Unlock()
-		return err
+		return fmt.Errorf("rnb: add %s: server is already %s", addr, mem.State)
 	}
+	// Dial before any bookkeeping: a refused connection — the common
+	// failure — must leave the machine and ring exactly as they were. A
+	// rollback that burned a fresh index in one allocator but not the
+	// other would desync machine indices from ring/slot indices for
+	// every later join.
 	conn, err := c.dial(addr)
 	if err != nil {
-		// Roll the member back out (joining -> draining -> gone keeps
-		// the state machine's bookkeeping consistent with "never was").
-		c.machine.Drain(addr)
-		c.machine.Finish(addr)
 		c.topoMu.Unlock()
 		return fmt.Errorf("rnb: add %s: %w", addr, err)
+	}
+	if _, err := c.machine.Join(addr); err != nil {
+		conn.Close()
+		c.topoMu.Unlock()
+		return err
 	}
 	idx, err := c.master.AddServer(addr)
 	if err != nil {
 		conn.Close()
-		c.machine.Drain(addr)
-		c.machine.Finish(addr)
+		// Abort (not Drain+Finish) restores the machine exactly: a
+		// member this Join created is removed outright, so its index is
+		// not burned while the ring never grew.
+		c.machine.Abort(addr)
 		c.topoMu.Unlock()
 		return fmt.Errorf("rnb: add %s: %w", addr, err)
+	}
+	if mem, ok := c.machine.View().Find(addr); !ok || mem.Index != idx {
+		// Can't happen: both allocators append (and revive) in lockstep.
+		// Refuse to publish a tier whose slot table would be misindexed.
+		conn.Close()
+		c.master.RemoveServer(addr)
+		c.machine.Abort(addr)
+		c.topoMu.Unlock()
+		return fmt.Errorf("rnb: add %s: machine/ring index mismatch", addr)
 	}
 	s := &slot{addr: addr, conn: conn, breaker: newBreaker(c.cfg.breakerThreshold, c.cfg.cooldown, c.onBreaker)}
 	if idx < len(c.slots) {
@@ -453,7 +485,11 @@ func (c *Client) RemoveServer(addr string) error {
 		c.topoMu.Unlock()
 		return fmt.Errorf("rnb: remove %s: not a live member", addr)
 	}
-	if len(v.Live()) <= 1 {
+	// Draining members are still readable but already leaving — they
+	// must not count toward "someone will still be here". Counting them
+	// would let a 2-server tier drain both members back to back and
+	// retire to an empty ring.
+	if v.Count(topology.StateActive)+v.Count(topology.StateJoining) <= 1 {
 		c.topoMu.Unlock()
 		return fmt.Errorf("rnb: remove %s: cannot remove the last server", addr)
 	}

@@ -105,12 +105,11 @@ type heatTable struct {
 // set; the surplus physical copies go cold and the server LRUs evict
 // them.
 type AdaptivePlacement struct {
-	// base is swapped atomically when the tier resizes (the topology
-	// layer replaces the baseline with a per-epoch union placement).
-	// atomic.Pointer rather than atomic.Value: the stored concrete
-	// types differ across swaps (RCHPlacement, *topology.Union), which
-	// atomic.Value forbids.
-	base     atomic.Pointer[hashring.Placement]
+	// base is the construction-time baseline. It never changes; a tier
+	// that resizes binds the controller to each snapshot's own baseline
+	// with Bind instead of mutating this one, so placements already
+	// captured by in-flight requests stay frozen.
+	base     hashring.Placement
 	cfg      Config
 	tracker  *Tracker
 	counters *metrics.Hotspot
@@ -131,26 +130,63 @@ func NewAdaptive(base hashring.Placement, cfg Config, counters *metrics.Hotspot)
 	}
 	perShardTopK := cfg.MaxHotKeys/cfg.Shards + 8
 	a := &AdaptivePlacement{
+		base:     base,
 		cfg:      cfg,
 		tracker:  NewTracker(cfg.Shards, cfg.SketchWidth, cfg.SketchDepth, perShardTopK, cfg.Seed),
 		counters: counters,
 		cold:     make(map[uint64]int),
 	}
-	a.base.Store(&base)
 	a.heat.Store(&heatTable{boost: map[uint64]int{}})
 	return a
 }
 
 // Base returns the wrapped placement.
-func (a *AdaptivePlacement) Base() hashring.Placement { return *a.base.Load() }
+func (a *AdaptivePlacement) Base() hashring.Placement { return a.base }
 
-// SetBase atomically replaces the wrapped placement. Concurrent reads
-// see either the old or the new baseline in full — never a mix within
-// one Replicas call. The caller (the topology layer) is responsible
-// for the superset invariant: during a membership transition the new
-// base must be a union that still contains every replica the old base
-// could have advertised.
-func (a *AdaptivePlacement) SetBase(base hashring.Placement) { a.base.Store(&base) }
+// Bound is an immutable-base view of an AdaptivePlacement: the same
+// heat table, tracker, and boost walk, but over a fixed baseline
+// placement supplied at Bind time instead of the controller's own.
+//
+// The dynamic topology layer publishes one Bound per tier snapshot.
+// Sharing one mutable AdaptivePlacement across tiers would let a
+// membership change swap the base under a snapshot already loaded by
+// an in-flight request — the new base can name server indices the old
+// snapshot's slot table has never heard of. A Bound's replica sets are
+// confined to its own base's server space for its whole life, so a
+// tier snapshot really is immutable, while promotions and demotions
+// (which only add or shed boosted replicas inside that space) still
+// flow through from the shared heat table.
+type Bound struct {
+	a    *AdaptivePlacement
+	base hashring.Placement
+}
+
+// Bind returns a view of the controller over the given fixed base.
+func (a *AdaptivePlacement) Bind(base hashring.Placement) *Bound {
+	return &Bound{a: a, base: base}
+}
+
+// Base returns the bound baseline placement.
+func (b *Bound) Base() hashring.Placement { return b.base }
+
+// NumServers implements hashring.Placement.
+func (b *Bound) NumServers() int { return b.base.NumServers() }
+
+// NumReplicas implements hashring.Placement.
+func (b *Bound) NumReplicas() int { return b.base.NumReplicas() }
+
+// Replicas implements hashring.Placement over the bound base; see
+// AdaptivePlacement.Replicas.
+func (b *Bound) Replicas(item uint64, buf []int) []int {
+	return b.a.boostWalk(b.base, item, b.base.Replicas(item, buf), b.a.heat.Load().boost[item])
+}
+
+// MaxReplicas is AdaptivePlacement.MaxReplicas over the bound base.
+func (b *Bound) MaxReplicas(item uint64, buf []int) []int {
+	return b.a.boostWalk(b.base, item, b.base.Replicas(item, buf), b.a.cfg.MaxBoost)
+}
+
+var _ hashring.Placement = (*Bound)(nil)
 
 // Counters returns the controller's metrics.
 func (a *AdaptivePlacement) Counters() *metrics.Hotspot { return a.counters }
@@ -173,25 +209,20 @@ func (a *AdaptivePlacement) HotKeyCount() int {
 	return len(a.heat.Load().boost)
 }
 
-// Replicas implements hashring.Placement. The returned slice is the
-// baseline replica set (same order, distinguished copy first) followed
-// by the item's boosted replicas, all distinct, capped at the server
-// count.
-func (a *AdaptivePlacement) Replicas(item uint64, buf []int) []int {
-	base := a.Base() // one load: base set and server count must agree
-	out := base.Replicas(item, buf)
-	boost := a.heat.Load().boost[item]
-	if boost == 0 {
+// boostWalk extends a baseline replica set with up to extra boosted
+// replicas drawn from base's server space: a deterministic
+// pseudo-random walk, skipping servers already in the set, bailing out
+// to a linear scan if the hash walk stalls (possible only when the
+// target is close to the server count).
+func (a *AdaptivePlacement) boostWalk(base hashring.Placement, item uint64, out []int, extra int) []int {
+	if extra == 0 {
 		return out
 	}
 	n := base.NumServers()
-	want := len(out) + boost
+	want := len(out) + extra
 	if want > n {
 		want = n
 	}
-	// Deterministic pseudo-random walk, skipping servers already in the
-	// set; bail out to a linear scan if the hash walk stalls (possible
-	// only when want is close to n).
 	for i := uint64(0); len(out) < want && i < uint64(8*n+16); i++ {
 		s := int(xhash.Seeded(a.cfg.Seed+boostSalt+i, item) % uint64(n))
 		if !containsServer(out, s) {
@@ -206,6 +237,14 @@ func (a *AdaptivePlacement) Replicas(item uint64, buf []int) []int {
 	return out
 }
 
+// Replicas implements hashring.Placement. The returned slice is the
+// baseline replica set (same order, distinguished copy first) followed
+// by the item's boosted replicas, all distinct, capped at the server
+// count.
+func (a *AdaptivePlacement) Replicas(item uint64, buf []int) []int {
+	return a.boostWalk(a.base, item, a.base.Replicas(item, buf), a.heat.Load().boost[item])
+}
+
 // MaxReplicas returns the item's replica set at maximum boost,
 // regardless of its current heat. Because the boosted-replica walk is
 // deterministic and level L's servers are a prefix of level L+1's,
@@ -214,25 +253,7 @@ func (a *AdaptivePlacement) Replicas(item uint64, buf []int) []int {
 // so a demoted-then-repromoted key can never resurface old data from a
 // lingering boosted copy.
 func (a *AdaptivePlacement) MaxReplicas(item uint64, buf []int) []int {
-	base := a.Base()
-	out := base.Replicas(item, buf)
-	n := base.NumServers()
-	want := len(out) + a.cfg.MaxBoost
-	if want > n {
-		want = n
-	}
-	for i := uint64(0); len(out) < want && i < uint64(8*n+16); i++ {
-		s := int(xhash.Seeded(a.cfg.Seed+boostSalt+i, item) % uint64(n))
-		if !containsServer(out, s) {
-			out = append(out, s)
-		}
-	}
-	for s := 0; len(out) < want && s < n; s++ {
-		if !containsServer(out, s) {
-			out = append(out, s)
-		}
-	}
-	return out
+	return a.boostWalk(a.base, item, a.base.Replicas(item, buf), a.cfg.MaxBoost)
 }
 
 func containsServer(set []int, s int) bool {

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"os"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -82,9 +83,10 @@ type Watcher struct {
 	onChange func([]string)
 	onError  func(error)
 
-	reload chan struct{}
-	stop   chan struct{}
-	done   chan struct{}
+	reload   chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
 }
 
 // WatchConfig parameterizes a Watcher.
@@ -132,14 +134,10 @@ func (w *Watcher) Reload() {
 	}
 }
 
-// Close stops the watcher and waits for its goroutine to exit.
+// Close stops the watcher and waits for its goroutine to exit. Safe
+// for concurrent and repeated calls.
 func (w *Watcher) Close() {
-	select {
-	case <-w.stop:
-		return // already closed
-	default:
-	}
-	close(w.stop)
+	w.stopOnce.Do(func() { close(w.stop) })
 	<-w.done
 }
 

@@ -1,0 +1,37 @@
+package topology
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWatcherCloseConcurrent pins down the double-close hazard: any
+// number of goroutines may race Close (SIGHUP handler teardown vs
+// main-path shutdown), and every call must return cleanly after the
+// watcher goroutine exits.
+func TestWatcherCloseConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "servers.conf")
+	if err := os.WriteFile(path, []byte("a:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Watch(path, WatchConfig{
+		Interval: 10 * time.Millisecond,
+		OnChange: func([]string) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Close()
+		}()
+	}
+	wg.Wait()
+	w.Close() // repeated close after the fact must be a no-op too
+}

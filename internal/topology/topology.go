@@ -118,6 +118,11 @@ type Machine struct {
 	epoch   uint64
 	members []Member
 	index   map[string]int
+	// fresh marks joining members whose index was allocated by their
+	// current Join (as opposed to revived from a previous life). Only
+	// such members may be popped by Abort — a revived member's index is
+	// already committed in the caller's other index-keyed structures.
+	fresh map[string]bool
 }
 
 // NewMachine builds a machine whose initial members are all active.
@@ -128,7 +133,7 @@ func NewMachine(addrs []string) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{epoch: 1, index: make(map[string]int, len(clean))}
+	m := &Machine{epoch: 1, index: make(map[string]int, len(clean)), fresh: make(map[string]bool)}
 	for i, addr := range clean {
 		m.members = append(m.members, Member{Addr: addr, Index: i, State: StateActive})
 		m.index[addr] = i
@@ -177,6 +182,42 @@ func (m *Machine) Join(addr string) (View, error) {
 	i := len(m.members)
 	m.members = append(m.members, Member{Addr: addr, Index: i, State: StateJoining})
 	m.index[addr] = i
+	m.fresh[addr] = true
+	m.epoch++
+	return m.viewLocked(), nil
+}
+
+// Abort rolls back a Join whose caller failed to allocate the rest of
+// the member's resources (connection, ring entry). The member must
+// still be joining. A member created by that Join is removed outright,
+// freeing its index for the next newcomer; a revived member is parked
+// back to gone, keeping its index (which is still committed in the
+// caller's index-keyed structures from its previous life). Unlike
+// Drain+Finish, Abort restores the machine exactly to its pre-Join
+// state, so an index allocator walking in lockstep with the machine —
+// the hash ring — cannot drift when a join fails partway.
+//
+// Callers must not interleave Join/Abort pairs for different
+// addresses: a fresh joining member is only popped while it is the
+// newest allocation (the client serializes membership changes, so it
+// always is).
+func (m *Machine) Abort(addr string) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i, ok := m.index[addr]
+	if !ok {
+		return View{}, fmt.Errorf("topology: unknown server %q", addr)
+	}
+	if st := m.members[i].State; st != StateJoining {
+		return View{}, fmt.Errorf("topology: server %q is %s, cannot abort join", addr, st)
+	}
+	if m.fresh[addr] && i == len(m.members)-1 {
+		m.members = m.members[:i]
+		delete(m.index, addr)
+	} else {
+		m.members[i].State = StateGone
+	}
+	delete(m.fresh, addr)
 	m.epoch++
 	return m.viewLocked(), nil
 }
@@ -213,6 +254,10 @@ func (m *Machine) transition(addr string, to State, from ...State) (View, error)
 	for _, f := range from {
 		if cur == f {
 			m.members[i].State = to
+			// Any transition out of joining commits the member's index
+			// for good (the caller's ring and slot table now carry it);
+			// a later rejoin-and-abort must park it, never pop it.
+			delete(m.fresh, addr)
 			m.epoch++
 			return m.viewLocked(), nil
 		}

@@ -249,9 +249,11 @@ type Client struct {
 	// single-connection transport is in use).
 	poolGauges *metrics.PoolGauges
 	failures   atomicUint64
-	// adaptive is non-nil when WithAdaptiveReplication is on; it is
-	// the tier placements' outermost wrapper, kept typed for the
-	// observe hook and the base swap on membership changes.
+	// adaptive is non-nil when WithAdaptiveReplication is on: the
+	// shared hot-key controller (tracker, heat table). Each tier
+	// snapshot binds it to that snapshot's own baseline placement
+	// (hotspot.Bound), so no tier's replica space mutates after
+	// publication.
 	adaptive   *hotspot.AdaptivePlacement
 	resilience metrics.Resilience
 	hotspot    metrics.Hotspot
@@ -548,13 +550,14 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 			breaker: newBreaker(cfg.breakerThreshold, cfg.cooldown, c.onBreaker),
 		})
 	}
-	if cfg.adaptive != nil {
-		// The base is a placeholder until the first rebuild swaps in
-		// the epoch placement.
-		c.adaptive = hotspot.NewAdaptive(hashring.NewRCHPlacement(c.master, cfg.replicas), *cfg.adaptive, &c.hotspot)
-	}
 	clone := c.master.Clone()
 	c.epochs = []*epochSnap{{ring: clone, plc: hashring.NewRCHPlacement(clone, cfg.replicas)}}
+	if cfg.adaptive != nil {
+		// The controller's own base is only the construction-time
+		// default; every tier snapshot binds the controller to its own
+		// epoch placement (see rebuildLocked).
+		c.adaptive = hotspot.NewAdaptive(c.epochs[0].plc, *cfg.adaptive, &c.hotspot)
+	}
 	c.rebuildLocked()
 	return c, nil
 }
@@ -646,8 +649,8 @@ func keyID(key string) uint64 { return xhash.String(key) }
 // adaptive base is the epoch union, so this covers every windowed
 // layout too.
 func (c *Client) invalidationServers(t *tier, key string) []int {
-	if c.adaptive != nil {
-		return c.adaptive.MaxReplicas(keyID(key), nil)
+	if t.adaptive != nil {
+		return t.adaptive.MaxReplicas(keyID(key), nil)
 	}
 	return t.replicas(key)
 }
@@ -708,8 +711,8 @@ func (c *Client) Set(it *Item) error {
 	// deterministic, so the same server rejoins the set when the key
 	// re-heats and the stale copy would shadow this Set. Clear the rest
 	// of the max-boost set, mirroring Update's invalidation.
-	if c.adaptive != nil {
-		for _, s := range c.adaptive.MaxReplicas(keyID(it.Key), nil) {
+	if t.adaptive != nil {
+		for _, s := range t.adaptive.MaxReplicas(keyID(it.Key), nil) {
 			if containsServer(replicas, s) {
 				continue
 			}

@@ -1,6 +1,7 @@
 package rnb
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -266,6 +267,144 @@ func TestSetServersDiffsMembership(t *testing.T) {
 	items, _, err := cl.GetMulti(ks)
 	if err != nil || len(items) != len(ks) {
 		t.Fatalf("read after reload: %d/%d items, err %v", len(items), len(ks), err)
+	}
+}
+
+// TestAddServerDialFailureLeavesIndexesAligned pins down the rollback
+// hazard of a failed join: dialing a dead address must leave zero
+// trace in the membership machine, and — the part that used to break —
+// the next successful add must land the machine, ring, and slot table
+// on the same index. A burned machine index with no matching ring/slot
+// growth would make every later membership change address the wrong
+// server.
+func TestAddServerDialFailureLeavesIndexesAligned(t *testing.T) {
+	leakcheck.Check(t)
+	addrs, _ := startServers(t, 3, 0)
+	cl, err := NewClient(addrs[:2], elasticOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	ks := keys(40)
+	seedKeys(t, cl, ks)
+
+	// Port 1 on loopback: connection refused, immediately.
+	const dead = "127.0.0.1:1"
+	if err := cl.AddServer(dead); err == nil {
+		t.Fatalf("AddServer(%s) succeeded against a dead port", dead)
+	}
+	if _, ok := cl.View().Find(dead); ok {
+		t.Fatalf("failed add left a member behind: %v", cl.View())
+	}
+
+	if err := cl.AddServer(addrs[2]); err != nil {
+		t.Fatalf("AddServer after failed add: %v", err)
+	}
+	mem, ok := cl.View().Find(addrs[2])
+	if !ok {
+		t.Fatalf("added member missing from view %v", cl.View())
+	}
+	tr := cl.cur.Load()
+	if mem.Index >= len(tr.slots) || tr.slots[mem.Index].addr != addrs[2] {
+		t.Fatalf("machine index %d does not address the new server's slot (slots %d)",
+			mem.Index, len(tr.slots))
+	}
+	// Removing through that index must drain the server we just added,
+	// not a bystander, and the tier must keep serving whole reads.
+	if err := cl.RemoveServer(addrs[2]); err != nil {
+		t.Fatalf("RemoveServer: %v", err)
+	}
+	if !cl.WaitSettled(10 * time.Second) {
+		t.Fatalf("drain never settled; view %v", cl.View())
+	}
+	items, _, err := cl.GetMulti(ks)
+	if err != nil || len(items) != len(ks) {
+		t.Fatalf("read after add/remove cycle: %d/%d items, err %v", len(items), len(ks), err)
+	}
+}
+
+// TestRemoveServerKeepsOneNonDraining pins down the last-server guard:
+// on a 2-server tier, removing the second server while the first is
+// still draining must be refused — draining members are leaving and
+// cannot count as the tier's survivor. (Counting them used to let both
+// drains through, retiring to an empty ring and panicking every read.)
+func TestRemoveServerKeepsOneNonDraining(t *testing.T) {
+	leakcheck.Check(t)
+	addrs, _ := startServers(t, 2, 0)
+	cl, err := NewClient(addrs, elasticOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	ks := keys(30)
+	seedKeys(t, cl, ks)
+
+	if err := cl.RemoveServer(addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RemoveServer(addrs[1]); err == nil {
+		t.Fatal("removed the last non-draining server")
+	}
+	if !cl.WaitSettled(10 * time.Second) {
+		t.Fatalf("drain never settled; view %v", cl.View())
+	}
+	items, _, err := cl.GetMulti(ks)
+	if err != nil || len(items) != len(ks) {
+		t.Fatalf("read after drain: %d/%d items, err %v", len(items), len(ks), err)
+	}
+}
+
+// TestTierSnapshotFrozenAcrossResize pins down the snapshot-immutability
+// contract with adaptive replication on: a tier captured before a
+// resize must keep resolving replicas inside its own slot table even
+// after newer epochs grow the server space and the heat table promotes
+// keys. (A shared adaptive wrapper whose base was swapped in place used
+// to leak new-epoch indices into old snapshots, indexing past their
+// slot tables.)
+func TestTierSnapshotFrozenAcrossResize(t *testing.T) {
+	leakcheck.Check(t)
+	addrs, _ := startServers(t, 6, 0)
+	cl, err := NewClient(addrs[:3], elasticOpts(
+		WithAdaptiveReplication(AdaptiveConfig{MaxBoost: 2, PromoteFrac: 0.05, EpochOps: 100}),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	old := cl.cur.Load()
+	nSlots := len(old.slots)
+
+	// Grow the tier past the old snapshot's slot table...
+	for _, addr := range addrs[3:] {
+		if err := cl.AddServer(addr); err != nil {
+			t.Fatalf("AddServer(%s): %v", addr, err)
+		}
+	}
+	// ...and promote a hot key so the boosted-replica walk runs too.
+	hotID := keyID("celebrity:frozen:profile")
+	for i := 0; i < 1000; i++ {
+		cl.adaptive.ObserveOne(hotID)
+	}
+	cl.adaptive.ForceEpoch()
+	if cl.adaptive.Boost(hotID) == 0 {
+		t.Fatalf("hot key never promoted: %v", cl.Hotspot().Snapshot())
+	}
+
+	check := func(what string, set []int) {
+		t.Helper()
+		for _, s := range set {
+			if s < 0 || s >= nSlots {
+				t.Fatalf("%s produced index %d outside the snapshot's %d slots: %v",
+					what, s, nSlots, set)
+			}
+		}
+	}
+	check("placement (hot key)", old.placement.Replicas(hotID, nil))
+	check("invalidation (hot key)", old.adaptive.MaxReplicas(hotID, nil))
+	for i := 0; i < 2000; i++ {
+		id := keyID(fmt.Sprintf("frozen:%05d", i))
+		check("placement", old.placement.Replicas(id, nil))
 	}
 }
 
