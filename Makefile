@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint fix-check test race chaos chaos-resize obs-smoke ci bench-skew bench-pool bench-topology
+.PHONY: build vet lint fix-check test race chaos chaos-resize obs-smoke smoke-placement ci bench-skew bench-pool bench-topology bench-placement
 
 build:
 	$(GO) build ./...
@@ -47,7 +47,15 @@ chaos-resize:
 obs-smoke:
 	./scripts/obs_smoke.sh
 
-ci: build vet lint fix-check race chaos chaos-resize obs-smoke
+# Placement smoke: a small-parameter run of the placement experiment
+# (CBC vs random vs adaptive under adversarial traffic) plus the
+# property tests behind it — the construction's <= t guarantee, the
+# balanced-assignment solver, and the adversarial generator.
+smoke-placement:
+	$(GO) run ./cmd/rnbbench -requests 400 -warmup 400 -scale 40 placement
+	$(GO) test -run 'CBC|Balanced|Adversarial' ./internal/cbc ./internal/core ./internal/workload
+
+ci: build vet lint fix-check race chaos chaos-resize obs-smoke smoke-placement
 	# Transport smoke: a tiny pooled-vs-single sweep proving the pool
 	# mode still runs end to end (full sweep lives in bench-pool).
 	$(GO) run ./cmd/rnbbench -ops 60 pool
@@ -63,6 +71,13 @@ bench-skew:
 # BENCH_pool.json.
 bench-pool:
 	$(GO) run ./cmd/rnbbench -json BENCH_pool.json pool
+
+# Placement benchmark: per-request bottleneck (keys at the busiest
+# server) for random replication vs adaptive boosting vs the
+# Combinatorial Batch Code placement, under Zipf and adversarial
+# traffic — machine-readable output in BENCH_placement.json.
+bench-placement:
+	$(GO) run ./cmd/rnbbench -json BENCH_placement.json placement
 
 # Resize benchmark: ring continuum vs jump consistent hash on a live
 # resize — key-movement fraction (add/remove) and post-resize load

@@ -10,11 +10,18 @@
 //	rnbbench two        # fig 14: two concurrent clients
 //	rnbbench -clients 4 # any client count
 //	rnbbench pool       # pooled vs single-connection transport sweep
+//	rnbbench placement  # placement-family bottleneck benchmark
 //
 // The "pool" mode exercises the client-side transport instead of the
 // server: it sweeps load-generator concurrency for the single-connection
 // and pooled/pipelined transports and reports multiget throughput for
 // each, optionally as JSON (-json) for BENCH_pool.json.
+//
+// The "placement" mode runs the placement-family comparison (random
+// replication vs adaptive boosting vs the Combinatorial Batch Code
+// placement, under Zipf and adversarial traffic; see internal/sim's
+// "placement" experiment) and reports the per-request bottleneck,
+// optionally as JSON (-json) for BENCH_placement.json.
 package main
 
 import (
@@ -37,12 +44,29 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		skew    = flag.Float64("skew", 0, "Zipf exponent for key selection (0 = uniform)")
 
-		jsonOut  = flag.String("json", "", "pool mode: also write the sweep as JSON to this file")
+		jsonOut  = flag.String("json", "", "pool/placement mode: also write the sweep as JSON to this file")
 		poolSize = flag.Int("pool-size", 4, "pool mode: connections per server for the pooled transport")
 		servers  = flag.Int("servers", 4, "pool mode: in-process backend count")
 		ops      = flag.Int("ops", 1200, "pool mode: multi-gets per sweep point")
+
+		requests = flag.Int("requests", 4000, "placement mode: measured requests per data point")
+		warmup   = flag.Int("warmup", 4000, "placement mode: warm-up requests per data point")
+		scale    = flag.Int("scale", 8, "placement mode: item-universe downscale factor")
 	)
 	flag.Parse()
+
+	if flag.Arg(0) == "placement" {
+		if *requests < 1 || *warmup < 0 || *scale < 1 {
+			fmt.Fprintln(os.Stderr, "rnbbench: placement needs -requests >= 1, -warmup >= 0, -scale >= 1")
+			os.Exit(2)
+		}
+		cfg := sim.Config{Seed: *seed, Scale: *scale, Requests: *requests, Warmup: *warmup, Skew: *skew}
+		if err := placementBench(*jsonOut, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "rnbbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if flag.Arg(0) == "pool" {
 		if *servers < 1 {
@@ -103,6 +127,29 @@ func main() {
 		model.Fixed*1e6, model.PerItem*1e6)
 	fmt.Printf("(simulator default: %.2f us/transaction + %.3f us/item)\n",
 		calibrate.DefaultModel.Fixed*1e6, calibrate.DefaultModel.PerItem*1e6)
+}
+
+// placementBench runs the placement-family experiment and records the
+// table as machine-readable JSON (e.g. `make bench-placement` producing
+// BENCH_placement.json).
+func placementBench(jsonOut string, cfg sim.Config) error {
+	table, err := sim.Run("placement", cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(textplot.Render(table))
+	if jsonOut == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(struct {
+		GeneratedBy string      `json:"generated_by"`
+		Config      sim.Config  `json:"config"`
+		Tables      []sim.Table `json:"tables"`
+	}{"rnbbench", cfg, []sim.Table{table}}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonOut, append(blob, '\n'), 0o644)
 }
 
 // poolSweep measures multiget throughput for the single-connection and

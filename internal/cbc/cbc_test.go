@@ -1,0 +1,215 @@
+package cbc_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"rnb/internal/cbc"
+	"rnb/internal/core"
+	"rnb/internal/hashring/placementtest"
+)
+
+func TestCBCPlacementContract(t *testing.T) {
+	for _, tc := range []struct{ servers, replicas, classes int }{
+		{6, 2, 15},    // exact: n = C(6,2)
+		{16, 3, 560},  // exact: n = C(16,3)
+		{16, 3, 4000}, // multiset: mult 8
+		{5, 2, 23},    // multiset, uneven
+		{4, 8, 50},    // replicas > servers: clamp
+		{40, 3, 2000}, // C(40,3) = 9880 > maxEnum: sampling path
+		{1, 1, 7},     // degenerate single server
+	} {
+		name := fmt.Sprintf("m%d_r%d_n%d", tc.servers, tc.replicas, tc.classes)
+		t.Run(name, func(t *testing.T) {
+			p := cbc.New(tc.servers, tc.replicas, tc.classes, 7)
+			items := tc.classes + 17 // wraps past the class universe too
+			placementtest.Run(t, p, items)
+		})
+	}
+}
+
+func TestCBCExactRangeDistinctSubsets(t *testing.T) {
+	// Within n <= C(m, r) every class must sit on a distinct subset —
+	// the property the worst-case bound flows from.
+	p := cbc.New(16, 3, 560, 3)
+	if !p.Exact() || p.Multiplicity() != 1 {
+		t.Fatalf("n = C(16,3) should be exact, got mult %d", p.Multiplicity())
+	}
+	seen := make(map[string]bool)
+	for class := 0; class < p.Classes(); class++ {
+		sig := append([]int(nil), p.Replicas(uint64(class), nil)...)
+		sort.Ints(sig)
+		key := fmt.Sprint(sig)
+		if seen[key] {
+			t.Fatalf("class %d reuses subset %v inside the exact range", class, sig)
+		}
+		seen[key] = true
+	}
+}
+
+func TestCBCMultiplicityBalanced(t *testing.T) {
+	// Beyond the exact range, no subset may be reused more than
+	// ceil(n / subsets) times — the bound Guarantee computes with.
+	p := cbc.New(6, 2, 40, 9) // C(6,2)=15, mult = ceil(40/15) = 3
+	if p.Exact() {
+		t.Fatal("n > C(6,2) cannot be exact")
+	}
+	counts := make(map[string]int)
+	for class := 0; class < p.Classes(); class++ {
+		sig := append([]int(nil), p.Replicas(uint64(class), nil)...)
+		sort.Ints(sig)
+		counts[fmt.Sprint(sig)]++
+	}
+	for sig, c := range counts {
+		if c > p.Multiplicity() {
+			t.Fatalf("subset %s used %d times, multiplicity bound %d", sig, c, p.Multiplicity())
+		}
+	}
+}
+
+func TestCBCServerAndDistinguishedBalance(t *testing.T) {
+	const servers, replicas, classes = 16, 3, 4000
+	p := cbc.New(servers, replicas, classes, 5)
+	slots := make([]int, servers)
+	dist := make([]int, servers)
+	var buf []int
+	for class := 0; class < classes; class++ {
+		buf = p.Replicas(uint64(class), buf)
+		dist[buf[0]]++
+		for _, s := range buf {
+			slots[s]++
+		}
+	}
+	slotMean := classes * replicas / servers
+	distMean := classes / servers
+	for s := 0; s < servers; s++ {
+		if slots[s] < slotMean*3/4 || slots[s] > slotMean*4/3 {
+			t.Errorf("server %d holds %d replica slots, mean %d", s, slots[s], slotMean)
+		}
+		if dist[s] < distMean*3/4 || dist[s] > distMean*4/3 {
+			t.Errorf("server %d pins %d distinguished copies, mean %d", s, dist[s], distMean)
+		}
+	}
+}
+
+func TestCBCDeterministicAndSeedVaries(t *testing.T) {
+	a := cbc.New(16, 3, 1000, 11)
+	b := cbc.New(16, 3, 1000, 11)
+	c := cbc.New(16, 3, 1000, 12)
+	same, diff := 0, 0
+	for class := 0; class < 1000; class++ {
+		x := fmt.Sprint(a.Replicas(uint64(class), nil))
+		if x != fmt.Sprint(b.Replicas(uint64(class), nil)) {
+			t.Fatalf("class %d: equal seeds disagree", class)
+		}
+		if x == fmt.Sprint(c.Replicas(uint64(class), nil)) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff < 500 {
+		t.Fatalf("only %d/1000 placements differ across seeds", diff)
+	}
+}
+
+// foreachSubset enumerates every k-subset of [0, n), calling fn with a
+// reused index slice.
+func foreachSubset(n, k int, fn func(idx []int)) {
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		fn(idx)
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// TestCBCGuaranteeExhaustive is the headline property test: for every
+// k-item request over small constructions — the full valid parameter
+// range is enumerable there — the optimal assignment (the planner's
+// HintBalanceLoad solver) must read at most Guarantee(k) items from
+// any one server. Covers the exact range (mult 1) and the multiset
+// fallback (mult > 1).
+func TestCBCGuaranteeExhaustive(t *testing.T) {
+	for _, tc := range []struct {
+		servers, replicas, classes, k int
+	}{
+		{6, 2, 15, 4}, // exact, t=1 regime: C(15,4) = 1365 requests
+		{6, 2, 15, 5}, // exact, t=2 regime: C(15,5) = 3003 requests
+		{5, 2, 10, 6}, // exact, saturated: every 2-subset of 5 in use
+		{5, 2, 20, 4}, // multiset mult 2: C(20,4) = 4845 requests
+		{4, 3, 4, 3},  // r close to m
+	} {
+		name := fmt.Sprintf("m%d_r%d_n%d_k%d", tc.servers, tc.replicas, tc.classes, tc.k)
+		t.Run(name, func(t *testing.T) {
+			p := cbc.New(tc.servers, tc.replicas, tc.classes, 1)
+			bound := p.Guarantee(tc.k)
+			replicas := make([][]int, tc.classes)
+			for class := 0; class < tc.classes; class++ {
+				replicas[class] = p.Replicas(uint64(class), nil)
+			}
+			cands := make([][]int, tc.k)
+			checked := 0
+			foreachSubset(tc.classes, tc.k, func(idx []int) {
+				for i, class := range idx {
+					cands[i] = replicas[class]
+				}
+				_, maxLoad := core.BalancedAssign(cands)
+				if maxLoad > bound {
+					t.Fatalf("request %v: optimal max load %d exceeds guarantee %d (%s)",
+						idx, maxLoad, bound, p)
+				}
+				checked++
+			})
+			t.Logf("%s: guarantee T(%d)=%d held over all %d requests", p, tc.k, bound, checked)
+		})
+	}
+}
+
+// TestCBCGuaranteeValues pins the closed-form bound on known cases.
+func TestCBCGuaranteeValues(t *testing.T) {
+	// Exact 2-uniform code over 6 servers: any 4 items are served with
+	// one read per server; a 5th can force a second read somewhere.
+	p := cbc.New(6, 2, 15, 1)
+	if got := p.Guarantee(4); got != 1 {
+		t.Errorf("Guarantee(4) = %d, want 1", got)
+	}
+	if got := p.Guarantee(5); got != 2 {
+		t.Errorf("Guarantee(5) = %d, want 2", got)
+	}
+	// Full replication degenerates to the ceil(k/m) floor.
+	full := cbc.New(4, 4, 10, 1)
+	if got := full.Guarantee(8); got != 2 {
+		t.Errorf("full replication Guarantee(8) = %d, want 2", got)
+	}
+	if got := p.Guarantee(0); got != 0 {
+		t.Errorf("Guarantee(0) = %d, want 0", got)
+	}
+}
+
+func TestCBCPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("servers<1", func() { cbc.New(0, 1, 10, 1) })
+	mustPanic("replicas<1", func() { cbc.New(4, 0, 10, 1) })
+	mustPanic("classes<1", func() { cbc.New(4, 2, 0, 1) })
+}

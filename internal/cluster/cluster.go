@@ -86,12 +86,13 @@ type Cluster struct {
 	planner   *core.Planner
 	observer  HeatObserver // non-nil when the placement tracks heat
 
-	mu      sync.Mutex
-	servers []*lru.Cache[uint64, struct{}]
-	down    []bool
-	nDown   int
-	tally   metrics.Tally
-	loads   []uint64 // per-server transactions served (round 1 + round 2)
+	mu        sync.Mutex
+	servers   []*lru.Cache[uint64, struct{}]
+	down      []bool
+	nDown     int
+	tally     metrics.Tally
+	loads     []uint64 // per-server transactions served (round 1 + round 2)
+	itemLoads []uint64 // per-server items carried by those transactions
 }
 
 // New builds and populates a cluster.
@@ -132,6 +133,7 @@ func New(cfg Config) (*Cluster, error) {
 		servers:   make([]*lru.Cache[uint64, struct{}], cfg.Servers),
 		down:      make([]bool, cfg.Servers),
 		loads:     make([]uint64, cfg.Servers),
+		itemLoads: make([]uint64, cfg.Servers),
 	}
 	if obs, ok := placement.(HeatObserver); ok {
 		c.observer = obs
@@ -179,6 +181,7 @@ func (c *Cluster) ResetTally() {
 	c.tally = metrics.Tally{}
 	for i := range c.loads {
 		c.loads[i] = 0
+		c.itemLoads[i] = 0
 	}
 }
 
@@ -190,6 +193,18 @@ func (c *Cluster) ServerLoads() []uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]uint64(nil), c.loads...)
+}
+
+// ServerItemLoads returns a copy of the per-server item-lookup counts
+// since the last ResetTally: how many keys each server was asked for,
+// across round-1 primaries, hitchhikers, and round-2 bundles. This is
+// the per-server *work* measure the Combinatorial Batch Code bound
+// (internal/cbc) speaks to — a server can serve few transactions yet
+// still be the bottleneck if each carries many items.
+func (c *Cluster) ServerItemLoads() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]uint64(nil), c.itemLoads...)
 }
 
 // Config returns the cluster's configuration.
@@ -255,6 +270,12 @@ type RequestResult struct {
 	Round2       int
 	Misses       int // assigned items that missed at their assigned server
 	Obtained     int // distinct requested items fetched
+	// Bottleneck is the largest number of keys any single server was
+	// asked for while serving this request — the per-request measure the
+	// Combinatorial Batch Code bound (internal/cbc) caps: with a CBC
+	// placement and core.HintBalanceLoad, Bottleneck ≤ Guarantee(k) for
+	// every k-item full fetch (absent failures and hitchhikers).
+	Bottleneck int
 }
 
 // Do executes one request against the cluster and updates the tally.
@@ -278,6 +299,7 @@ func (c *Cluster) Do(req workload.Request) (RequestResult, error) {
 		index[it] = i
 	}
 	obtained := make([]bool, m)
+	perSrv := make(map[int]int) // server -> keys asked of it, this request
 	var res RequestResult
 
 	// Round 1: planned transactions. Every key aboard costs the server a
@@ -306,6 +328,8 @@ func (c *Cluster) Do(req workload.Request) (RequestResult, error) {
 		}
 		res.Transactions++
 		c.loads[txn.Server]++
+		c.itemLoads[txn.Server] += uint64(size)
+		perSrv[txn.Server] += size
 		c.tally.TxnSize.Add(size)
 	}
 
@@ -351,6 +375,8 @@ func (c *Cluster) Do(req workload.Request) (RequestResult, error) {
 		res.Transactions++
 		res.Round2++
 		c.loads[txn.Server]++
+		c.itemLoads[txn.Server] += uint64(len(txn.Primary))
+		perSrv[txn.Server] += len(txn.Primary)
 		c.tally.TxnSize.Add(len(txn.Primary))
 	}
 
@@ -400,6 +426,11 @@ func (c *Cluster) Do(req workload.Request) (RequestResult, error) {
 			res.Obtained++
 		}
 	}
+	for _, keys := range perSrv {
+		if keys > res.Bottleneck {
+			res.Bottleneck = keys
+		}
+	}
 	c.tally.Requests++
 	c.tally.Transactions += uint64(res.Transactions)
 	c.tally.Round2 += uint64(res.Round2)
@@ -407,6 +438,7 @@ func (c *Cluster) Do(req workload.Request) (RequestResult, error) {
 	c.tally.ItemsFetched += uint64(res.Obtained)
 	c.tally.Misses += uint64(res.Misses)
 	c.tally.TPRHist.Add(res.Transactions)
+	c.tally.BottleneckHist.Add(res.Bottleneck)
 	return res, nil
 }
 

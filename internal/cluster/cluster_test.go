@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"rnb/internal/cbc"
 	"rnb/internal/core"
 	"rnb/internal/hashring"
 	"rnb/internal/workload"
@@ -388,36 +389,72 @@ func TestDuplicateItemsRejected(t *testing.T) {
 
 func TestClusterWithAlternativePlacements(t *testing.T) {
 	// The cluster must behave identically well over any Placement
-	// implementation; run the core invariants over all four.
+	// implementation — including the Combinatorial Batch Code placement
+	// with its balanced assignment hint — and the tally accounting must
+	// be placement-agnostic.
 	const servers, items, replicas = 8, 800, 3
+	const reqs, k = 150, 20
 	ring := hashring.NewWithServers(servers, 64)
 	placements := map[string]hashring.Placement{
 		"rch":        hashring.NewRCHPlacement(ring, replicas),
 		"multihash":  hashring.NewMultiHashPlacement(servers, replicas, 1),
 		"rendezvous": hashring.NewRendezvousPlacement(servers, replicas, 1),
 		"jump":       hashring.NewJumpPlacement(servers, replicas, 1),
+		"cbc":        cbc.New(servers, replicas, items, 1),
 	}
 	for name, p := range placements {
 		t.Run(name, func(t *testing.T) {
+			opts := core.Options{Hitchhike: true, DistinguishedSingles: true}
+			if name == "cbc" {
+				// CBC pairs with the balanced assignment path; the single
+				// redirect is skipped there by design.
+				opts = core.Options{Hitchhike: true, Hint: core.HintBalanceLoad}
+			}
 			c := mustNew(t, Config{
 				Servers: servers, Items: items, Replicas: replicas,
 				MemoryFactor: 2.0, Placement: p,
-				Planner: core.Options{Hitchhike: true, DistinguishedSingles: true},
+				Planner: opts,
 			})
-			gen := workload.NewUniformGenerator(items, 20, 3)
-			for i := 0; i < 150; i++ {
+			gen := workload.NewUniformGenerator(items, k, 3)
+			for i := 0; i < reqs; i++ {
 				res, err := c.Do(gen.Next())
 				if err != nil {
 					t.Fatal(err)
 				}
-				if res.Obtained != 20 {
-					t.Fatalf("request %d incomplete: %d/20", i, res.Obtained)
+				if res.Obtained != k {
+					t.Fatalf("request %d incomplete: %d/%d", i, res.Obtained, k)
 				}
 			}
 			// Bundling must beat the no-replication urn-model expectation.
 			expected := 8 * (1 - math.Pow(1-1.0/8, 20))
 			if got := c.Tally().TPR(); got >= expected {
 				t.Fatalf("TPR %.2f no better than unreplicated expectation %.2f", got, expected)
+			}
+			// Accounting invariants, identical for every placement: full
+			// fetches obtain everything, so IPR is the request size; the
+			// per-server counters partition the tally totals exactly.
+			tally := c.Tally()
+			if tally.Requests != reqs || tally.ItemsWanted != reqs*k {
+				t.Fatalf("request accounting: %d requests, %d wanted", tally.Requests, tally.ItemsWanted)
+			}
+			if tally.ItemsFetched != tally.ItemsWanted {
+				t.Fatalf("fetched %d of %d wanted on full fetches", tally.ItemsFetched, tally.ItemsWanted)
+			}
+			if got := tally.IPR(); got != k {
+				t.Fatalf("IPR = %.2f, want %d", got, k)
+			}
+			var txns, itemReads uint64
+			for _, l := range c.ServerLoads() {
+				txns += l
+			}
+			for _, l := range c.ServerItemLoads() {
+				itemReads += l
+			}
+			if txns != tally.Transactions {
+				t.Fatalf("per-server loads sum to %d, tally has %d transactions", txns, tally.Transactions)
+			}
+			if itemReads != tally.TxnSize.Sum() {
+				t.Fatalf("per-server item loads sum to %d, TxnSize total %d", itemReads, tally.TxnSize.Sum())
 			}
 		})
 	}

@@ -1,0 +1,211 @@
+package core
+
+import "sort"
+
+// This file implements the balanced item→server assignment behind
+// Options.Hint == HintBalanceLoad: instead of greedy set cover
+// (minimum transactions, unbounded per-server load), assign items to
+// replica servers so the maximum items read from any one server is
+// minimized. This is the request-side half of a Combinatorial Batch
+// Code (internal/cbc): the code construction guarantees a small
+// worst-case bound is *achievable*, and this solver achieves it — a
+// bipartite b-matching found by binary search on the per-server
+// capacity t with augmenting paths (the constructive form of the
+// defect Hall's condition |N(S)| >= ceil(|S|/t)).
+
+// BalancedAssign assigns each item to one of its candidate servers so
+// that the maximum number of items on any single server is minimized.
+// cands[i] lists the candidate server indices of item i; items with no
+// candidates stay unassigned (-1). Returns the assignment and the
+// achieved max per-server load. Deterministic: equal inputs give equal
+// assignments.
+func BalancedAssign(cands [][]int) (assign []int, maxLoad int) {
+	assign = make([]int, len(cands))
+	n := 0 // assignable items
+	servers := make(map[int]bool)
+	for i, cs := range cands {
+		assign[i] = -1
+		if len(cs) > 0 {
+			n++
+		}
+		for _, s := range cs {
+			servers[s] = true
+		}
+	}
+	if n == 0 {
+		return assign, 0
+	}
+	// The optimal t lies in [ceil(n/|servers|), n]; binary search with a
+	// from-scratch feasibility matching per probe.
+	lo := (n + len(servers) - 1) / len(servers)
+	if lo < 1 {
+		lo = 1
+	}
+	hi := n
+	var best []int
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a, ok := tryAssign(cands, mid, n); ok {
+			best, hi = a, mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		// lo == hi: feasible by construction (every assignable item has
+		// a candidate, t = n always admits the trivial assignment).
+		best, _ = tryAssign(cands, lo, n)
+	}
+	copy(assign, best)
+	consolidate(cands, assign, lo)
+	return assign, lo
+}
+
+// tryAssign attempts a complete assignment with per-server capacity t
+// via augmenting paths; ok is false if some assignable item cannot be
+// placed.
+func tryAssign(cands [][]int, t, n int) (assign []int, ok bool) {
+	assign = make([]int, len(cands))
+	for i := range assign {
+		assign[i] = -1
+	}
+	load := make(map[int]int)
+	holders := make(map[int][]int) // server -> items assigned to it
+	for i, cs := range cands {
+		if len(cs) == 0 {
+			continue
+		}
+		visited := make(map[int]bool)
+		if !augment(cands, i, t, assign, load, holders, visited) {
+			return nil, false
+		}
+	}
+	return assign, true
+}
+
+// augment places item i via Kuhn's algorithm generalized to server
+// capacity t: take a candidate with spare capacity, or recursively
+// re-home one resident of a full candidate. Each server is visited at
+// most once per top-level augmentation, bounding both work and
+// recursion depth by the server count.
+func augment(cands [][]int, i, t int, assign []int, load map[int]int, holders map[int][]int, visited map[int]bool) bool {
+	for _, s := range cands[i] {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		if load[s] < t {
+			place(i, s, assign, load, holders)
+			return true
+		}
+		// Full: try to move one of its residents elsewhere. Iterate a
+		// snapshot — unplace mutates holders[s].
+		residents := append([]int(nil), holders[s]...)
+		for _, j := range residents {
+			unplace(j, s, assign, load, holders)
+			if augment(cands, j, t, assign, load, holders, visited) {
+				place(i, s, assign, load, holders)
+				return true
+			}
+			place(j, s, assign, load, holders) // restore and keep looking
+		}
+	}
+	return false
+}
+
+func place(i, s int, assign []int, load map[int]int, holders map[int][]int) {
+	assign[i] = s
+	load[s]++
+	holders[s] = append(holders[s], i)
+}
+
+func unplace(i, s int, assign []int, load map[int]int, holders map[int][]int) {
+	assign[i] = -1
+	load[s]--
+	hs := holders[s]
+	for x, j := range hs {
+		if j == i {
+			holders[s] = append(hs[:x], hs[x+1:]...)
+			break
+		}
+	}
+}
+
+// consolidate reduces the number of contacted servers without raising
+// the max load above t: repeatedly try to empty the least-loaded used
+// server by direct moves of its items onto other used servers with
+// spare capacity. Balanced assignments tend to scatter one item per
+// server; this pass claws back most of the transaction-count cost
+// relative to greedy set cover.
+func consolidate(cands [][]int, assign []int, t int) {
+	load := make(map[int]int)
+	for _, s := range assign {
+		if s >= 0 {
+			load[s]++
+		}
+	}
+	for {
+		// Candidate victims: used servers, least-loaded first (lowest id
+		// on ties) — the cheapest transactions to eliminate.
+		order := make([]int, 0, len(load))
+		for s := range load {
+			order = append(order, s)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if load[order[a]] != load[order[b]] {
+				return load[order[a]] < load[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		progress := false
+		for _, victim := range order {
+			if tryEmpty(cands, assign, load, victim, t) {
+				progress = true
+				break // loads changed; re-rank victims
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// tryEmpty relocates every item on victim to another used server with
+// load < t (direct moves only), all-or-nothing.
+func tryEmpty(cands [][]int, assign []int, load map[int]int, victim, t int) bool {
+	type move struct{ item, to int }
+	var moves []move
+	tmp := make(map[int]int, len(load))
+	for s, l := range load {
+		tmp[s] = l
+	}
+	for i, s := range assign {
+		if s != victim {
+			continue
+		}
+		moved := false
+		for _, d := range cands[i] {
+			if d == victim {
+				continue
+			}
+			if l, used := tmp[d]; used && l < t {
+				moves = append(moves, move{i, d})
+				tmp[d]++
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return false
+		}
+	}
+	if len(moves) == 0 {
+		return false
+	}
+	for _, mv := range moves {
+		assign[mv.item] = mv.to
+		load[mv.to]++
+	}
+	delete(load, victim)
+	return true
+}

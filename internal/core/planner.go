@@ -32,6 +32,26 @@ import (
 	"rnb/internal/xhash"
 )
 
+// PlanHint selects the item→server assignment strategy.
+type PlanHint int
+
+const (
+	// HintMinTransactions is the paper's strategy: greedy minimum set
+	// cover, fewest round-1 transactions, per-server load unbounded.
+	HintMinTransactions PlanHint = iota
+	// HintBalanceLoad assigns items by bipartite b-matching so the
+	// maximum items read from any one server is minimized (see
+	// BalancedAssign). Paired with a Combinatorial Batch Code placement
+	// (internal/cbc) this achieves the code's provable ≤ t worst-case
+	// bound, which greedy set cover does not. Transactions-per-request
+	// rises (a consolidation pass claws most of it back); applies to
+	// full fetches only — LIMIT (target < items) and budget plans fall
+	// back to the cover path, and DistinguishedSingles redirection is
+	// skipped because re-homing a single onto its distinguished server
+	// would break the load bound.
+	HintBalanceLoad
+)
+
 // Options configures plan construction.
 type Options struct {
 	// Hitchhike piggybacks redundant item requests onto transactions
@@ -52,6 +72,8 @@ type Options struct {
 	BalanceTieBreak bool
 	// Cover selects the set-cover heuristic. Nil selects eager greedy.
 	Cover CoverFunc
+	// Hint selects the assignment strategy (default greedy set cover).
+	Hint PlanHint
 }
 
 // CoverFunc computes a (partial) set cover; see setcover.GreedyPartial.
@@ -181,6 +203,10 @@ func (p *Planner) buildFiltered(items []uint64, target, budget int, avoid func(i
 		Replicas:   make([][]int, m),
 	}
 
+	if p.opts.Hint == HintBalanceLoad && budget == 0 && target == m {
+		return p.buildBalanced(plan, avoid), nil
+	}
+
 	// Locate all replicas and group request items by candidate server,
 	// excluding avoided (failed/draining) servers from candidacy.
 	serverItems := make(map[int]*bitset.Set)
@@ -271,6 +297,57 @@ func (p *Planner) buildFiltered(items []uint64, target, budget int, avoid func(i
 		p.addHitchhikers(plan)
 	}
 	return plan, nil
+}
+
+// buildBalanced is the HintBalanceLoad full-fetch path: item→server
+// assignment by min-max-load bipartite matching instead of greedy set
+// cover. Transactions are emitted in ascending server order (the
+// matching has no pick order), so equal requests still yield equal
+// plans. DistinguishedSingles is intentionally not applied (it would
+// re-concentrate load); Hitchhike composes as usual.
+func (p *Planner) buildBalanced(plan *Plan, avoid func(int) bool) *Plan {
+	m := len(plan.Items)
+	cands := make([][]int, m)
+	for i, it := range plan.Items {
+		plan.ItemServer[i] = -1
+		plan.Replicas[i] = p.placement.Replicas(it, nil)
+		for _, s := range plan.Replicas[i] {
+			if avoid != nil && avoid(s) {
+				continue
+			}
+			cands[i] = append(cands[i], s)
+		}
+	}
+	assign, _ := BalancedAssign(cands)
+
+	used := make([]int, 0, m)
+	txnOf := make(map[int]int)
+	for _, s := range assign {
+		if s >= 0 {
+			if _, ok := txnOf[s]; !ok {
+				txnOf[s] = 0
+				used = append(used, s)
+			}
+		}
+	}
+	sort.Ints(used)
+	for ti, s := range used {
+		txnOf[s] = ti
+		plan.Transactions = append(plan.Transactions, Transaction{Server: s})
+	}
+	for i, s := range assign {
+		if s < 0 {
+			continue
+		}
+		plan.ItemServer[i] = s
+		t := &plan.Transactions[txnOf[s]]
+		t.Primary = append(t.Primary, plan.Items[i])
+		plan.Assigned++
+	}
+	if p.opts.Hitchhike {
+		p.addHitchhikers(plan)
+	}
+	return plan
 }
 
 // redirectSingles moves every single-item transaction's item to its

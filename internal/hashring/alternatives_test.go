@@ -12,29 +12,8 @@ func altPlacements(servers, replicas int) map[string]Placement {
 	}
 }
 
-func TestAlternativesDistinctAndInRange(t *testing.T) {
-	for name, p := range altPlacements(16, 4) {
-		t.Run(name, func(t *testing.T) {
-			var buf []int
-			for item := uint64(0); item < 2000; item++ {
-				buf = p.Replicas(item, buf)
-				if len(buf) != 4 {
-					t.Fatalf("item %d: %d replicas", item, len(buf))
-				}
-				seen := map[int]bool{}
-				for _, s := range buf {
-					if s < 0 || s >= 16 {
-						t.Fatalf("server %d out of range", s)
-					}
-					if seen[s] {
-						t.Fatalf("duplicate server in %v", buf)
-					}
-					seen[s] = true
-				}
-			}
-		})
-	}
-}
+// Distinctness/range/determinism invariants are covered by the shared
+// contract battery in contract_test.go.
 
 func TestAlternativesBalance(t *testing.T) {
 	const servers, items, replicas = 16, 20000, 3

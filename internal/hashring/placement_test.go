@@ -13,57 +13,10 @@ func placements(t *testing.T, servers, replicas int) map[string]Placement {
 	}
 }
 
-func TestPlacementDistinctReplicas(t *testing.T) {
-	for name, p := range placements(t, 16, 4) {
-		t.Run(name, func(t *testing.T) {
-			var buf []int
-			for item := uint64(0); item < 1000; item++ {
-				buf = p.Replicas(item, buf)
-				if len(buf) != 4 {
-					t.Fatalf("item %d: %d replicas, want 4", item, len(buf))
-				}
-				seen := map[int]bool{}
-				for _, s := range buf {
-					if s < 0 || s >= 16 {
-						t.Fatalf("server index %d out of range", s)
-					}
-					if seen[s] {
-						t.Fatalf("item %d: duplicate server in %v", item, buf)
-					}
-					seen[s] = true
-				}
-			}
-		})
-	}
-}
-
-func TestPlacementClampsToServerCount(t *testing.T) {
-	for name, p := range map[string]Placement{
-		"rch":       NewRCHPlacement(NewWithServers(3, 32), 8),
-		"multihash": NewMultiHashPlacement(3, 8, 1),
-	} {
-		t.Run(name, func(t *testing.T) {
-			set := p.Replicas(1234, nil)
-			if len(set) != 3 {
-				t.Fatalf("got %d replicas, want clamp to 3", len(set))
-			}
-		})
-	}
-}
-
-func TestPlacementDeterministic(t *testing.T) {
-	for name, p := range placements(t, 16, 3) {
-		t.Run(name, func(t *testing.T) {
-			a := append([]int(nil), p.Replicas(42, nil)...)
-			b := p.Replicas(42, nil)
-			for i := range a {
-				if a[i] != b[i] {
-					t.Fatalf("placement not deterministic: %v vs %v", a, b)
-				}
-			}
-		})
-	}
-}
+// Distinctness, index range, determinism, distinguished-copy
+// stability, and the replicas>servers clamp are covered for every
+// placement by the shared contract battery in contract_test.go
+// (internal/hashring/placementtest).
 
 func TestPlacementAccessors(t *testing.T) {
 	for name, p := range placements(t, 16, 3) {

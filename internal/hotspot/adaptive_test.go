@@ -6,9 +6,37 @@ import (
 	"testing"
 
 	"rnb/internal/hashring"
+	"rnb/internal/hashring/placementtest"
 	"rnb/internal/metrics"
 	"rnb/internal/workload"
 )
+
+// TestAdaptivePlacementContract runs the adaptive placement through
+// the shared placement contract battery — cold, then again mid-boost:
+// heat transitions must not move the distinguished copy or break
+// distinctness.
+func TestAdaptivePlacementContract(t *testing.T) {
+	base := newBase(t, 16, 3)
+	a := NewAdaptive(base, Config{
+		MaxBoost:    4,
+		PromoteFrac: 0.05,
+		DemoteFrac:  0.0125,
+		EpochOps:    1 << 62, // rotate manually
+	}, nil)
+	placementtest.Run(t, a, 1000)
+
+	// Promote a band of keys and re-check the full contract on the
+	// boosted placement.
+	for i := 0; i < 3000; i++ {
+		a.ObserveOne(uint64(i % 10))
+		a.ObserveOne(uint64(100 + i%500))
+	}
+	a.ForceEpoch()
+	if a.HotKeyCount() == 0 {
+		t.Fatal("no keys promoted; contract re-check would be vacuous")
+	}
+	placementtest.Run(t, a, 1000)
+}
 
 func newBase(t *testing.T, servers, replicas int) hashring.Placement {
 	t.Helper()

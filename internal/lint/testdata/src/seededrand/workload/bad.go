@@ -1,0 +1,27 @@
+// Package workload lives under the determinism-critical "workload"
+// path segment and shows the mistakes an adversarial request generator
+// must not make: the shared global stream (irreproducible bundles) and
+// clock-derived seeds (different hot spots every run).
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+type bundle struct {
+	items []uint64
+}
+
+func (b *bundle) pickStart(pool int) int {
+	return rand.Intn(pool) // want seededrand "global math/rand.Intn"
+}
+
+func (b *bundle) shuffleGroups(gs []int) {
+	rand.Shuffle(len(gs), func(i, j int) { gs[i], gs[j] = gs[j], gs[i] }) // want seededrand "global math/rand.Shuffle"
+}
+
+func newAdversary() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want seededrand "math/rand.NewSource seeded from the clock"
+	return rand.New(src)
+}

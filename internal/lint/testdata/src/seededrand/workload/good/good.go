@@ -1,0 +1,20 @@
+// Package good mirrors the real adversarial generator's idiom
+// (internal/workload): one *rand.Rand built from an explicit seed at
+// construction, drawn from via methods only — equal seeds give equal
+// worst-case request streams.
+package good
+
+import "math/rand"
+
+type adversary struct {
+	rng  *rand.Rand
+	pool int
+}
+
+func newAdversary(seed int64, pool int) *adversary {
+	return &adversary{rng: rand.New(rand.NewSource(seed)), pool: pool}
+}
+
+func (a *adversary) next() int {
+	return a.rng.Intn(a.pool) // method on an explicit generator: fine
+}

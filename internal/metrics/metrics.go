@@ -149,6 +149,11 @@ type Tally struct {
 	TxnSize IntHist
 	// TPRHist is the histogram of transactions per request.
 	TPRHist IntHist
+	// BottleneckHist is the histogram of per-request bottlenecks: the
+	// most keys any single server was asked for while serving one
+	// request. Its Max is what the Combinatorial Batch Code guarantee
+	// (internal/cbc) bounds.
+	BottleneckHist IntHist
 }
 
 // TPR returns mean transactions per request.
@@ -165,6 +170,17 @@ func (t *Tally) TPRPS(servers int) float64 {
 		return 0
 	}
 	return t.TPR() / float64(servers)
+}
+
+// IPR returns mean items obtained per request — placement-agnostic
+// accounting: whatever the placement and assignment strategy, a full
+// fetch obtains every requested item, so IPR equals the mean request
+// size.
+func (t *Tally) IPR() float64 {
+	if t.Requests == 0 {
+		return 0
+	}
+	return float64(t.ItemsFetched) / float64(t.Requests)
 }
 
 // MissRate returns round-1 misses per requested item.
@@ -187,6 +203,7 @@ func (t *Tally) Merge(o *Tally) {
 	t.DBFetches += o.DBFetches
 	t.TxnSize.Merge(&o.TxnSize)
 	t.TPRHist.Merge(&o.TPRHist)
+	t.BottleneckHist.Merge(&o.BottleneckHist)
 }
 
 // String renders the headline numbers.

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"fmt"
+
+	"rnb/internal/cbc"
+	"rnb/internal/cluster"
+	"rnb/internal/core"
+	"rnb/internal/hashring"
+	"rnb/internal/hotspot"
+	"rnb/internal/workload"
+)
+
+func init() { register("placement", PlacementFamily) }
+
+// placementKs is the request-size sweep for the placement experiment.
+var placementKs = []int{8, 16, 24, 32}
+
+// PlacementFamily compares the placement family — pseudo-random
+// replication, adaptive hot-key boosting, and the Combinatorial Batch
+// Code placement (internal/cbc) — by per-request bottleneck: the most
+// keys any single server must serve for one request. That server gates
+// the request's completion time, so this is the per-request analog of
+// the paper's TPR — work depth instead of message count.
+//
+// Two request streams at an equal replication budget r:
+//
+//   - Zipf point queries (s=1.2): the benign case. Random replication
+//     plus greedy set cover is near-balanced; CBC must not regress it.
+//   - Adversarial bundles (workload.AdversarialGenerator): each request
+//     packs k items whose replica sets overlap maximally *against the
+//     probed placement*. Against random replication this finds the
+//     birthday collisions — whole bundles confined to one replica
+//     subset — and greedy cover then reads all k from one server.
+//     Against CBC the concentration is provably capped: every k-item
+//     request can be served reading ≤ Guarantee(k) items per server,
+//     and the balanced assignment hint (core.HintBalanceLoad) achieves
+//     that bound.
+//
+// The "random r / balanced" series isolates the solver's contribution
+// (same placement as "random r / greedy", balanced assignment): the gap
+// between it and CBC is the code construction's contribution.
+//
+// Memory is unlimited so the series measure placement+planner effects
+// alone, not cache churn. This is an extension experiment (no
+// corresponding paper figure); see DESIGN.md "Placement family".
+func PlacementFamily(cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	const (
+		servers  = 16
+		replicas = 3
+		zipfSkew = 1.2
+	)
+	items := 32000 / cfg.Scale
+	if items < 4*placementKs[len(placementKs)-1] {
+		items = 4 * placementKs[len(placementKs)-1]
+	}
+
+	t := Table{
+		ID:    "placement",
+		Title: "Per-request bottleneck: random vs adaptive vs CBC placement",
+		XLabel: fmt.Sprintf("items per request k (%d servers, r=%d, %d items, unlimited memory)",
+			servers, replicas, items),
+		YLabel: "mean keys at the request's busiest server",
+		Notes: []string{
+			"extension experiment: adversarial bundles maximize replica-set overlap against the probed placement",
+			"CBC bound: any k-item request is servable reading <= Guarantee(k) items per server; " +
+				"worst observed bottleneck per series is in the k-notes",
+		},
+	}
+
+	// Hitchhiking is off in both option sets: with unlimited memory it
+	// never converts a miss, but its redundant keys would pollute the
+	// per-server work measure.
+	greedyOpts := core.Options{DistinguishedSingles: true}
+	balancedOpts := core.Options{Hint: core.HintBalanceLoad}
+
+	type variant struct {
+		label       string
+		adversarial bool
+		placement   func() hashring.Placement
+		// probe overrides the placement the adversary sees (the adaptive
+		// variant is attacked through the static base it wraps); nil
+		// means attack the placement itself.
+		probe    func() hashring.Placement
+		balanced bool
+	}
+	newRandom := func() hashring.Placement {
+		return hashring.NewMultiHashPlacement(servers, replicas, uint64(cfg.Seed))
+	}
+	newAdaptive := func() hashring.Placement {
+		return hotspot.NewAdaptive(newRandom(), hotspot.Config{
+			MaxBoost:   3,
+			EpochOps:   2000,
+			MaxHotKeys: 256,
+			Seed:       uint64(cfg.Seed) + 77,
+		}, nil)
+	}
+	newCBC := func() hashring.Placement {
+		return cbc.New(servers, replicas, items, uint64(cfg.Seed))
+	}
+	variants := []variant{
+		{"random r / greedy (zipf)", false, newRandom, nil, false},
+		{"cbc / balanced (zipf)", false, newCBC, nil, true},
+		{"random r / greedy (adversarial)", true, newRandom, nil, false},
+		{"random r / balanced (adversarial)", true, newRandom, nil, true},
+		{"adaptive / greedy (adversarial)", true, newAdaptive, newRandom, false},
+		{"cbc / balanced (adversarial)", true, newCBC, nil, true},
+	}
+
+	run := func(v variant, k int) (mean float64, worst int, tpr float64, err error) {
+		placement := v.placement()
+		opts := greedyOpts
+		if v.balanced {
+			opts = balancedOpts
+		}
+		c, err := cluster.New(cluster.Config{
+			Servers: servers, Items: items, Replicas: replicas,
+			Placement: placement, Planner: opts,
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var gen workload.Generator
+		if v.adversarial {
+			probed := placement
+			if v.probe != nil {
+				probed = v.probe()
+			}
+			gen = workload.NewAdversarialGenerator(probed, items, k, cfg.Seed+900)
+		} else {
+			gen = workload.NewZipfGenerator(items, k, zipfSkew, cfg.Seed+500)
+		}
+		if err := c.Run(gen, cfg.Warmup); err != nil {
+			return 0, 0, 0, err
+		}
+		c.ResetTally()
+		if err := c.Run(gen, cfg.Requests); err != nil {
+			return 0, 0, 0, err
+		}
+		hist := &c.Tally().BottleneckHist
+		return hist.Mean(), hist.Max(), c.Tally().TPR(), nil
+	}
+
+	guarantees := cbc.New(servers, replicas, items, uint64(cfg.Seed))
+	series := make([]Series, len(variants))
+	for vi, v := range variants {
+		series[vi].Label = v.label
+	}
+	for _, k := range placementKs {
+		note := fmt.Sprintf("k=%d:", k)
+		for vi, v := range variants {
+			mean, worst, tpr, err := run(v, k)
+			if err != nil {
+				return Table{}, fmt.Errorf("sim: placement %q k=%d: %w", v.label, k, err)
+			}
+			series[vi].X = append(series[vi].X, float64(k))
+			series[vi].Y = append(series[vi].Y, mean)
+			note += fmt.Sprintf(" [%s] mean %.2f, worst %d, TPR %.2f;", v.label, mean, worst, tpr)
+		}
+		note += fmt.Sprintf(" cbc guarantee T(%d)=%d", k, guarantees.Guarantee(k))
+		t.Notes = append(t.Notes, note)
+	}
+	t.Series = series
+	return t, nil
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"rnb/internal/hashring"
+)
+
+// AdversarialGenerator constructs worst-case multi-get bundles against
+// a specific replica placement: each request packs k items whose
+// replica sets overlap as much as possible, so the whole bundle is
+// confined to the smallest achievable set of servers. Against a
+// pseudo-random placement this finds the birthday collisions — dozens
+// of items sharing one exact replica subset — and turns them into a
+// single-server hot spot; against a Combinatorial Batch Code
+// (internal/cbc) the achievable concentration is provably bounded.
+//
+// The generator is seeded and reproducible: the placement is probed
+// once at construction time over a finite item universe, and each
+// Next() greedily grows a bundle from a seeded choice among the most
+// concentrated replica groups, then extends it by whichever group
+// enlarges the occupied server union least. Requests rotate across
+// starting groups so a stream exercises several distinct hot spots
+// rather than hammering one.
+type AdversarialGenerator struct {
+	k        int
+	universe int
+	groups   []advGroup
+	byServer [][]int // server -> indices into groups, by group size desc
+	rng      *rand.Rand
+	pool     int // starting groups sampled from the top of the size order
+
+	buf     []uint64
+	taken   []int // group -> generation the group was last consumed in
+	gen     int
+	servers []bool // scratch: membership of the occupied union
+}
+
+// advGroup is a maximal set of items sharing one exact replica-server
+// signature.
+type advGroup struct {
+	servers []int // sorted signature
+	items   []uint64
+}
+
+// NewAdversarialGenerator probes p over items [0, universe) and builds
+// a generator of k-item worst-case bundles (universe >= k >= 1).
+func NewAdversarialGenerator(p hashring.Placement, universe, k int, seed int64) *AdversarialGenerator {
+	if k < 1 || universe < k {
+		panic("workload: need 1 <= k <= universe")
+	}
+	byKey := make(map[string]int)
+	var groups []advGroup
+	var buf []int
+	for item := 0; item < universe; item++ {
+		buf = p.Replicas(uint64(item), buf)
+		sig := append([]int(nil), buf...)
+		sort.Ints(sig)
+		key := sigKey(sig)
+		gi, ok := byKey[key]
+		if !ok {
+			gi = len(groups)
+			byKey[key] = gi
+			groups = append(groups, advGroup{servers: sig})
+		}
+		groups[gi].items = append(groups[gi].items, uint64(item))
+	}
+	// Most concentrated groups first; ties broken by signature for
+	// determinism (map iteration never ordered anything).
+	sort.Slice(groups, func(a, b int) bool {
+		if len(groups[a].items) != len(groups[b].items) {
+			return len(groups[a].items) > len(groups[b].items)
+		}
+		return sigLess(groups[a].servers, groups[b].servers)
+	})
+	byServer := make([][]int, p.NumServers())
+	for gi, g := range groups {
+		for _, s := range g.servers {
+			byServer[s] = append(byServer[s], gi)
+		}
+	}
+	pool := 16
+	if pool > len(groups) {
+		pool = len(groups)
+	}
+	return &AdversarialGenerator{
+		k:        k,
+		universe: universe,
+		groups:   groups,
+		byServer: byServer,
+		rng:      rand.New(rand.NewSource(seed)),
+		pool:     pool,
+		taken:    make([]int, len(groups)),
+		servers:  make([]bool, p.NumServers()),
+	}
+}
+
+// Universe returns the probed item-universe size.
+func (a *AdversarialGenerator) Universe() int { return a.universe }
+
+// Next implements Generator: a k-item bundle occupying as few servers
+// as the placement allows.
+func (a *AdversarialGenerator) Next() Request {
+	a.gen++
+	a.buf = a.buf[:0]
+	for i := range a.servers {
+		a.servers[i] = false
+	}
+	union := 0
+
+	// Seed the bundle with one of the most concentrated groups.
+	start := a.rng.Intn(a.pool)
+	union = a.consume(start, union)
+	for len(a.buf) < a.k {
+		best, bestGrow, bestSize := -1, int(^uint(0)>>1), -1
+		// Candidates: untouched groups sharing at least one occupied
+		// server, i.e. those that can extend the union minimally.
+		for s, in := range a.servers {
+			if !in {
+				continue
+			}
+			for _, gi := range a.byServer[s] {
+				if a.taken[gi] == a.gen {
+					continue
+				}
+				g := &a.groups[gi]
+				grow := 0
+				for _, gs := range g.servers {
+					if !a.servers[gs] {
+						grow++
+					}
+				}
+				if grow < bestGrow ||
+					(grow == bestGrow && len(g.items) > bestSize) ||
+					(grow == bestGrow && len(g.items) == bestSize && gi < best) {
+					best, bestGrow, bestSize = gi, grow, len(g.items)
+				}
+			}
+		}
+		if best < 0 {
+			// Nothing overlaps the union (tiny universes): fall back to
+			// the globally most concentrated untouched group.
+			for gi := range a.groups {
+				if a.taken[gi] != a.gen {
+					best = gi
+					break
+				}
+			}
+			if best < 0 {
+				break // universe exhausted; k was close to universe
+			}
+		}
+		union = a.consume(best, union)
+	}
+	return Request{Items: a.buf, Target: len(a.buf)}
+}
+
+// consume appends group gi's items (up to the bundle size) and merges
+// its servers into the occupied union, returning the new union size.
+func (a *AdversarialGenerator) consume(gi, union int) int {
+	a.taken[gi] = a.gen
+	g := &a.groups[gi]
+	for _, it := range g.items {
+		if len(a.buf) == a.k {
+			break
+		}
+		a.buf = append(a.buf, it)
+	}
+	for _, s := range g.servers {
+		if !a.servers[s] {
+			a.servers[s] = true
+			union++
+		}
+	}
+	return union
+}
+
+func sigKey(sig []int) string {
+	b := make([]byte, 0, len(sig)*4)
+	for _, s := range sig {
+		b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	}
+	return string(b)
+}
+
+func sigLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

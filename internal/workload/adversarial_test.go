@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"testing"
+
+	"rnb/internal/hashring"
+)
+
+func advItems(r Request) []uint64 {
+	return append([]uint64(nil), r.Items...)
+}
+
+// serverSpan returns how many distinct servers the request's items'
+// replica sets touch — the quantity the adversary minimizes.
+func serverSpan(p hashring.Placement, items []uint64) int {
+	seen := make(map[int]bool)
+	var buf []int
+	for _, it := range items {
+		buf = p.Replicas(it, buf)
+		for _, s := range buf {
+			seen[s] = true
+		}
+	}
+	return len(seen)
+}
+
+func TestAdversarialDeterministicAcrossRuns(t *testing.T) {
+	p := hashring.NewMultiHashPlacement(16, 3, 1)
+	a := NewAdversarialGenerator(p, 4000, 16, 7)
+	b := NewAdversarialGenerator(p, 4000, 16, 7)
+	for i := 0; i < 50; i++ {
+		ra, rb := advItems(a.Next()), advItems(b.Next())
+		if len(ra) != len(rb) {
+			t.Fatalf("request %d: lengths differ (%d vs %d)", i, len(ra), len(rb))
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("request %d: item %d differs (%d vs %d)", i, j, ra[j], rb[j])
+			}
+		}
+	}
+}
+
+func TestAdversarialSeedVariesStream(t *testing.T) {
+	p := hashring.NewMultiHashPlacement(16, 3, 1)
+	a := NewAdversarialGenerator(p, 4000, 16, 1)
+	b := NewAdversarialGenerator(p, 4000, 16, 2)
+	diff := 0
+	for i := 0; i < 50; i++ {
+		ra, rb := advItems(a.Next()), advItems(b.Next())
+		if len(ra) != len(rb) {
+			diff++
+			continue
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				diff++
+				break
+			}
+		}
+	}
+	if diff < 10 {
+		t.Fatalf("only %d/50 requests differ across seeds", diff)
+	}
+}
+
+func TestAdversarialRequestShape(t *testing.T) {
+	p := hashring.NewMultiHashPlacement(16, 3, 1)
+	const universe, k = 4000, 16
+	g := NewAdversarialGenerator(p, universe, k, 3)
+	if g.Universe() != universe {
+		t.Fatalf("Universe() = %d", g.Universe())
+	}
+	for i := 0; i < 100; i++ {
+		r := g.Next()
+		if len(r.Items) != k {
+			t.Fatalf("request %d: %d items, want %d", i, len(r.Items), k)
+		}
+		if !r.Full() {
+			t.Fatalf("request %d: adversarial requests are full fetches", i)
+		}
+		seen := make(map[uint64]bool)
+		for _, it := range r.Items {
+			if it >= universe {
+				t.Fatalf("request %d: item %d outside universe", i, it)
+			}
+			if seen[it] {
+				t.Fatalf("request %d: duplicate item %d", i, it)
+			}
+			seen[it] = true
+		}
+	}
+}
+
+// TestAdversarialConcentrates is the point of the generator: against a
+// pseudo-random placement, adversarial bundles touch far fewer servers
+// than uniform random bundles of the same size.
+func TestAdversarialConcentrates(t *testing.T) {
+	p := hashring.NewMultiHashPlacement(16, 3, 1)
+	const universe, k, reqs = 8000, 16, 200
+	adv := NewAdversarialGenerator(p, universe, k, 5)
+	uni := NewUniformGenerator(universe, k, 5)
+
+	advSpan, uniSpan := 0, 0
+	for i := 0; i < reqs; i++ {
+		advSpan += serverSpan(p, adv.Next().Items)
+		uniSpan += serverSpan(p, uni.Next().Items)
+	}
+	if advSpan >= uniSpan {
+		t.Fatalf("adversary does not concentrate: avg span %.1f vs uniform %.1f",
+			float64(advSpan)/reqs, float64(uniSpan)/reqs)
+	}
+	// The gap should be substantial, not marginal: with 8000 items over
+	// C(16,3)=560 signatures, bundles of 16 fit in a handful of groups.
+	if float64(advSpan) > 0.6*float64(uniSpan) {
+		t.Fatalf("concentration too weak: avg span %.1f vs uniform %.1f",
+			float64(advSpan)/reqs, float64(uniSpan)/reqs)
+	}
+}
+
+func TestAdversarialRotatesHotSpots(t *testing.T) {
+	// Consecutive requests should not all hammer one signature group:
+	// the seeded start rotates across the concentrated pool.
+	p := hashring.NewMultiHashPlacement(16, 3, 1)
+	g := NewAdversarialGenerator(p, 8000, 8, 11)
+	first := make(map[uint64]bool)
+	for i := 0; i < 40; i++ {
+		first[g.Next().Items[0]] = true
+	}
+	if len(first) < 4 {
+		t.Fatalf("only %d distinct bundle seeds over 40 requests", len(first))
+	}
+}
+
+func TestAdversarialTinyUniverse(t *testing.T) {
+	// k == universe must still terminate and return every item.
+	p := hashring.NewMultiHashPlacement(4, 2, 1)
+	g := NewAdversarialGenerator(p, 6, 6, 1)
+	r := g.Next()
+	if len(r.Items) != 6 {
+		t.Fatalf("got %d items, want the whole universe", len(r.Items))
+	}
+}
+
+func TestAdversarialPanics(t *testing.T) {
+	p := hashring.NewMultiHashPlacement(4, 2, 1)
+	for name, fn := range map[string]func(){
+		"k<1":        func() { NewAdversarialGenerator(p, 10, 0, 1) },
+		"universe<k": func() { NewAdversarialGenerator(p, 3, 4, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
