@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint fix-check test race chaos chaos-resize obs-smoke smoke-placement ci bench-skew bench-pool bench-topology bench-placement
+.PHONY: build vet lint fix-check test race chaos chaos-resize stress-binary bench-alloc obs-smoke smoke-placement ci bench-skew bench-pool bench-topology bench-placement
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,20 @@ chaos:
 chaos-resize:
 	$(GO) test -race -count=3 -run 'TestResize|TestRejoin|TestSetServers' .
 
+# Binary-transport stress under the race detector: 64 goroutines on a
+# binary-pooled client (quiet-get pipelining) plus the kill-mid-pipeline
+# chaos drill, both ending in a goroutine leakcheck.
+stress-binary:
+	$(GO) test -race -count=2 -run 'TestBinaryPooledClient' .
+
+# Allocation-budget regression gates (testing.AllocsPerRun) on the
+# transport and planner hot paths: text/binary encode+decode, the
+# end-to-end pooled multiget, and core's Plan build. Run without -race —
+# the race runtime's shadow allocations distort the counts, so the
+# gates are build-tagged !race.
+bench-alloc:
+	$(GO) test -count=1 -run 'TestAllocBudget' -v ./internal/memcache ./internal/core
+
 # Observability smoke: boot rnbmemd backends + rnbproxy -debug-addr,
 # drive traffic, and assert /metrics serves the promised families and
 # /debug/requests dumps flight-recorder spans.
@@ -55,7 +69,7 @@ smoke-placement:
 	$(GO) run ./cmd/rnbbench -requests 400 -warmup 400 -scale 40 placement
 	$(GO) test -run 'CBC|Balanced|Adversarial' ./internal/cbc ./internal/core ./internal/workload
 
-ci: build vet lint fix-check race chaos chaos-resize obs-smoke smoke-placement
+ci: build vet lint fix-check race chaos chaos-resize stress-binary bench-alloc obs-smoke smoke-placement
 	# Transport smoke: a tiny pooled-vs-single sweep proving the pool
 	# mode still runs end to end (full sweep lives in bench-pool).
 	$(GO) run ./cmd/rnbbench -ops 60 pool

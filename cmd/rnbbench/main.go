@@ -152,21 +152,23 @@ func placementBench(jsonOut string, cfg sim.Config) error {
 	return os.WriteFile(jsonOut, append(blob, '\n'), 0o644)
 }
 
-// poolSweep measures multiget throughput for the single-connection and
-// pooled transports across a goroutine sweep, printing a table and
-// optionally recording the raw results as JSON.
+// poolSweep measures multiget throughput for the single-connection,
+// text-pooled, and binary-pooled transports across a goroutine sweep,
+// printing a table and optionally recording the raw results as JSON.
 func poolSweep(jsonOut string, poolSize, servers, ops int) error {
 	type row struct {
 		Goroutines int                `json:"goroutines"`
 		Single     fanoutbench.Result `json:"single"`
 		Pooled     fanoutbench.Result `json:"pooled"`
+		Binary     fanoutbench.Result `json:"binary"`
 	}
 	var rows []row
 	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
-	fmt.Printf("%-10s %18s %9s %9s %18s %9s %9s %8s\n",
-		"goroutines", "single multiget/s", "p50 ms", "p99 ms",
-		"pooled multiget/s", "p50 ms", "p99 ms", "speedup")
-	for _, g := range []int{1, 2, 4, 8, 16, 32, 64} {
+	fmt.Printf("%-10s %18s %9s %18s %9s %18s %9s %8s\n",
+		"goroutines", "single multiget/s", "p99 ms",
+		"pooled multiget/s", "p99 ms",
+		"binary multiget/s", "p99 ms", "speedup")
+	for _, g := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
 		base := fanoutbench.Config{Servers: servers, Goroutines: g, Ops: ops}
 		single, err := fanoutbench.Run(base)
 		if err != nil {
@@ -177,14 +179,20 @@ func poolSweep(jsonOut string, poolSize, servers, ops int) error {
 		if err != nil {
 			return err
 		}
+		base.Binary = true
+		bin, err := fanoutbench.Run(base)
+		if err != nil {
+			return err
+		}
 		speedup := 0.0
 		if single.OpsPerSec > 0 {
-			speedup = pooled.OpsPerSec / single.OpsPerSec
+			speedup = bin.OpsPerSec / single.OpsPerSec
 		}
-		fmt.Printf("%-10d %18.0f %9.2f %9.2f %18.0f %9.2f %9.2f %7.2fx\n",
-			g, single.OpsPerSec, ms(single.LatencyP50), ms(single.LatencyP99),
-			pooled.OpsPerSec, ms(pooled.LatencyP50), ms(pooled.LatencyP99), speedup)
-		rows = append(rows, row{Goroutines: g, Single: single, Pooled: pooled})
+		fmt.Printf("%-10d %18.0f %9.2f %18.0f %9.2f %18.0f %9.2f %7.2fx\n",
+			g, single.OpsPerSec, ms(single.LatencyP99),
+			pooled.OpsPerSec, ms(pooled.LatencyP99),
+			bin.OpsPerSec, ms(bin.LatencyP99), speedup)
+		rows = append(rows, row{Goroutines: g, Single: single, Pooled: pooled, Binary: bin})
 	}
 	if jsonOut == "" {
 		return nil

@@ -29,6 +29,7 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:11211", "listen address (TCP; serves text and binary protocols)")
 		udpAddr   = flag.String("udp", "", "optional UDP listen address (e.g. 127.0.0.1:11211)")
 		memory    = flag.String("memory", "64MB", "memory budget (e.g. 512KB, 256MB, 2GB; 0 = unbounded)")
+		protocols = flag.String("protocols", "both", "wire formats to accept: text, binary, or both")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
@@ -40,6 +41,10 @@ func main() {
 	}
 	store := memcache.NewStore(capacity)
 	srv := memcache.NewServer(store)
+	if err := srv.SetProtocols(*protocols); err != nil {
+		fmt.Fprintf(os.Stderr, "rnbmemd: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()

@@ -51,6 +51,7 @@ func main() {
 		backoff    = flag.Duration("retry-backoff", 15*time.Millisecond, "base jittered backoff between re-plan rounds")
 		statsEvery = flag.Duration("stats-every", 0, "log backend breaker states at this interval (0 disables)")
 		poolSize   = flag.Int("pool-size", 1, "pipelined connections per backend (1 = single-connection transport)")
+		binary     = flag.Bool("binary", false, "speak the binary protocol to backends (quiet-get pipelining; implies the pooled transport)")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/requests (flight recorder) and /debug/pprof on this address (empty disables)")
 		slowLog    = flag.Duration("slow-log", 0, "log requests slower than this threshold (0 disables)")
 		ringSize   = flag.Int("flight-recorder", 0, "flight-recorder capacity in request spans (0 = default 256)")
@@ -100,6 +101,9 @@ func main() {
 			RingSize:      *ringSize,
 			SlowThreshold: *slowLog,
 		}),
+	}
+	if *binary {
+		opts = append(opts, rnb.WithBinaryProtocol())
 	}
 	if *noPin {
 		opts = append(opts, rnb.WithPinnedDistinguished(false))

@@ -25,12 +25,86 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"rnb/internal/bitset"
 	"rnb/internal/hashring"
 	"rnb/internal/setcover"
 	"rnb/internal/xhash"
 )
+
+// buildScratch holds the transient state of one buildFiltered call so
+// steady-state plan building stays off the allocator: maps keyed by
+// server id become slices indexed by server id, candidate bitsets are
+// recycled through a freelist, and the dup-check map is cleared rather
+// than remade. Only memory that escapes into the returned Plan (the
+// plan itself, ItemServer, Replicas and their slabs, Transactions) is
+// freshly allocated. Scratches are pooled because planners are shared
+// by concurrent requests.
+type buildScratch struct {
+	seen     map[uint64]struct{}
+	byServer []*bitset.Set // server id -> candidate item set (nil = untouched)
+	touched  []int         // server ids with a non-nil byServer entry
+	freelist []*bitset.Set // recycled candidate sets
+	servers  []int         // sorted touched ids, parallel to sets
+	sets     []*bitset.Set
+	universe *bitset.Set
+	txnOf    []int // server id -> transaction index + 1 (0 = none)
+	cnt      []int // transaction index -> primary count
+	indexOf  map[uint64]int
+}
+
+var scratchPool = sync.Pool{New: func() interface{} {
+	return &buildScratch{
+		seen:     make(map[uint64]struct{}),
+		universe: &bitset.Set{},
+		indexOf:  make(map[uint64]int),
+	}
+}}
+
+// ensure grows the server-indexed tables to cover server id s.
+func (sc *buildScratch) ensure(s int) {
+	for len(sc.byServer) <= s {
+		sc.byServer = append(sc.byServer, nil)
+		sc.txnOf = append(sc.txnOf, 0)
+	}
+}
+
+// candidates returns the (possibly new) candidate set for server s.
+func (sc *buildScratch) candidates(s int) *bitset.Set {
+	sc.ensure(s)
+	if set := sc.byServer[s]; set != nil {
+		return set
+	}
+	var set *bitset.Set
+	if n := len(sc.freelist); n > 0 {
+		set = sc.freelist[n-1]
+		sc.freelist = sc.freelist[:n-1]
+		set.Reset()
+	} else {
+		set = &bitset.Set{}
+	}
+	sc.byServer[s] = set
+	sc.touched = append(sc.touched, s)
+	return set
+}
+
+// release returns the scratch to the pool, recycling candidate sets and
+// zeroing the server-indexed tables for the next build.
+func (sc *buildScratch) release() {
+	for _, s := range sc.touched {
+		sc.freelist = append(sc.freelist, sc.byServer[s])
+		sc.byServer[s] = nil
+		sc.txnOf[s] = 0
+	}
+	sc.touched = sc.touched[:0]
+	sc.servers = sc.servers[:0]
+	sc.sets = sc.sets[:0]
+	sc.cnt = sc.cnt[:0]
+	clear(sc.seen)
+	clear(sc.indexOf)
+	scratchPool.Put(sc)
+}
 
 // PlanHint selects the item→server assignment strategy.
 type PlanHint int
@@ -189,12 +263,13 @@ func (p *Planner) buildFiltered(items []uint64, target, budget int, avoid func(i
 	if target <= 0 || target > m {
 		target = m
 	}
-	seen := make(map[uint64]struct{}, m)
+	sc := scratchPool.Get().(*buildScratch)
 	for _, it := range items {
-		if _, dup := seen[it]; dup {
+		if _, dup := sc.seen[it]; dup {
+			sc.release()
 			return nil, fmt.Errorf("core: duplicate item %d in request", it)
 		}
-		seen[it] = struct{}{}
+		sc.seen[it] = struct{}{}
 	}
 
 	plan := &Plan{
@@ -204,25 +279,33 @@ func (p *Planner) buildFiltered(items []uint64, target, budget int, avoid func(i
 	}
 
 	if p.opts.Hint == HintBalanceLoad && budget == 0 && target == m {
+		sc.release()
 		return p.buildBalanced(plan, avoid), nil
 	}
 
 	// Locate all replicas and group request items by candidate server,
-	// excluding avoided (failed/draining) servers from candidacy.
-	serverItems := make(map[int]*bitset.Set)
+	// excluding avoided (failed/draining) servers from candidacy. The
+	// replica lists escape into the Plan, so they are carved from one
+	// per-build slab instead of allocated per item (Placement.Replicas
+	// fills buf[:0] in place; a boosted item overflowing its carve simply
+	// reallocates).
+	rcap := p.placement.NumReplicas()
+	if n := p.placement.NumServers(); rcap > n {
+		rcap = n
+	}
+	if rcap < 1 {
+		rcap = 1
+	}
+	slab := make([]int, m*rcap)
 	for i, it := range items {
 		plan.ItemServer[i] = -1
-		plan.Replicas[i] = p.placement.Replicas(it, nil)
+		off := i * rcap
+		plan.Replicas[i] = p.placement.Replicas(it, slab[off:off:off+rcap])
 		for _, s := range plan.Replicas[i] {
 			if avoid != nil && avoid(s) {
 				continue
 			}
-			set, ok := serverItems[s]
-			if !ok {
-				set = bitset.New(m)
-				serverItems[s] = set
-			}
-			set.Set(i)
+			sc.candidates(s).Set(i)
 		}
 	}
 
@@ -231,10 +314,8 @@ func (p *Planner) buildFiltered(items []uint64, target, budget int, avoid func(i
 	// the request-locality effect (fig. 7). With BalanceTieBreak the
 	// order is rotated by a request fingerprint: still deterministic
 	// per request, but ties no longer always favor low server ids.
-	servers := make([]int, 0, len(serverItems))
-	for s := range serverItems {
-		servers = append(servers, s)
-	}
+	sc.servers = append(sc.servers[:0], sc.touched...)
+	servers := sc.servers
 	sort.Ints(servers)
 	if p.opts.BalanceTieBreak && p.placement.NumServers() > 0 {
 		var fp uint64
@@ -249,12 +330,13 @@ func (p *Planner) buildFiltered(items []uint64, target, budget int, avoid func(i
 			return ra < rb
 		})
 	}
-	sets := make([]*bitset.Set, len(servers))
-	for i, s := range servers {
-		sets[i] = serverItems[s]
+	for _, s := range servers {
+		sc.sets = append(sc.sets, sc.byServer[s])
 	}
+	sets := sc.sets
 
-	universe := bitset.New(m)
+	sc.universe.Reset()
+	universe := sc.universe
 	for i := 0; i < m; i++ {
 		universe.Set(i)
 	}
@@ -265,37 +347,51 @@ func (p *Planner) buildFiltered(items []uint64, target, budget int, avoid func(i
 		res = p.cover(universe, sets, target)
 	}
 
-	// Assign each item to the first picked server that holds it.
-	txnOf := make(map[int]int, len(res.Picked)) // server -> txn index
+	// Assign each item to the first picked server that holds it: one
+	// pass marks ItemServer and counts per-transaction primaries, then
+	// the Primary slices are carved from a single slab and filled in
+	// ascending item order (identical ordering to the historical
+	// append-per-pick construction).
+	plan.Transactions = make([]Transaction, 0, len(res.Picked))
 	for _, pick := range res.Picked {
 		s := servers[pick]
-		txnOf[s] = len(plan.Transactions)
+		ti := len(plan.Transactions)
+		sc.txnOf[s] = ti + 1
+		sc.cnt = append(sc.cnt, 0)
 		plan.Transactions = append(plan.Transactions, Transaction{Server: s})
-	}
-	assignedSet := bitset.New(m)
-	for _, pick := range res.Picked {
-		s := servers[pick]
-		t := &plan.Transactions[txnOf[s]]
 		sets[pick].ForEach(func(i int) bool {
-			if !assignedSet.Test(i) {
-				assignedSet.Set(i)
+			if plan.ItemServer[i] < 0 {
 				plan.ItemServer[i] = s
-				t.Primary = append(t.Primary, items[i])
+				sc.cnt[ti]++
 				plan.Assigned++
 			}
 			return true
 		})
+	}
+	primSlab := make([]uint64, plan.Assigned)
+	off := 0
+	for ti := range plan.Transactions {
+		c := sc.cnt[ti]
+		plan.Transactions[ti].Primary = primSlab[off : off : off+c]
+		off += c
+	}
+	for i := 0; i < m; i++ {
+		if s := plan.ItemServer[i]; s >= 0 {
+			t := &plan.Transactions[sc.txnOf[s]-1]
+			t.Primary = append(t.Primary, items[i])
+		}
 	}
 
 	if p.opts.DistinguishedSingles {
 		// Under a transaction budget, redirection may only merge into
 		// transactions that already exist — creating one would bust the
 		// budget.
-		p.redirectSingles(plan, txnOf, budget == 0, avoid)
+		p.redirectSingles(plan, sc, budget == 0, avoid)
 	}
 	if p.opts.Hitchhike {
 		p.addHitchhikers(plan)
 	}
+	sc.release()
 	return plan, nil
 }
 
@@ -354,10 +450,10 @@ func (p *Planner) buildBalanced(plan *Plan, avoid func(int) bool) *Plan {
 // distinguished server, merging with an existing transaction to that
 // server when possible. Transactions left empty are dropped. When
 // allowNew is false, redirects that would require a new transaction
-// are skipped.
-func (p *Planner) redirectSingles(plan *Plan, txnOf map[int]int, allowNew bool, avoid func(int) bool) {
-	m := len(plan.Items)
-	indexOf := make(map[uint64]int, m)
+// are skipped. The scratch carries the server->transaction table
+// (sc.txnOf, +1-encoded) and a reusable item->index map.
+func (p *Planner) redirectSingles(plan *Plan, sc *buildScratch, allowNew bool, avoid func(int) bool) {
+	indexOf := sc.indexOf
 	for i, it := range plan.Items {
 		indexOf[it] = i
 	}
@@ -372,11 +468,12 @@ func (p *Planner) redirectSingles(plan *Plan, txnOf map[int]int, allowNew bool, 
 		if !ok || dist == t.Server {
 			continue // already fetching the distinguished copy
 		}
-		// Move the item to the distinguished server's transaction.
-		if dj, ok := txnOf[dist]; ok {
+		// The acting distinguished server holds a non-avoided replica, so
+		// it is a candidate server and sc.txnOf covers its id.
+		if dj := sc.txnOf[dist]; dj > 0 {
 			t.Primary = t.Primary[:0]
 			plan.ItemServer[i] = dist
-			plan.Transactions[dj].Primary = append(plan.Transactions[dj].Primary, it)
+			plan.Transactions[dj-1].Primary = append(plan.Transactions[dj-1].Primary, it)
 			continue
 		}
 		if !allowNew {
@@ -384,10 +481,12 @@ func (p *Planner) redirectSingles(plan *Plan, txnOf map[int]int, allowNew bool, 
 		}
 		t.Primary = t.Primary[:0]
 		plan.ItemServer[i] = dist
-		txnOf[dist] = len(plan.Transactions)
+		sc.txnOf[dist] = len(plan.Transactions) + 1
 		plan.Transactions = append(plan.Transactions, Transaction{Server: dist, Primary: []uint64{it}})
 	}
-	// Compact out transactions emptied by redirection.
+	// Compact out transactions emptied by redirection. sc.txnOf is left
+	// stale after the compaction, which is safe: redirection is the last
+	// consumer of the table in a build.
 	kept := plan.Transactions[:0]
 	for _, t := range plan.Transactions {
 		if len(t.Primary) > 0 {

@@ -66,6 +66,9 @@ type Config struct {
 	// PoolSize selects the transport: <= 1 single-connection, > 1 the
 	// pipelined pool with that many connections per server.
 	PoolSize int `json:"pool_size"`
+	// Binary switches the transport to the binary wire format (quiet-get
+	// pipelining through the pool; implies the pooled transport).
+	Binary bool `json:"binary,omitempty"`
 	// Goroutines is the number of concurrent load generators
 	// (default 8).
 	Goroutines int `json:"goroutines"`
@@ -174,6 +177,9 @@ func Run(cfg Config) (Result, error) {
 	opts := []rnb.Option{rnb.WithReplicas(cfg.Replicas), rnb.WithTimeout(10 * time.Second)}
 	if cfg.PoolSize > 1 {
 		opts = append(opts, rnb.WithPoolSize(cfg.PoolSize))
+	}
+	if cfg.Binary {
+		opts = append(opts, rnb.WithBinaryProtocol())
 	}
 	cl, err := rnb.NewClient(addrs, opts...)
 	if err != nil {

@@ -1,0 +1,199 @@
+//go:build !race
+
+// Allocation-budget regression gates for the transport hot paths (run
+// via `make bench-alloc`; excluded under -race because the race
+// runtime's shadow allocations distort testing.AllocsPerRun).
+package memcache
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// allocGate fails when fn's steady-state allocation count exceeds the
+// budget. The measured value is logged so regressions show their size.
+func allocGate(t *testing.T, name string, budget float64, fn func()) {
+	t.Helper()
+	fn() // warm lazily initialized pools outside the measured window
+	got := testing.AllocsPerRun(200, fn)
+	t.Logf("%s: %.1f allocs/op (budget %.1f)", name, got, budget)
+	if got > budget {
+		t.Errorf("%s: %.1f allocs/op, budget %.1f", name, got, budget)
+	}
+}
+
+// TestAllocBudgetEncode: command encoding — text and binary — must not
+// allocate at all in steady state. The pooled writer loop calls these
+// under its flush lock, so every alloc here is paid once per request on
+// every connection.
+func TestAllocBudgetEncode(t *testing.T) {
+	w := bufio.NewWriter(io.Discard)
+	keys := []string{"alloc:000", "alloc:001", "alloc:002", "alloc:003",
+		"alloc:004", "alloc:005", "alloc:006", "alloc:007"}
+	it := &Item{Key: "alloc:key", Value: bytes.Repeat([]byte("v"), 100), Flags: 7, Expiration: 60}
+
+	allocGate(t, "text get encode", 0, func() {
+		if err := writeGetCmd(w, "get", keys); err != nil {
+			t.Fatal(err)
+		}
+		w.Reset(io.Discard)
+	})
+	allocGate(t, "text set encode", 0, func() {
+		if err := writeStoreCmd(w, "set", it, 0); err != nil {
+			t.Fatal(err)
+		}
+		w.Reset(io.Discard)
+	})
+	allocGate(t, "text incr encode", 0, func() {
+		if err := writeIncrDecrCmd(w, "incr", "alloc:key", 42); err != nil {
+			t.Fatal(err)
+		}
+		w.Reset(io.Discard)
+	})
+	allocGate(t, "binary multiget encode", 0, func() {
+		if err := writeBinMultiGetCmd(w, keys); err != nil {
+			t.Fatal(err)
+		}
+		w.Reset(io.Discard)
+	})
+	allocGate(t, "binary set encode", 0, func() {
+		if err := writeBinStoreCmd(w, binOpSet, it, 0); err != nil {
+			t.Fatal(err)
+		}
+		w.Reset(io.Discard)
+	})
+	allocGate(t, "binary incr encode", 0, func() {
+		if err := writeBinIncrDecrCmd(w, binOpIncrement, "alloc:key", 42); err != nil {
+			t.Fatal(err)
+		}
+		w.Reset(io.Discard)
+	})
+}
+
+// TestAllocBudgetDecode: response decoding pays only what escapes into
+// the result — per hit, the Item, its key string, and its value block
+// (3 allocs) plus map growth — and nothing for protocol framing.
+func TestAllocBudgetDecode(t *testing.T) {
+	const hits = 8
+	// Render one canned text multiget response and one binary response.
+	var text bytes.Buffer
+	for i := 0; i < hits; i++ {
+		fmt.Fprintf(&text, "VALUE alloc:%03d %d 100 %d\r\n%s\r\n", i, i, i+1, bytes.Repeat([]byte("v"), 100))
+	}
+	text.WriteString("END\r\n")
+	var bin bytes.Buffer
+	bw := bufio.NewWriter(&bin)
+	for i := 0; i < hits; i++ {
+		extras := []byte{0, 0, 0, byte(i)}
+		key := fmt.Sprintf("alloc:%03d", i)
+		writeBinRes := func() {
+			hdr := binResFrame(binOpGetKQ, binStatusOK, uint32(i), uint64(i+1), extras, key, string(bytes.Repeat([]byte("v"), 100)))
+			bw.Write(hdr)
+		}
+		writeBinRes()
+	}
+	bw.Write(binResFrame(binOpNoop, binStatusOK, hits, 0, nil, "", ""))
+	bw.Flush()
+
+	// 3 allocs per hit (Item, key, value) + amortized map growth; the
+	// budget leaves one alloc of slack per run, not per hit.
+	budget := float64(3*hits) + 1
+	rd := bytes.NewReader(nil)
+	br := bufio.NewReader(nil)
+	out := make(map[string]*Item, hits)
+	allocGate(t, "text multiget decode", budget, func() {
+		rd.Reset(text.Bytes())
+		br.Reset(rd)
+		clear(out)
+		if err := readValuesInto(br, true, out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != hits {
+			t.Fatalf("decoded %d hits", len(out))
+		}
+	})
+	allocGate(t, "binary multiget decode", budget, func() {
+		rd.Reset(bin.Bytes())
+		br.Reset(rd)
+		clear(out)
+		if err := readBinMultiGetInto(br, hits, out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != hits {
+			t.Fatalf("decoded %d hits", len(out))
+		}
+	})
+	stored := []byte("STORED\r\n")
+	allocGate(t, "text store reply decode", 0, func() {
+		rd.Reset(stored)
+		br.Reset(rd)
+		if err := readStoreReply(br); err != nil {
+			t.Fatal(err)
+		}
+	})
+	storedFrame := binResFrame(binOpSet, binStatusOK, 0, 1, nil, "", "")
+	allocGate(t, "binary store reply decode", 0, func() {
+		rd.Reset(storedFrame)
+		br.Reset(rd)
+		if err := readBinStatusReply(br, binOpSet); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllocBudgetPoolRoundTrip bounds the whole pooled multiget path —
+// routing, queueing, batched flush, demux — end to end against a live
+// server. The budget is per GetMulti of 8 keys, all hits, and covers
+// every goroutine (AllocsPerRun counts globally), so it gates the
+// writer-loop flush path too.
+func TestAllocBudgetPoolRoundTrip(t *testing.T) {
+	for _, lane := range []struct {
+		name   string
+		binary bool
+		budget float64
+	}{
+		// Measured 44 allocs/op (text) and 42 (binary) per 8-key
+		// multiget: 3 per hit for the escaping items, ~1 per key of
+		// server-side parsing, plus fixed request plumbing (poolRequest,
+		// closures, done channel, result map). The slack absorbs map
+		// growth jitter without letting a per-key regression through.
+		{"text", false, 45},
+		{"binary", true, 44},
+	} {
+		t.Run(lane.name, func(t *testing.T) {
+			srv := NewServer(NewStore(0))
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go srv.Serve(ln)
+			defer srv.Close()
+			p, err := NewPool(ln.Addr().String(), 2*time.Second, PoolConfig{Size: 1, Binary: lane.binary})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			keys := make([]string, 8)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("alloc:%03d", i)
+				if err := p.Set(&Item{Key: keys[i], Value: bytes.Repeat([]byte("v"), 100)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocGate(t, lane.name+" pooled multiget", lane.budget, func() {
+				items, err := p.GetMulti(keys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(items) != len(keys) {
+					t.Fatalf("%d items", len(items))
+				}
+			})
+		})
+	}
+}

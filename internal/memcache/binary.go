@@ -27,20 +27,24 @@ const (
 
 // Binary opcodes (subset).
 const (
-	binOpGet     = 0x00
-	binOpSet     = 0x01
-	binOpAdd     = 0x02
-	binOpReplace = 0x03
-	binOpDelete  = 0x04
-	binOpFlush   = 0x08
-	binOpGetQ    = 0x09
-	binOpNoop    = 0x0a
-	binOpVersion = 0x0b
-	binOpGetK    = 0x0c
-	binOpGetKQ   = 0x0d
-	binOpStat    = 0x10
-	binOpTouch   = 0x1c
-	binOpQuit    = 0x17
+	binOpGet       = 0x00
+	binOpSet       = 0x01
+	binOpAdd       = 0x02
+	binOpReplace   = 0x03
+	binOpDelete    = 0x04
+	binOpIncrement = 0x05
+	binOpDecrement = 0x06
+	binOpFlush     = 0x08
+	binOpGetQ      = 0x09
+	binOpNoop      = 0x0a
+	binOpVersion   = 0x0b
+	binOpGetK      = 0x0c
+	binOpGetKQ     = 0x0d
+	binOpAppend    = 0x0e
+	binOpPrepend   = 0x0f
+	binOpStat      = 0x10
+	binOpTouch     = 0x1c
+	binOpQuit      = 0x17
 	// binOpSetP is this repository's pinning extension ("setp" in the
 	// text protocol); chosen from the unused range.
 	binOpSetP = 0xf0
@@ -109,34 +113,54 @@ type binRequest struct {
 	value  []byte
 }
 
-// readBinRequest reads one request (header already partially peeked is
-// the caller's concern; here we read from scratch).
-func readBinRequest(r *bufio.Reader) (*binRequest, error) {
-	var hdr [binHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+// readBinRequest reads one request into req (reused across a
+// connection's serve loop). The header is decoded in place inside the
+// reader's buffer via Peek, so framing costs no allocation. Quiet gets
+// — the pipelined hot path — parse their key straight out of the buffer
+// too; only the key string survives the call. Value-carrying commands
+// still copy the body onto the heap because the store retains it.
+func readBinRequest(r *bufio.Reader, req *binRequest) error {
+	hdr, err := r.Peek(binHeaderLen)
+	if err != nil {
+		return err
 	}
-	req := &binRequest{}
-	if err := req.decode(hdr[:]); err != nil {
-		return nil, err
+	if err := req.decode(hdr); err != nil {
+		return err
 	}
 	if req.magic != binMagicReq {
-		return nil, fmt.Errorf("memcache: bad binary magic 0x%02x", req.magic)
+		return fmt.Errorf("memcache: bad binary magic 0x%02x", req.magic)
 	}
 	if req.bodyLen > MaxValueLen+uint32(req.keyLen)+uint32(req.extraLen) {
-		return nil, fmt.Errorf("memcache: binary body too large (%d)", req.bodyLen)
+		return fmt.Errorf("memcache: binary body too large (%d)", req.bodyLen)
+	}
+	if _, err := r.Discard(binHeaderLen); err != nil {
+		return err
+	}
+	if quiet := req.opcode == binOpGetQ || req.opcode == binOpGetKQ; quiet && req.bodyLen <= 4096 {
+		body, err := r.Peek(int(req.bodyLen))
+		if err != nil {
+			return err
+		}
+		req.extras = nil
+		req.key = string(body[req.extraLen : uint32(req.extraLen)+uint32(req.keyLen)])
+		req.value = nil
+		_, err = r.Discard(int(req.bodyLen))
+		return err
 	}
 	body := make([]byte, req.bodyLen)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
+		return err
 	}
 	req.extras = body[:req.extraLen]
 	req.key = string(body[req.extraLen : uint32(req.extraLen)+uint32(req.keyLen)])
 	req.value = body[uint32(req.extraLen)+uint32(req.keyLen):]
-	return req, nil
+	return nil
 }
 
-// writeBinResponse emits one response frame.
+// writeBinResponse emits one response frame. Header, extras, and key
+// are assembled in a pooled buffer and written in one call (keeping
+// callers' stack-built extras on the stack); only the value — already
+// heap-resident — streams separately.
 func writeBinResponse(w *bufio.Writer, opcode byte, status uint16, opaque uint32,
 	cas uint64, extras []byte, key string, value []byte) error {
 	h := binHeader{
@@ -149,18 +173,17 @@ func writeBinResponse(w *bufio.Writer, opcode byte, status uint16, opaque uint32
 		opaque:   opaque,
 		cas:      cas,
 	}
-	var hdr [binHeaderLen]byte
-	h.encode(hdr[:])
-	if _, err := w.Write(hdr[:]); err != nil {
+	scratch := lineScratch.Get().(*[320]byte)
+	b := scratch[:binHeaderLen]
+	h.encode(b)
+	b = append(b, extras...)
+	b = append(b, key...)
+	_, err := w.Write(b)
+	lineScratch.Put(scratch)
+	if err != nil {
 		return err
 	}
-	if _, err := w.Write(extras); err != nil {
-		return err
-	}
-	if _, err := w.WriteString(key); err != nil {
-		return err
-	}
-	_, err := w.Write(value)
+	_, err = w.Write(value)
 	return err
 }
 
@@ -174,18 +197,24 @@ type pendingQuietGet struct {
 // serveBinary runs the binary-protocol loop on a connection.
 func (s *Server) serveBinary(r *bufio.Reader, w *bufio.Writer) {
 	var quiet []pendingQuietGet
+	req := &binRequest{} // reused across frames; bodies are per-frame
 	for {
-		req, err := readBinRequest(r)
-		if err != nil {
+		if err := readBinRequest(r, req); err != nil {
 			return
 		}
-		s.stats.Transactions.Add(1)
 		switch req.opcode {
 		case binOpGetQ, binOpGetKQ:
-			// Quiet gets batch until a blocking command; no flush yet.
+			// Quiet gets batch until a blocking command; the whole run
+			// counts as one transaction at its flush — the binary
+			// analogue of a multi-key text "get" line.
 			quiet = append(quiet, pendingQuietGet{opcode: req.opcode, key: req.key, opaque: req.opaque})
 			continue
 		case binOpNoop:
+			// A noop terminating a quiet run is that run's flush trigger,
+			// not a command of its own; standalone noops count as a ping.
+			if len(quiet) == 0 {
+				s.stats.Transactions.Add(1)
+			}
 			if err := s.flushQuiet(w, &quiet); err != nil {
 				return
 			}
@@ -193,11 +222,13 @@ func (s *Server) serveBinary(r *bufio.Reader, w *bufio.Writer) {
 				return
 			}
 		case binOpQuit:
+			s.stats.Transactions.Add(1)
 			_ = s.flushQuiet(w, &quiet)
 			_ = writeBinResponse(w, binOpQuit, binStatusOK, req.opaque, 0, nil, "", nil)
 			_ = w.Flush()
 			return
 		default:
+			s.stats.Transactions.Add(1)
 			if err := s.flushQuiet(w, &quiet); err != nil {
 				return
 			}
@@ -223,6 +254,7 @@ func (s *Server) flushQuiet(w *bufio.Writer, quiet *[]pendingQuietGet) error {
 	for i, q := range batch {
 		keys[i] = q.key
 	}
+	s.stats.Transactions.Add(1) // the whole quiet run is one transaction
 	s.stats.CmdGet.Add(uint64(len(keys)))
 	items, err := s.backend.GetMulti(keys)
 	if err != nil {
@@ -333,6 +365,66 @@ func (s *Server) dispatchBinary(req *binRequest, w *bufio.Writer) error {
 			return fail(binStatusNotFound)
 		}
 		return writeBinResponse(w, req.opcode, binStatusOK, req.opaque, 0, nil, "", nil)
+
+	case binOpIncrement, binOpDecrement:
+		// Extras: delta(8) initial(8) expiration(4). Matching the text
+		// grammar, deltas are capped at 63 bits (the store computes in
+		// int64) and a missing key is NOT_FOUND — auto-create (any
+		// expiration other than 0xffffffff) is not supported, keeping
+		// both wire formats byte-equivalent for the differential suite.
+		if len(req.extras) != 20 || req.key == "" {
+			return fail(binStatusInvalidArgs)
+		}
+		delta := binary.BigEndian.Uint64(req.extras[0:8])
+		if exp := binary.BigEndian.Uint32(req.extras[16:20]); exp != binNoAutoCreate {
+			return fail(binStatusInvalidArgs)
+		}
+		if !binDeltaInRange(delta) {
+			return fail(binStatusInvalidArgs)
+		}
+		d := int64(delta)
+		if req.opcode == binOpDecrement {
+			d = -d
+		}
+		val, err := s.backend.Increment(req.key, d)
+		switch {
+		case err == nil:
+			var body [8]byte
+			binary.BigEndian.PutUint64(body[:], val)
+			return writeBinResponse(w, req.opcode, binStatusOK, req.opaque, 0, nil, "", body[:])
+		case err == ErrCacheMiss:
+			return fail(binStatusNotFound)
+		case err == ErrBadKey:
+			return fail(binStatusInvalidArgs)
+		default:
+			// e.g. non-numeric value: the text grammar answers
+			// CLIENT_ERROR (a kept-connection reply error), so the binary
+			// side must also map to the generic-status bucket.
+			return fail(binStatusInternal)
+		}
+
+	case binOpAppend, binOpPrepend:
+		if len(req.extras) != 0 || req.key == "" {
+			return fail(binStatusInvalidArgs)
+		}
+		var err error
+		if req.opcode == binOpAppend {
+			err = s.backend.Append(req.key, req.value)
+		} else {
+			err = s.backend.Prepend(req.key, req.value)
+		}
+		switch {
+		case err == nil:
+			return writeBinResponse(w, req.opcode, binStatusOK, req.opaque, 0, nil, "", nil)
+		case err == ErrNotStored, err == ErrCacheMiss:
+			return fail(binStatusNotStored)
+		case err == ErrTooLarge:
+			return fail(binStatusTooLarge)
+		case err == ErrBadKey:
+			return fail(binStatusInvalidArgs)
+		default:
+			return fail(binStatusInternal)
+		}
 
 	case binOpTouch:
 		if len(req.extras) != 4 || req.key == "" {

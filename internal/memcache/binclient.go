@@ -137,24 +137,11 @@ func (c *BinClient) readRes() (*binRequest, error) {
 	return res, nil
 }
 
-func statusError(status uint16) error {
-	switch status {
-	case binStatusOK:
-		return nil
-	case binStatusNotFound:
-		return ErrCacheMiss
-	case binStatusExists:
-		return ErrCASConflict
-	case binStatusNotStored:
-		return ErrNotStored
-	case binStatusTooLarge:
-		return ErrTooLarge
-	case binStatusInvalidArgs:
-		return ErrBadKey
-	default:
-		return fmt.Errorf("memcache: binary status 0x%04x", status)
-	}
-}
+// statusError maps a response status onto the protocol error set. The
+// mapping (including the replyError default for unknown statuses, which
+// keeps the connection usable) lives in bincodec.go so BinClient and
+// the pooled binary transport cannot drift.
+func statusError(status uint16) error { return binStatusError(status) }
 
 // GetMulti fetches keys as one pipelined quiet-get transaction.
 func (c *BinClient) GetMulti(keys []string) (map[string]*Item, error) {

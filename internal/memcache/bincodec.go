@@ -1,0 +1,332 @@
+package memcache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file is the binary-protocol request codec for the pooled
+// transport: one write half and one read half per command, operating on
+// bare bufio endpoints, exactly mirroring the text codec in codec.go.
+// The split is what lets memcache.Pool pipeline binary requests with
+// the same writer/reader machinery it uses for text — a request is
+// fully described by (write, read), responses arrive strictly in
+// request order, and FIFO demux is exact.
+//
+// Multi-get is the paper's case for the binary protocol: N quiet gets
+// (GetKQ) plus one terminating Noop form ONE transaction on the wire
+// (the server batches the quiet run into a single backend multi-get),
+// where the text protocol spends one parsed "get k1 k2 ..." line and N
+// "VALUE ..." header parses. Misses cost zero response bytes.
+//
+// Error taxonomy matches the text codec: a malformed or out-of-sequence
+// frame leaves the stream position unknown and is conn-fatal, while a
+// fully consumed negative status (not found, not stored, CAS conflict)
+// keeps the connection usable.
+
+// errBinDesync builds the canonical conn-fatal framing error.
+func errBinDesync(format string, args ...interface{}) error {
+	return fmt.Errorf("memcache: binary desync: "+format, args...)
+}
+
+// writeBinFrame emits one request frame. Allocation-free: header,
+// extras, and key (24 + ≤20 + ≤250 bytes — always inside the shared
+// 320-byte line scratch) are assembled in a pooled buffer and written
+// once; only the value, which already lives on the caller's heap, is
+// streamed separately. A stack buffer would not do: bufio.Writer.Write
+// leaks its argument through the underlying io.Writer interface, so a
+// stack-assembled header is forced to the heap once per frame.
+func writeBinFrame(w *bufio.Writer, opcode byte, opaque uint32, cas uint64, extras []byte, key string, value []byte) error {
+	h := binHeader{
+		magic:    binMagicReq,
+		opcode:   opcode,
+		keyLen:   uint16(len(key)),
+		extraLen: uint8(len(extras)),
+		bodyLen:  uint32(len(extras) + len(key) + len(value)),
+		opaque:   opaque,
+		cas:      cas,
+	}
+	scratch := lineScratch.Get().(*[320]byte)
+	b := scratch[:binHeaderLen]
+	h.encode(b)
+	b = append(b, extras...)
+	b = append(b, key...)
+	_, err := w.Write(b)
+	lineScratch.Put(scratch)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(value)
+	return err
+}
+
+// readBinHeader reads and validates one response header. Violations
+// (wrong magic, impossible lengths) are conn-fatal by construction:
+// the stream position afterwards would be unknown.
+func readBinHeader(r *bufio.Reader, h *binHeader) error {
+	// Peek+Discard instead of reading into a local buffer: the header is
+	// decoded in place inside the reader's 64KiB buffer (always big
+	// enough for 24 bytes), so the hot read path allocates nothing.
+	hdr, err := r.Peek(binHeaderLen)
+	if err != nil {
+		return err
+	}
+	if err := h.decode(hdr); err != nil {
+		return err
+	}
+	if _, err := r.Discard(binHeaderLen); err != nil {
+		return err
+	}
+	if h.magic != binMagicRes {
+		return errBinDesync("bad response magic 0x%02x", h.magic)
+	}
+	if h.bodyLen > MaxValueLen+uint32(h.keyLen)+uint32(h.extraLen) {
+		// A corrupt (or hostile) header must not drive a giant
+		// allocation or a multi-gigabyte discard.
+		return errBinDesync("response body %d bytes exceeds limit", h.bodyLen)
+	}
+	return nil
+}
+
+// discardBinBody consumes a frame's body without retaining it.
+func discardBinBody(r *bufio.Reader, h *binHeader) error {
+	if h.bodyLen == 0 {
+		return nil
+	}
+	if _, err := r.Discard(int(h.bodyLen)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// --- multi-get: GetKQ pipeline + Noop terminator ---------------------
+
+// writeBinMultiGetCmd emits len(keys) quiet gets plus the terminating
+// Noop. Quiet-get i carries opaque i and the Noop carries opaque
+// len(keys), so the read half can detect reordered or foreign frames.
+func writeBinMultiGetCmd(w *bufio.Writer, keys []string) error {
+	for i, k := range keys {
+		if err := writeBinFrame(w, binOpGetKQ, uint32(i), 0, nil, k, nil); err != nil {
+			return err
+		}
+	}
+	return writeBinFrame(w, binOpNoop, uint32(len(keys)), 0, nil, "", nil)
+}
+
+// readBinMultiGetInto consumes quiet-get responses until the
+// terminating Noop, merging hits into out. Misses are silent (that is
+// the point of GetKQ); an errored quiet get consumed a complete frame
+// and counts as a miss. Frames violating the expected shape — wrong
+// opcode, opaque out of range or out of order, corrupt lengths — are
+// conn-fatal.
+func readBinMultiGetInto(r *bufio.Reader, n int, out map[string]*Item) error {
+	var h binHeader
+	last := -1
+	for {
+		if err := readBinHeader(r, &h); err != nil {
+			return err
+		}
+		switch h.opcode {
+		case binOpNoop:
+			if h.opaque != uint32(n) {
+				return errBinDesync("noop opaque %d, want %d", h.opaque, n)
+			}
+			return discardBinBody(r, &h)
+		case binOpGetKQ:
+		default:
+			return errBinDesync("opcode 0x%02x inside quiet-get pipeline", h.opcode)
+		}
+		if h.opaque >= uint32(n) || int(h.opaque) <= last {
+			return errBinDesync("quiet-get opaque %d out of order (last %d, batch %d)", h.opaque, last, n)
+		}
+		last = int(h.opaque)
+		if h.status != binStatusOK {
+			// Quiet semantics: an errored get is a miss; the frame is
+			// fully consumed so the stream stays in sync.
+			if err := discardBinBody(r, &h); err != nil {
+				return err
+			}
+			continue
+		}
+		if h.keyLen == 0 {
+			return errBinDesync("quiet-get hit without key")
+		}
+		body := make([]byte, h.bodyLen)
+		if _, err := readFull(r, body); err != nil {
+			return err
+		}
+		it := &Item{
+			Key:   string(body[h.extraLen : uint32(h.extraLen)+uint32(h.keyLen)]),
+			Value: body[uint32(h.extraLen)+uint32(h.keyLen):],
+			CAS:   h.cas,
+		}
+		if h.extraLen >= 4 {
+			it.Flags = binary.BigEndian.Uint32(body[:4])
+		}
+		out[it.Key] = it
+	}
+}
+
+// --- single-frame commands -------------------------------------------
+
+// binStatusError maps a response status onto the protocol error set.
+// Unknown statuses become replyErrors: the frame was fully consumed, so
+// the connection stays usable — mirroring the text codec's
+// "server answered" rule.
+func binStatusError(status uint16) error {
+	switch status {
+	case binStatusOK:
+		return nil
+	case binStatusNotFound:
+		return ErrCacheMiss
+	case binStatusExists:
+		return ErrCASConflict
+	case binStatusNotStored:
+		return ErrNotStored
+	case binStatusTooLarge:
+		return ErrTooLarge
+	case binStatusInvalidArgs:
+		return ErrBadKey
+	default:
+		return &replyError{msg: fmt.Sprintf("memcache: server answered binary status 0x%04x", status)}
+	}
+}
+
+// readBinStatusReply consumes exactly one response frame for opcode and
+// maps its status. The body (error text on failures, empty on success)
+// is discarded, so the connection is in sync whatever the outcome.
+func readBinStatusReply(r *bufio.Reader, opcode byte) error {
+	var h binHeader
+	if err := readBinHeader(r, &h); err != nil {
+		return err
+	}
+	if h.opcode != opcode {
+		return errBinDesync("response opcode 0x%02x, want 0x%02x", h.opcode, opcode)
+	}
+	if err := discardBinBody(r, &h); err != nil {
+		return err
+	}
+	return binStatusError(h.status)
+}
+
+// writeBinStoreCmd emits one set/add/replace/setp frame (8-byte
+// flags+exptime extras, per the memcached binary layout).
+func writeBinStoreCmd(w *bufio.Writer, opcode byte, it *Item, cas uint64) error {
+	var extras [8]byte
+	binary.BigEndian.PutUint32(extras[0:4], it.Flags)
+	binary.BigEndian.PutUint32(extras[4:8], uint32(it.Expiration))
+	return writeBinFrame(w, opcode, 0, cas, extras[:], it.Key, it.Value)
+}
+
+// writeBinConcatCmd emits an append/prepend frame (no extras).
+func writeBinConcatCmd(w *bufio.Writer, opcode byte, key string, data []byte) error {
+	return writeBinFrame(w, opcode, 0, 0, nil, key, data)
+}
+
+// binNoAutoCreate in the incr/decr expiration field means "do not
+// create missing counters" — the text protocol's semantics, which both
+// transports must share for the differential suite to hold.
+const binNoAutoCreate = 0xffffffff
+
+// writeBinIncrDecrCmd emits an increment/decrement frame: 20-byte
+// extras (delta, initial, expiration). Expiration is pinned to
+// binNoAutoCreate so a missing key answers NotFound exactly like the
+// text protocol's incr/decr.
+func writeBinIncrDecrCmd(w *bufio.Writer, opcode byte, key string, delta uint64) error {
+	var extras [20]byte
+	binary.BigEndian.PutUint64(extras[0:8], delta)
+	binary.BigEndian.PutUint32(extras[16:20], binNoAutoCreate)
+	return writeBinFrame(w, opcode, 0, 0, extras[:], key, nil)
+}
+
+// readBinCounterReply consumes an incr/decr response and returns the
+// new counter value (8-byte big-endian body on success).
+func readBinCounterReply(r *bufio.Reader, opcode byte) (uint64, error) {
+	var h binHeader
+	if err := readBinHeader(r, &h); err != nil {
+		return 0, err
+	}
+	if h.opcode != opcode {
+		return 0, errBinDesync("response opcode 0x%02x, want 0x%02x", h.opcode, opcode)
+	}
+	if h.status != binStatusOK {
+		if err := discardBinBody(r, &h); err != nil {
+			return 0, err
+		}
+		return 0, binStatusError(h.status)
+	}
+	if h.bodyLen != 8 {
+		return 0, errBinDesync("counter reply body %d bytes, want 8", h.bodyLen)
+	}
+	val, err := r.Peek(8)
+	if err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(val)
+	if _, err := r.Discard(8); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// writeBinTouchCmd emits a touch frame (4-byte expiration extras).
+func writeBinTouchCmd(w *bufio.Writer, key string, exp int32) error {
+	var extras [4]byte
+	binary.BigEndian.PutUint32(extras[:], uint32(exp))
+	return writeBinFrame(w, binOpTouch, 0, 0, extras[:], key, nil)
+}
+
+// readBinVersionReply consumes a version response and returns the
+// banner.
+func readBinVersionReply(r *bufio.Reader) (string, error) {
+	var h binHeader
+	if err := readBinHeader(r, &h); err != nil {
+		return "", err
+	}
+	if h.opcode != binOpVersion {
+		return "", errBinDesync("response opcode 0x%02x, want version", h.opcode)
+	}
+	body := make([]byte, h.bodyLen)
+	if _, err := readFull(r, body); err != nil {
+		return "", err
+	}
+	if err := binStatusError(h.status); err != nil {
+		return "", err
+	}
+	return string(body[uint32(h.extraLen)+uint32(h.keyLen):]), nil
+}
+
+// readBinStatsInto consumes STAT frames until the empty-key
+// terminator, merging entries into out.
+func readBinStatsInto(r *bufio.Reader, out map[string]string) error {
+	var h binHeader
+	for {
+		if err := readBinHeader(r, &h); err != nil {
+			return err
+		}
+		if h.opcode != binOpStat {
+			return errBinDesync("response opcode 0x%02x, want stat", h.opcode)
+		}
+		if h.status != binStatusOK {
+			if err := discardBinBody(r, &h); err != nil {
+				return err
+			}
+			return binStatusError(h.status)
+		}
+		if h.keyLen == 0 {
+			return discardBinBody(r, &h) // terminator
+		}
+		body := make([]byte, h.bodyLen)
+		if _, err := readFull(r, body); err != nil {
+			return err
+		}
+		key := string(body[h.extraLen : uint32(h.extraLen)+uint32(h.keyLen)])
+		out[key] = string(body[uint32(h.extraLen)+uint32(h.keyLen):])
+	}
+}
+
+// binDeltaInRange reports whether a binary incr/decr delta fits the
+// text grammar's 63-bit budget (the store computes in int64).
+func binDeltaInRange(delta uint64) bool { return delta <= math.MaxInt64 }

@@ -1,0 +1,223 @@
+package memcache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// binResFrame assembles one binary response frame for fuzz seeds.
+func binResFrame(opcode byte, status uint16, opaque uint32, cas uint64, extras []byte, key, value string) []byte {
+	body := len(extras) + len(key) + len(value)
+	b := make([]byte, 24, 24+body)
+	b[0] = binMagicRes
+	b[1] = opcode
+	binary.BigEndian.PutUint16(b[2:], uint16(len(key)))
+	b[4] = byte(len(extras))
+	binary.BigEndian.PutUint16(b[6:], status)
+	binary.BigEndian.PutUint32(b[8:], uint32(body))
+	binary.BigEndian.PutUint32(b[12:], opaque)
+	binary.BigEndian.PutUint64(b[16:], cas)
+	b = append(b, extras...)
+	b = append(b, key...)
+	b = append(b, value...)
+	return b
+}
+
+// FuzzBinaryDemux is FuzzPoolDemux's twin for the quiet-get transport:
+// a fake server answers every connection with an arbitrary byte stream
+// while three concurrent binary multi-gets are in flight. Whatever the
+// stream — bad magic, truncated extras, oversized declared body
+// lengths, misordered opaques, wrong opcodes — the pool must neither
+// panic, nor hang past its deadline, nor leak goroutines (Close must
+// return).
+func FuzzBinaryDemux(f *testing.F) {
+	hit := func(opaque uint32, key, val string) []byte {
+		return binResFrame(binOpGetKQ, binStatusOK, opaque, 1, []byte{0, 0, 0, 0}, key, val)
+	}
+	noop := func(opaque uint32) []byte {
+		return binResFrame(binOpNoop, binStatusOK, opaque, 0, nil, "", "")
+	}
+	cat := func(frames ...[]byte) []byte { return bytes.Join(frames, nil) }
+	seeds := [][]byte{
+		cat(hit(0, "a", "x"), hit(1, "b", "y"), noop(3)),
+		cat(noop(3), noop(3), noop(3)),
+		cat(hit(2, "c", "z"), hit(0, "a", "x"), noop(3)), // opaque misorder
+		cat(hit(7, "a", "x"), noop(3)),                   // opaque out of range
+		hit(0, "a", "x")[:20],                            // truncated header
+		cat(hit(0, "a", "x")[:25]),                       // truncated extras
+		func() []byte { // oversized declared bodyLen
+			b := hit(0, "a", "x")
+			binary.BigEndian.PutUint32(b[8:], 0xffffffff)
+			return b
+		}(),
+		func() []byte { // request magic where a response belongs
+			b := cat(hit(0, "a", "x"), noop(3))
+			b[0] = binMagicReq
+			return b
+		}(),
+		cat(binResFrame(binOpSet, binStatusOK, 0, 0, nil, "", ""), noop(3)), // wrong opcode
+		cat(hit(0, "a", "x"), binResFrame(binOpGetKQ, binStatusNotFound, 1, 0, nil, "", ""), noop(3)),
+		{},
+		{0xff, 0xfe, 0x00, 0x0d, 0x0a},
+		[]byte("VALUE a 0 1\r\nx\r\nEND\r\n"), // text reply on a binary conn
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func(conn net.Conn) {
+					defer conn.Close()
+					go func() {
+						buf := make([]byte, 4096)
+						for {
+							if _, err := conn.Read(buf); err != nil {
+								return
+							}
+						}
+					}()
+					conn.Write(data)
+					time.Sleep(400 * time.Millisecond)
+				}(conn)
+			}
+		}()
+		p, err := NewPool(ln.Addr().String(), 150*time.Millisecond, PoolConfig{Size: 2, Depth: 8, Binary: true})
+		if err != nil {
+			t.Skip() // accept raced the dial; nothing to fuzz
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Errors are expected — panics and hangs are the bugs.
+				p.GetMulti([]string{"a", "b", "c"})
+			}()
+		}
+		wg.Wait()
+		if err := p.Close(); err != nil {
+			t.Fatalf("pool close after binary demux fuzz: %v", err)
+		}
+	})
+}
+
+// FuzzCrossProtocol decodes the fuzz input as an operation script and
+// replays it over a text pool and a binary pool, each against its own
+// server. Whatever the script, every op must land in the same result
+// bucket on both wires and the final store states must be identical —
+// the fuzz-shaped version of TestThreeWayDifferential.
+func FuzzCrossProtocol(f *testing.F) {
+	f.Add([]byte{0, 0, 10, 9, 1, 0, 5, 0, 0, 6, 1, 99})
+	f.Add([]byte{2, 3, 0, 3, 3, 0, 4, 3, 0, 9, 0, 0})
+	f.Add([]byte{6, 0, 7, 5, 0, 200, 6, 0, 255, 7, 1, 0, 8, 2, 0})
+	f.Add([]byte{1, 4, 4, 2, 4, 4, 0, 4, 0, 5, 4, 5, 9, 4, 0})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 300 {
+			t.Skip()
+		}
+		textAddr, textStore := startLaneServer(t)
+		binAddr, binStore := startLaneServer(t)
+		tp := newTestPool(t, textAddr, PoolConfig{Size: 1})
+		bp := newBinPool(t, binAddr, PoolConfig{Size: 1})
+
+		const population = 8
+		key := func(b byte) string { return fmt.Sprintf("fz:%d", b%population) }
+		apply := func(c Conn, op [3]byte) (string, string) {
+			k := key(op[1])
+			switch op[0] % 10 {
+			case 0:
+				v := bytes.Repeat([]byte{op[2]}, int(op[2])%64)
+				return errBucket(c.Set(&Item{Key: k, Value: v, Flags: uint32(op[2])})), ""
+			case 1:
+				return errBucket(c.Add(&Item{Key: k, Value: []byte{op[2]}})), ""
+			case 2:
+				return errBucket(c.Replace(&Item{Key: k, Value: []byte{op[2], op[2]}})), ""
+			case 3:
+				return errBucket(c.Append(k, []byte{'A', op[2]})), ""
+			case 4:
+				return errBucket(c.Prepend(k, []byte{'P', op[2]})), ""
+			case 5:
+				v, err := c.Incr(k, uint64(op[2]))
+				if err != nil {
+					return errBucket(err), ""
+				}
+				return "ok", fmt.Sprintf("%d", v)
+			case 6:
+				v, err := c.Decr(k, uint64(op[2]))
+				if err != nil {
+					return errBucket(err), ""
+				}
+				return "ok", fmt.Sprintf("%d", v)
+			case 7:
+				return errBucket(c.Delete(k)), ""
+			case 8:
+				return errBucket(c.Touch(k, 3600)), ""
+			default:
+				items, err := c.GetMulti([]string{k, key(op[1] + 1), key(op[1] + 2)})
+				if err != nil {
+					return errBucket(err), ""
+				}
+				var buf bytes.Buffer
+				for i := byte(0); i < 3; i++ {
+					if it, ok := items[key(op[1]+i)]; ok {
+						fmt.Fprintf(&buf, "%s=%d:%d;", key(op[1]+i), len(it.Value), it.Flags)
+					}
+				}
+				return "ok", buf.String()
+			}
+		}
+
+		for i := 0; i+3 <= len(script); i += 3 {
+			var op [3]byte
+			copy(op[:], script[i:i+3])
+			tb, tpay := apply(tp, op)
+			bb, bpay := apply(bp, op)
+			if tb != bb || tpay != bpay {
+				t.Fatalf("op %d %v: text (%s, %q) vs binary (%s, %q)", i/3, op, tb, tpay, bb, bpay)
+			}
+		}
+		if textStore.Len() != binStore.Len() || textStore.Bytes() != binStore.Bytes() {
+			t.Fatalf("store state diverged: text %d items/%d bytes, binary %d items/%d bytes",
+				textStore.Len(), textStore.Bytes(), binStore.Len(), binStore.Bytes())
+		}
+		allKeys := make([]string, population)
+		for i := range allKeys {
+			allKeys[i] = key(byte(i))
+		}
+		want, err := tp.GetMulti(allKeys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := bp.GetMulti(allKeys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("final sweep: text %d keys, binary %d", len(want), len(got))
+		}
+		for k, w := range want {
+			g, ok := got[k]
+			if !ok || !bytes.Equal(g.Value, w.Value) || g.Flags != w.Flags {
+				t.Fatalf("final state diverged on %s", k)
+			}
+		}
+	})
+}

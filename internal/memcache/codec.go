@@ -6,7 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
-	"strings"
+	"sync"
 )
 
 // This file is the text-protocol request codec: one write function and
@@ -18,6 +18,12 @@ import (
 // split is what makes pipelining sound: a request is fully described by
 // (write, read), so in-order execution against one connection needs no
 // other shared state.
+//
+// The codec is written to stay off the allocator on the steady-state
+// path: command lines are assembled in pooled scratch buffers, response
+// lines are borrowed from the bufio buffer via ReadSlice instead of
+// copied out, and numeric fields parse straight from bytes. The
+// allocation-budget tests in alloc_test.go gate these properties.
 
 // replyError is a well-formed but negative or unexpected server reply
 // ("SERVER_ERROR ...", an unknown status line, ...). The response was
@@ -34,31 +40,101 @@ func answeredError(status string) error {
 
 // isConnFatal reports whether err leaves the connection in an unknown
 // or unsynchronized state (I/O error, corrupt frame). Protocol-level
-// outcomes — cache misses, CAS conflicts, declined stores, error
-// status lines — consumed a complete reply and keep the connection
-// usable.
+// outcomes — cache misses, CAS conflicts, declined stores, key/size
+// rejections, error status lines — consumed a complete reply (or never
+// touched the wire) and keep the connection usable. ErrBadKey and
+// ErrTooLarge matter for the binary transport, whose status replies map
+// onto them; the text read halves never return either, so listing them
+// is harmless there.
 func isConnFatal(err error) bool {
 	if err == nil {
 		return false
 	}
-	if errors.Is(err, ErrCacheMiss) || errors.Is(err, ErrNotStored) || errors.Is(err, ErrCASConflict) {
+	if errors.Is(err, ErrCacheMiss) || errors.Is(err, ErrNotStored) || errors.Is(err, ErrCASConflict) ||
+		errors.Is(err, ErrBadKey) || errors.Is(err, ErrTooLarge) {
 		return false
 	}
 	var re *replyError
 	return !errors.As(err, &re)
 }
 
+// lineScratch pools the scratch buffers command lines are assembled in.
+// 320 bytes covers the longest single-key line: verb + key (≤250) +
+// three uint fields + a CAS token + separators.
+var lineScratch = sync.Pool{New: func() interface{} { return new([320]byte) }}
+
+// readClientLine returns one CRLF-terminated response line WITHOUT
+// copying it out of the bufio buffer: the slice is only valid until the
+// next read. Client-facing response lines are bounded (the longest is a
+// VALUE header: ~290 bytes), so a line overflowing the buffer is a
+// protocol violation, reported as conn-fatal rather than ballooning.
+func readClientLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err != nil {
+		if err == bufio.ErrBufferFull {
+			return nil, fmt.Errorf("memcache: response line exceeds buffer")
+		}
+		return nil, err
+	}
+	// Trim the trailing \r\n (tolerating bare \n like the server does).
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// parseUintBytes is parseUint for borrowed byte slices — parsing in
+// place avoids materializing a string per numeric field.
+func parseUintBytes(b []byte, bits int) (uint64, error) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, fmt.Errorf("memcache: bad number %q", b)
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("memcache: bad number %q", b)
+		}
+		d := uint64(c - '0')
+		if v > (1<<64-1-d)/10 {
+			return 0, fmt.Errorf("memcache: bad number %q", b)
+		}
+		v = v*10 + d
+	}
+	if bits < 64 && v >= 1<<uint(bits) {
+		return 0, fmt.Errorf("memcache: bad number %q", b)
+	}
+	return v, nil
+}
+
+// nextField splits the first space-delimited token off line, returning
+// (token, rest). Runs of spaces are skipped, mirroring strings.Fields.
+func nextField(line []byte) (tok, rest []byte) {
+	for len(line) > 0 && line[0] == ' ' {
+		line = line[1:]
+	}
+	i := bytes.IndexByte(line, ' ')
+	if i < 0 {
+		return line, nil
+	}
+	return line[:i], line[i:]
+}
+
 // --- get / gets -------------------------------------------------------
 
 func writeGetCmd(w *bufio.Writer, verb string, keys []string) error {
-	var sb strings.Builder
-	sb.WriteString(verb)
-	for _, k := range keys {
-		sb.WriteByte(' ')
-		sb.WriteString(k)
+	if _, err := w.WriteString(verb); err != nil {
+		return err
 	}
-	sb.WriteString("\r\n")
-	_, err := w.WriteString(sb.String())
+	for _, k := range keys {
+		if err := w.WriteByte(' '); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(k); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("\r\n")
 	return err
 }
 
@@ -67,7 +143,7 @@ func writeGetCmd(w *bufio.Writer, verb string, keys []string) error {
 // to parse the stream position is unknown.
 func readValuesInto(r *bufio.Reader, withCAS bool, out map[string]*Item) error {
 	for {
-		line, err := readLine(r)
+		line, err := readClientLine(r)
 		if err != nil {
 			return err
 		}
@@ -83,21 +159,31 @@ func readValuesInto(r *bufio.Reader, withCAS bool, out map[string]*Item) error {
 }
 
 // readValue parses one "VALUE <key> <flags> <bytes> [cas]" header line
-// plus its data block.
+// plus its data block. line is borrowed from the read buffer, so every
+// retained field is copied out before the data-block read invalidates
+// it. Steady-state cost is three allocations per hit — the Item, its
+// key string, and its data block — all of which escape into the result.
 func readValue(r *bufio.Reader, line []byte, withCAS bool) (*Item, error) {
-	fields := strings.Fields(string(line))
-	want := 4
-	if withCAS {
-		want = 5
-	}
-	if len(fields) != want || fields[0] != "VALUE" {
+	verb, rest := nextField(line)
+	if !bytes.Equal(verb, []byte("VALUE")) {
 		return nil, fmt.Errorf("memcache: unexpected response line %q", line)
 	}
-	flags, err := parseUint(fields[2], 32)
+	key, rest := nextField(rest)
+	flagsTok, rest := nextField(rest)
+	sizeTok, rest := nextField(rest)
+	var casTok []byte
+	if withCAS {
+		casTok, rest = nextField(rest)
+	}
+	if tail, _ := nextField(rest); len(key) == 0 || len(sizeTok) == 0 || len(tail) != 0 ||
+		(withCAS && len(casTok) == 0) {
+		return nil, fmt.Errorf("memcache: unexpected response line %q", line)
+	}
+	flags, err := parseUintBytes(flagsTok, 32)
 	if err != nil {
 		return nil, err
 	}
-	size, err := parseUint(fields[3], 31)
+	size, err := parseUintBytes(sizeTok, 31)
 	if err != nil {
 		return nil, err
 	}
@@ -106,9 +192,9 @@ func readValue(r *bufio.Reader, line []byte, withCAS bool) (*Item, error) {
 		// below: no legitimate server exceeds the protocol's value cap.
 		return nil, fmt.Errorf("memcache: VALUE header declares %d bytes (limit %d)", size, MaxValueLen)
 	}
-	it := &Item{Key: fields[1], Flags: uint32(flags)}
+	it := &Item{Key: string(key), Flags: uint32(flags)}
 	if withCAS {
-		if it.CAS, err = parseUint(fields[4], 64); err != nil {
+		if it.CAS, err = parseUintBytes(casTok, 64); err != nil {
 			return nil, err
 		}
 	}
@@ -138,72 +224,83 @@ func readFull(r *bufio.Reader, buf []byte) (int, error) {
 // --- storage commands -------------------------------------------------
 
 func writeStoreCmd(w *bufio.Writer, verb string, it *Item, cas uint64) error {
-	var sb strings.Builder
-	sb.WriteString(verb)
-	sb.WriteByte(' ')
-	sb.WriteString(it.Key)
-	sb.WriteByte(' ')
-	sb.WriteString(strconv.FormatUint(uint64(it.Flags), 10))
-	sb.WriteByte(' ')
-	sb.WriteString(strconv.FormatInt(int64(it.Expiration), 10))
-	sb.WriteByte(' ')
-	sb.WriteString(strconv.Itoa(len(it.Value)))
+	scratch := lineScratch.Get().(*[320]byte)
+	b := scratch[:0]
+	b = append(b, verb...)
+	b = append(b, ' ')
+	b = append(b, it.Key...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, uint64(it.Flags), 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(it.Expiration), 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(len(it.Value)), 10)
 	if verb == "cas" {
-		sb.WriteByte(' ')
-		sb.WriteString(strconv.FormatUint(cas, 10))
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, cas, 10)
 	}
-	sb.WriteString("\r\n")
-	if _, err := w.WriteString(sb.String()); err != nil {
+	b = append(b, '\r', '\n')
+	_, err := w.Write(b)
+	lineScratch.Put(scratch)
+	if err != nil {
 		return err
 	}
 	if _, err := w.Write(it.Value); err != nil {
 		return err
 	}
-	_, err := w.WriteString("\r\n")
+	_, err = w.WriteString("\r\n")
 	return err
 }
 
 func readStoreReply(r *bufio.Reader) error {
-	line, err := readLine(r)
+	line, err := readClientLine(r)
 	if err != nil {
 		return err
 	}
-	switch status := string(line); status {
-	case "STORED":
+	switch {
+	case bytes.Equal(line, []byte("STORED")):
 		return nil
-	case "NOT_STORED":
+	case bytes.Equal(line, []byte("NOT_STORED")):
 		return ErrNotStored
-	case "EXISTS":
+	case bytes.Equal(line, []byte("EXISTS")):
 		return ErrCASConflict
-	case "NOT_FOUND":
+	case bytes.Equal(line, []byte("NOT_FOUND")):
 		return ErrCacheMiss
 	default:
-		return answeredError(status)
+		return answeredError(string(line))
 	}
 }
 
 // --- incr / decr ------------------------------------------------------
 
 func writeIncrDecrCmd(w *bufio.Writer, verb, key string, delta uint64) error {
-	_, err := fmt.Fprintf(w, "%s %s %d\r\n", verb, key, delta)
+	scratch := lineScratch.Get().(*[320]byte)
+	b := scratch[:0]
+	b = append(b, verb...)
+	b = append(b, ' ')
+	b = append(b, key...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, delta, 10)
+	b = append(b, '\r', '\n')
+	_, err := w.Write(b)
+	lineScratch.Put(scratch)
 	return err
 }
 
 func readIncrDecrReply(r *bufio.Reader, verb string) (uint64, error) {
-	line, err := readLine(r)
+	line, err := readClientLine(r)
 	if err != nil {
 		return 0, err
 	}
-	status := string(line)
-	if status == "NOT_FOUND" {
+	if bytes.Equal(line, []byte("NOT_FOUND")) {
 		return 0, ErrCacheMiss
 	}
-	if strings.HasPrefix(status, "CLIENT_ERROR") || strings.HasPrefix(status, "SERVER_ERROR") {
-		return 0, answeredError(status)
+	if bytes.HasPrefix(line, []byte("CLIENT_ERROR")) || bytes.HasPrefix(line, []byte("SERVER_ERROR")) {
+		return 0, answeredError(string(line))
 	}
-	v, perr := strconv.ParseUint(status, 10, 64)
+	v, perr := parseUintBytes(line, 64)
 	if perr != nil {
-		return 0, &replyError{msg: fmt.Sprintf("memcache: unexpected %s response %q", verb, status)}
+		return 0, &replyError{msg: fmt.Sprintf("memcache: unexpected %s response %q", verb, line)}
 	}
 	return v, nil
 }
@@ -211,42 +308,56 @@ func readIncrDecrReply(r *bufio.Reader, verb string) (uint64, error) {
 // --- delete / touch / flush_all --------------------------------------
 
 func writeDeleteCmd(w *bufio.Writer, key string) error {
-	_, err := fmt.Fprintf(w, "delete %s\r\n", key)
+	if _, err := w.WriteString("delete "); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(key); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
 	return err
 }
 
 func readDeleteReply(r *bufio.Reader) error {
-	line, err := readLine(r)
+	line, err := readClientLine(r)
 	if err != nil {
 		return err
 	}
-	switch status := string(line); status {
-	case "DELETED":
+	switch {
+	case bytes.Equal(line, []byte("DELETED")):
 		return nil
-	case "NOT_FOUND":
+	case bytes.Equal(line, []byte("NOT_FOUND")):
 		return ErrCacheMiss
 	default:
-		return answeredError(status)
+		return answeredError(string(line))
 	}
 }
 
 func writeTouchCmd(w *bufio.Writer, key string, exp int32) error {
-	_, err := fmt.Fprintf(w, "touch %s %d\r\n", key, exp)
+	scratch := lineScratch.Get().(*[320]byte)
+	b := scratch[:0]
+	b = append(b, "touch "...)
+	b = append(b, key...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(exp), 10)
+	b = append(b, '\r', '\n')
+	_, err := w.Write(b)
+	lineScratch.Put(scratch)
 	return err
 }
 
 func readTouchReply(r *bufio.Reader) error {
-	line, err := readLine(r)
+	line, err := readClientLine(r)
 	if err != nil {
 		return err
 	}
-	switch status := string(line); status {
-	case "TOUCHED":
+	switch {
+	case bytes.Equal(line, []byte("TOUCHED")):
 		return nil
-	case "NOT_FOUND":
+	case bytes.Equal(line, []byte("NOT_FOUND")):
 		return ErrCacheMiss
 	default:
-		return answeredError(status)
+		return answeredError(string(line))
 	}
 }
 
@@ -256,12 +367,12 @@ func writeFlushAllCmd(w *bufio.Writer) error {
 }
 
 func readFlushAllReply(r *bufio.Reader) error {
-	line, err := readLine(r)
+	line, err := readClientLine(r)
 	if err != nil {
 		return err
 	}
-	if status := string(line); status != "OK" {
-		return answeredError(status)
+	if !bytes.Equal(line, []byte("OK")) {
+		return answeredError(string(line))
 	}
 	return nil
 }
@@ -274,11 +385,11 @@ func writeVersionCmd(w *bufio.Writer) error {
 }
 
 func readVersionReply(r *bufio.Reader) (string, error) {
-	line, err := readLine(r)
+	line, err := readClientLine(r)
 	if err != nil {
 		return "", err
 	}
-	return strings.TrimPrefix(string(line), "VERSION "), nil
+	return string(bytes.TrimPrefix(line, []byte("VERSION "))), nil
 }
 
 func writeStatsCmd(w *bufio.Writer) error {
@@ -288,16 +399,24 @@ func writeStatsCmd(w *bufio.Writer) error {
 
 func readStatsInto(r *bufio.Reader, out map[string]string) error {
 	for {
-		line, err := readLine(r)
+		line, err := readClientLine(r)
 		if err != nil {
 			return err
 		}
 		if bytes.Equal(line, []byte("END")) {
 			return nil
 		}
-		fields := strings.SplitN(string(line), " ", 3)
-		if len(fields) == 3 && fields[0] == "STAT" {
-			out[fields[1]] = fields[2]
+		verb, rest := nextField(line)
+		if !bytes.Equal(verb, []byte("STAT")) {
+			continue
 		}
+		key, rest := nextField(rest)
+		if len(key) == 0 {
+			continue
+		}
+		for len(rest) > 0 && rest[0] == ' ' {
+			rest = rest[1:]
+		}
+		out[string(key)] = string(rest)
 	}
 }

@@ -11,8 +11,11 @@ import (
 	"rnb/internal/metrics"
 )
 
-// Pool is a pooled, pipelined text-protocol client for a single
-// server, replacing the one-mutex-one-connection Client on hot paths.
+// Pool is a pooled, pipelined client for a single server, replacing
+// the one-mutex-one-connection Client on hot paths. It speaks the text
+// protocol by default and the binary protocol (quiet-get pipelining)
+// when PoolConfig.Binary is set; both formats answer strictly in
+// request order, so the same FIFO machinery drives either.
 //
 // Why it exists: RnB's premise (paper §II, §V) is that per-transaction
 // server cost dominates, so the client must drive many servers
@@ -44,6 +47,7 @@ type Pool struct {
 	size    int
 	depth   int
 	idle    time.Duration
+	bin     bool
 	gauges  *metrics.PoolGauges
 	rttObs  func(time.Duration)
 
@@ -83,6 +87,15 @@ type PoolConfig struct {
 	// replays included, because that is the latency the caller actually
 	// experienced. Failed requests are stamped too (they are the tail).
 	RTTObserver func(time.Duration)
+	// Binary switches the pool to the memcached binary wire format: a
+	// multiget is pipelined as N quiet gets (GetKQ) plus one terminating
+	// Noop instead of N text "VALUE" parses, and every other command
+	// becomes a fixed 24-byte-header frame. The pipelining machinery,
+	// failure semantics (never-written resubmit, idempotent replay-once)
+	// and RTT observation are identical in both formats — only the
+	// write/read halves differ. The server sniffs the first byte per
+	// connection, so text and binary pools coexist on one port.
+	Binary bool
 }
 
 // Pool defaults.
@@ -118,6 +131,7 @@ func NewPool(addr string, timeout time.Duration, cfg PoolConfig) (*Pool, error) 
 		size:    cfg.Size,
 		depth:   cfg.Depth,
 		idle:    cfg.IdleTimeout,
+		bin:     cfg.Binary,
 		gauges:  cfg.Gauges,
 		rttObs:  cfg.RTTObserver,
 	}
@@ -242,8 +256,16 @@ func (p *Pool) dial() (*pconn, error) {
 func (p *Pool) route() (*pconn, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	registered := false
+	unregister := func() {
+		if registered {
+			p.gauges.Waiters.Add(-1)
+			registered = false
+		}
+	}
 	for {
 		if p.closed {
+			unregister()
 			return nil, errPoolClosed
 		}
 		// Drop dead connections from the rotation.
@@ -260,16 +282,30 @@ func (p *Pool) route() (*pconn, error) {
 				c := p.conns[(p.rr+i)%n]
 				if c.load() < p.depth {
 					p.rr = (p.rr + i + 1) % n
+					unregister()
 					return c, nil
 				}
 			}
 		}
 		if len(p.conns)+p.dialing < p.size {
+			unregister()
 			p.dialing++
 			p.mu.Unlock()
 			c, err := p.dial()
 			p.mu.Lock()
 			p.dialing--
+			// The dial slot just freed (and on success a fresh connection
+			// is about to join the rotation) — both change the capacity
+			// picture waiters parked on. Without this wake, a pool whose
+			// Size dial slots all failed (a killed server can RST the
+			// handshake so net.Dial itself errors) strands every waiter
+			// that parked while those dials were in flight: the dialers
+			// return their errors, the pool sits empty, and no completion
+			// ever comes to broadcast. Holding p.mu here makes the wake
+			// race-free against a waiter between its re-scan and Wait.
+			if p.gauges.Waiters.Load() > 0 {
+				p.cond.Broadcast()
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -283,16 +319,46 @@ func (p *Pool) route() (*pconn, error) {
 			p.conns = append(p.conns, c)
 			return c, nil
 		}
+		if !registered {
+			// Register BEFORE the decisive re-scan, not after it: notify()
+			// skips the broadcast when Waiters reads zero without taking
+			// the pool lock, so a completion racing an unregistered scan
+			// could otherwise slip between "scan saw no headroom" and
+			// "waiter registered" and be missed forever. With the
+			// register-then-rescan order, any completion the re-scan does
+			// not observe must follow it (atomics are sequentially
+			// consistent), and therefore observes the waiter.
+			p.gauges.Waiters.Add(1)
+			registered = true
+			continue
+		}
 		// Saturated: wait for a completion (or a death) to free capacity.
-		p.gauges.Waiters.Add(1)
 		p.cond.Wait()
-		p.gauges.Waiters.Add(-1)
 	}
 }
 
 // notify wakes routing waiters after a completion or a connection
-// death changed pool capacity.
-func (p *Pool) notify() { p.cond.Broadcast() }
+// death changed pool capacity. The broadcast is skipped when nobody is
+// waiting — the common case on the steady-state pipelined path, where a
+// per-completion unconditional Broadcast showed up as avoidable
+// cross-core traffic at high goroutine counts. See route() for why the
+// unlocked Waiters check cannot strand a waiter.
+//
+// When somebody IS waiting, the broadcast must happen under the pool
+// lock: a waiter holds p.mu from its decisive re-scan until Wait parks
+// it on the cond's ticket list, so a lockless broadcast can land
+// exactly in that window and be lost — if it was the last completion,
+// the waiter strands forever. Taking the lock forces the broadcast to
+// happen either before the re-scan (which then observes the freed
+// capacity) or after the ticket exists (so the broadcast wakes it).
+func (p *Pool) notify() {
+	if p.gauges.Waiters.Load() == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
 
 // connClosed finalizes a connection's teardown.
 func (p *Pool) connClosed(c *pconn) {
@@ -600,9 +666,18 @@ func (p *Pool) getMulti(verb string, keys []string) (map[string]*Item, error) {
 		}
 	}
 	out := make(map[string]*Item, len(keys))
-	err := p.do(true,
-		func(w *bufio.Writer) error { return writeGetCmd(w, verb, keys) },
-		func(r *bufio.Reader) error { return readValuesInto(r, verb == "gets", out) })
+	var err error
+	if p.bin {
+		// Binary frames always carry the CAS token, so "get" and "gets"
+		// collapse onto the same quiet-get pipeline.
+		err = p.do(true,
+			func(w *bufio.Writer) error { return writeBinMultiGetCmd(w, keys) },
+			func(r *bufio.Reader) error { return readBinMultiGetInto(r, len(keys), out) })
+	} else {
+		err = p.do(true,
+			func(w *bufio.Writer) error { return writeGetCmd(w, verb, keys) },
+			func(r *bufio.Reader) error { return readValuesInto(r, verb == "gets", out) })
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -641,9 +716,47 @@ func (p *Pool) store(verb string, it *Item, cas uint64) error {
 	if len(it.Value) > MaxValueLen {
 		return ErrTooLarge
 	}
+	if p.bin {
+		return p.binStore(verb, it, cas)
+	}
 	return p.do(false,
 		func(w *bufio.Writer) error { return writeStoreCmd(w, verb, it, cas) },
 		func(r *bufio.Reader) error { return readStoreReply(r) })
+}
+
+// binStore maps the text storage verbs onto binary frames. A cas store
+// rides a Set frame carrying the token (the server routes cas != 0 to
+// CompareAndSwap); token zero means "unconditional" on the binary wire,
+// so it is rejected client-side rather than silently demoted to a plain
+// set — zero is never a token the store hands out.
+func (p *Pool) binStore(verb string, it *Item, cas uint64) error {
+	var opcode byte
+	switch verb {
+	case "set":
+		opcode = binOpSet
+	case "setp":
+		opcode = binOpSetP
+	case "add":
+		opcode = binOpAdd
+	case "replace":
+		opcode = binOpReplace
+	case "cas":
+		if cas == 0 {
+			return ErrCASConflict
+		}
+		opcode = binOpSet
+	case "append", "prepend":
+		opcode = binOpAppend
+		if verb == "prepend" {
+			opcode = binOpPrepend
+		}
+		return p.do(false,
+			func(w *bufio.Writer) error { return writeBinConcatCmd(w, opcode, it.Key, it.Value) },
+			func(r *bufio.Reader) error { return readBinStatusReply(r, opcode) })
+	}
+	return p.do(false,
+		func(w *bufio.Writer) error { return writeBinStoreCmd(w, opcode, it, cas) },
+		func(r *bufio.Reader) error { return readBinStatusReply(r, opcode) })
 }
 
 // Incr adds delta to a decimal value, returning the new value.
@@ -661,13 +774,28 @@ func (p *Pool) incrDecr(verb, key string, delta uint64) (uint64, error) {
 		return 0, ErrBadKey
 	}
 	var out uint64
-	err := p.do(false,
-		func(w *bufio.Writer) error { return writeIncrDecrCmd(w, verb, key, delta) },
-		func(r *bufio.Reader) error {
-			var rerr error
-			out, rerr = readIncrDecrReply(r, verb)
-			return rerr
-		})
+	var err error
+	if p.bin {
+		opcode := byte(binOpIncrement)
+		if verb == "decr" {
+			opcode = binOpDecrement
+		}
+		err = p.do(false,
+			func(w *bufio.Writer) error { return writeBinIncrDecrCmd(w, opcode, key, delta) },
+			func(r *bufio.Reader) error {
+				var rerr error
+				out, rerr = readBinCounterReply(r, opcode)
+				return rerr
+			})
+	} else {
+		err = p.do(false,
+			func(w *bufio.Writer) error { return writeIncrDecrCmd(w, verb, key, delta) },
+			func(r *bufio.Reader) error {
+				var rerr error
+				out, rerr = readIncrDecrReply(r, verb)
+				return rerr
+			})
+	}
 	return out, err
 }
 
@@ -675,6 +803,11 @@ func (p *Pool) incrDecr(verb, key string, delta uint64) (uint64, error) {
 func (p *Pool) Delete(key string) error {
 	if !validKey(key) {
 		return ErrBadKey
+	}
+	if p.bin {
+		return p.do(false,
+			func(w *bufio.Writer) error { return writeBinFrame(w, binOpDelete, 0, 0, nil, key, nil) },
+			func(r *bufio.Reader) error { return readBinStatusReply(r, binOpDelete) })
 	}
 	return p.do(false,
 		func(w *bufio.Writer) error { return writeDeleteCmd(w, key) },
@@ -686,6 +819,11 @@ func (p *Pool) Touch(key string, exp int32) error {
 	if !validKey(key) {
 		return ErrBadKey
 	}
+	if p.bin {
+		return p.do(false,
+			func(w *bufio.Writer) error { return writeBinTouchCmd(w, key, exp) },
+			func(r *bufio.Reader) error { return readBinStatusReply(r, binOpTouch) })
+	}
 	return p.do(false,
 		func(w *bufio.Writer) error { return writeTouchCmd(w, key, exp) },
 		func(r *bufio.Reader) error { return readTouchReply(r) })
@@ -693,6 +831,11 @@ func (p *Pool) Touch(key string, exp int32) error {
 
 // FlushAll wipes the server.
 func (p *Pool) FlushAll() error {
+	if p.bin {
+		return p.do(false,
+			func(w *bufio.Writer) error { return writeBinFrame(w, binOpFlush, 0, 0, nil, "", nil) },
+			func(r *bufio.Reader) error { return readBinStatusReply(r, binOpFlush) })
+	}
 	return p.do(false,
 		func(w *bufio.Writer) error { return writeFlushAllCmd(w) },
 		func(r *bufio.Reader) error { return readFlushAllReply(r) })
@@ -701,22 +844,40 @@ func (p *Pool) FlushAll() error {
 // Version returns the server version banner.
 func (p *Pool) Version() (string, error) {
 	var banner string
-	err := p.do(true,
-		func(w *bufio.Writer) error { return writeVersionCmd(w) },
-		func(r *bufio.Reader) error {
-			var rerr error
-			banner, rerr = readVersionReply(r)
-			return rerr
-		})
+	var err error
+	if p.bin {
+		err = p.do(true,
+			func(w *bufio.Writer) error { return writeBinFrame(w, binOpVersion, 0, 0, nil, "", nil) },
+			func(r *bufio.Reader) error {
+				var rerr error
+				banner, rerr = readBinVersionReply(r)
+				return rerr
+			})
+	} else {
+		err = p.do(true,
+			func(w *bufio.Writer) error { return writeVersionCmd(w) },
+			func(r *bufio.Reader) error {
+				var rerr error
+				banner, rerr = readVersionReply(r)
+				return rerr
+			})
+	}
 	return banner, err
 }
 
 // Stats fetches the server's stats map.
 func (p *Pool) Stats() (map[string]string, error) {
 	out := map[string]string{}
-	err := p.do(true,
-		func(w *bufio.Writer) error { return writeStatsCmd(w) },
-		func(r *bufio.Reader) error { return readStatsInto(r, out) })
+	var err error
+	if p.bin {
+		err = p.do(true,
+			func(w *bufio.Writer) error { return writeBinFrame(w, binOpStat, 0, 0, nil, "", nil) },
+			func(r *bufio.Reader) error { return readBinStatsInto(r, out) })
+	} else {
+		err = p.do(true,
+			func(w *bufio.Writer) error { return writeStatsCmd(w) },
+			func(r *bufio.Reader) error { return readStatsInto(r, out) })
+	}
 	if err != nil {
 		return nil, err
 	}

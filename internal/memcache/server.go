@@ -19,7 +19,7 @@ type ServerStats struct {
 	CmdSet       atomic.Uint64
 	GetHits      atomic.Uint64
 	GetMisses    atomic.Uint64
-	Transactions atomic.Uint64 // one per client command line processed
+	Transactions atomic.Uint64 // one per client command (text line or binary command; a quiet-get run counts once at its flush)
 	CurrConns    atomic.Int64
 	TotalConns   atomic.Uint64
 }
@@ -89,11 +89,19 @@ func (b storeBackend) BackendStats() map[string]string {
 	}
 }
 
-// Server is a memcached text-protocol server over a Backend.
+// Server is a memcached protocol server over a Backend. It speaks both
+// the text and the binary wire format on one port (sniffing the first
+// byte per connection, like memcached -B auto); SetProtocols can
+// restrict it to one of them.
 type Server struct {
 	store   *Store // nil when serving a non-Store backend
 	backend Backend
 	stats   ServerStats
+
+	// noText / noBinary disable one wire format (SetProtocols). Both
+	// false — the zero value — serves both.
+	noText   bool
+	noBinary bool
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -119,6 +127,25 @@ func NewServerBackend(b Backend) *Server {
 // Store returns the server's storage engine, or nil when serving a
 // custom backend.
 func (s *Server) Store() *Store { return s.store }
+
+// SetProtocols restricts the wire formats the server accepts ("text",
+// "binary", or "both", the default). A connection opening with the
+// disabled format is dropped at the sniff, before any command is
+// processed. Must be called before Serve; it is not synchronized with
+// live connections.
+func (s *Server) SetProtocols(mode string) error {
+	switch mode {
+	case "both":
+		s.noText, s.noBinary = false, false
+	case "text":
+		s.noText, s.noBinary = false, true
+	case "binary":
+		s.noText, s.noBinary = true, false
+	default:
+		return fmt.Errorf("memcache: unknown protocol mode %q (want text, binary, or both)", mode)
+	}
+	return nil
+}
 
 // Stats returns the server's counters.
 func (s *Server) Stats() *ServerStats { return &s.stats }
@@ -219,7 +246,13 @@ func (s *Server) handleConn(conn net.Conn) {
 	// requests always start with the 0x80 magic, which is not a
 	// printable text-command byte.
 	if first, err := r.Peek(1); err == nil && first[0] == binMagicReq {
+		if s.noBinary {
+			return
+		}
 		s.serveBinary(r, w)
+		return
+	}
+	if s.noText {
 		return
 	}
 	for {

@@ -81,6 +81,7 @@ type clientConfig struct {
 	retryBackoff     time.Duration
 	adaptive         *hotspot.Config
 	poolSize         int
+	binary           bool
 	obs              obs.Config
 	transitionWindow time.Duration
 	drainTimeout     time.Duration
@@ -190,6 +191,20 @@ func WithAdaptiveReplication(cfg AdaptiveConfig) Option {
 // request).
 func WithPoolSize(n int) Option {
 	return func(c *clientConfig) { c.poolSize = n }
+}
+
+// WithBinaryProtocol switches the transport to the memcached binary
+// wire format: each multi-get is pipelined as N quiet gets (getq) plus
+// one terminating noop — the server answers hits only, batched into a
+// single backend transaction — and every other command becomes a
+// fixed-header frame, eliminating text parsing on both ends. The
+// binary transport always rides the pooled, pipelined transport; when
+// WithPoolSize was not set, the pool defaults apply. Failure semantics
+// (never-written resubmit, idempotent-read replay-once, breaker
+// feeding) and RTT observability are identical to the text transport,
+// so latency histograms stay comparable across wire formats.
+func WithBinaryProtocol() Option {
+	return func(c *clientConfig) { c.binary = true }
 }
 
 // WithObservability configures the client's always-on tracing layer:
@@ -513,7 +528,7 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 	// The tracer exists before the transports so every connection can
 	// stamp its round trips into the shared RTT histogram.
 	var poolGauges *metrics.PoolGauges
-	if cfg.poolSize > 1 {
+	if cfg.poolSize > 1 || cfg.binary {
 		poolGauges = &metrics.PoolGauges{}
 	}
 	c := &Client{
@@ -567,6 +582,7 @@ func (c *Client) dial(addr string) (memcache.Conn, error) {
 	if c.poolGauges != nil {
 		return memcache.NewPool(addr, c.cfg.timeout, memcache.PoolConfig{
 			Size:        c.cfg.poolSize,
+			Binary:      c.cfg.binary,
 			Gauges:      c.poolGauges,
 			RTTObserver: c.tracer.ObserveRTT,
 		})
