@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint fix-check test race chaos chaos-resize stress-binary bench-alloc obs-smoke smoke-placement ci bench-skew bench-pool bench-topology bench-placement
+.PHONY: build vet lint fix-check test race chaos chaos-resize stress-binary bench-alloc obs-smoke trace-smoke smoke-placement ci bench-skew bench-pool bench-topology bench-placement bench-trace
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,13 @@ bench-alloc:
 obs-smoke:
 	./scripts/obs_smoke.sh
 
+# Distributed-tracing smoke: boot a traced rnbmemd + rnbproxy -trace,
+# drive a multiget through the chain, and assert the trace propagated
+# (memd_traced_transactions > 0), /debug/trace/<id> serves Chrome
+# trace-event JSON, and the -trace-dump file is written on shutdown.
+trace-smoke:
+	./scripts/trace_smoke.sh
+
 # Placement smoke: a small-parameter run of the placement experiment
 # (CBC vs random vs adaptive under adversarial traffic) plus the
 # property tests behind it — the construction's <= t guarantee, the
@@ -69,7 +76,7 @@ smoke-placement:
 	$(GO) run ./cmd/rnbbench -requests 400 -warmup 400 -scale 40 placement
 	$(GO) test -run 'CBC|Balanced|Adversarial' ./internal/cbc ./internal/core ./internal/workload
 
-ci: build vet lint fix-check race chaos chaos-resize stress-binary bench-alloc obs-smoke smoke-placement
+ci: build vet lint fix-check race chaos chaos-resize stress-binary bench-alloc obs-smoke trace-smoke smoke-placement
 	# Transport smoke: a tiny pooled-vs-single sweep proving the pool
 	# mode still runs end to end (full sweep lives in bench-pool).
 	$(GO) run ./cmd/rnbbench -ops 60 pool
@@ -92,6 +99,15 @@ bench-pool:
 # traffic — machine-readable output in BENCH_placement.json.
 bench-placement:
 	$(GO) run ./cmd/rnbbench -json BENCH_placement.json placement
+
+# Trace-attribution benchmark: end-to-end distributed tracing as a
+# measuring instrument. Zipf-skewed multigets against traced in-process
+# servers; per-server queue/parse/exec/flush attribution aggregated
+# from the returned server timings — hot-server queue-wait
+# concentration at r=1, relief from bundling and balanced planning at
+# r=3 — machine-readable output in BENCH_trace.json.
+bench-trace:
+	$(GO) run ./cmd/rnbbench -servers 8 -skew 1.5 -ops 3000 -json BENCH_trace.json trace
 
 # Resize benchmark: ring continuum vs jump consistent hash on a live
 # resize — key-movement fraction (add/remove) and post-resize load

@@ -11,6 +11,7 @@
 //	rnbbench -clients 4 # any client count
 //	rnbbench pool       # pooled vs single-connection transport sweep
 //	rnbbench placement  # placement-family bottleneck benchmark
+//	rnbbench trace      # distributed-tracing attribution experiment
 //
 // The "pool" mode exercises the client-side transport instead of the
 // server: it sweeps load-generator concurrency for the single-connection
@@ -22,6 +23,14 @@
 // placement, under Zipf and adversarial traffic; see internal/sim's
 // "placement" experiment) and reports the per-request bottleneck,
 // optionally as JSON (-json) for BENCH_placement.json.
+//
+// The "trace" mode uses end-to-end distributed tracing as a measuring
+// instrument: it drives Zipf-skewed multi-gets through a traced client
+// against traced in-process servers at replication levels 1 and 3, and
+// reports where the tier's server-side queue wait concentrated. Under
+// skew with r=1 the hot keys' home server absorbs most of the queue
+// wait; RnB replication+bundling spreads it. -json writes
+// BENCH_trace.json.
 package main
 
 import (
@@ -62,6 +71,18 @@ func main() {
 		}
 		cfg := sim.Config{Seed: *seed, Scale: *scale, Requests: *requests, Warmup: *warmup, Skew: *skew}
 		if err := placementBench(*jsonOut, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "rnbbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if flag.Arg(0) == "trace" {
+		skew := *skew
+		if skew == 0 {
+			skew = 1.2
+		}
+		if err := traceBench(*jsonOut, *servers, *poolSize, *ops, skew, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "rnbbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -152,6 +173,64 @@ func placementBench(jsonOut string, cfg sim.Config) error {
 	return os.WriteFile(jsonOut, append(blob, '\n'), 0o644)
 }
 
+// traceBench runs the distributed-tracing attribution experiment under
+// the given Zipf skew and prints, for each configuration, the hot
+// server's share of the tier's server-side queue wait — the number the
+// trace machinery exists to expose. Three configurations tell the
+// story: r=1 has no placement choice (hot keys' home absorbs the
+// skew), r=3 with the default deterministic tie-break still bundles
+// hot keys onto their lowest-id replica, and r=3 with balanced
+// planning spreads the same bundles across the replica set.
+func traceBench(jsonOut string, servers, poolSize, ops int, skew float64, seed int64) error {
+	var results []fanoutbench.TraceResult
+	fmt.Printf("%-14s %7s %11s %13s %14s %11s %9s %9s\n",
+		"config", "traces", "traced rtts", "hot q us/op", "tier q us/op", "hot q share", "p50 ms", "p99 ms")
+	for _, c := range []struct {
+		name     string
+		replicas int
+		balance  bool
+	}{
+		{"r=1", 1, false},
+		{"r=3", 3, false},
+		{"r=3 balanced", 3, true},
+	} {
+		res, err := fanoutbench.TraceRun(fanoutbench.TraceConfig{
+			Servers:  servers,
+			Replicas: c.replicas,
+			PoolSize: poolSize,
+			Ops:      ops,
+			Skew:     skew,
+			Balance:  c.balance,
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %7d %11d %13.1f %14.1f %11.3f %9.2f %9.2f\n",
+			c.name, res.Traces, res.TracedRTTs,
+			res.HotQueueNSPerOp/1e3, res.TotalQueueNSPerOp/1e3, res.HotQueueShare,
+			float64(res.LatencyP50)/1e6, float64(res.LatencyP99)/1e6)
+		results = append(results, res)
+	}
+	even := 1.0 / float64(servers)
+	fmt.Printf("\nZipf skew %.2f over %d servers (even queue share would be %.3f): at r=1 "+
+		"the hot keys' home server absorbs a multiple of its even share of the tier's queue "+
+		"wait; bundling (r=3) cuts the tier total by issuing fewer transactions, and balanced "+
+		"planning spreads the remaining bundles off the hot replica.\n",
+		skew, servers, even)
+	if jsonOut == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(struct {
+		GeneratedBy string                    `json:"generated_by"`
+		Results     []fanoutbench.TraceResult `json:"results"`
+	}{"rnbbench", results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonOut, append(blob, '\n'), 0o644)
+}
+
 // poolSweep measures multiget throughput for the single-connection,
 // text-pooled, and binary-pooled transports across a goroutine sweep,
 // printing a table and optionally recording the raw results as JSON.
@@ -161,6 +240,12 @@ func poolSweep(jsonOut string, poolSize, servers, ops int) error {
 		Single     fanoutbench.Result `json:"single"`
 		Pooled     fanoutbench.Result `json:"pooled"`
 		Binary     fanoutbench.Result `json:"binary"`
+		// LoadgenSaturated flags sweep points where the load generator
+		// itself contends for CPU (≥64 goroutines on few cores): latency
+		// there measures goroutine scheduling, not the transport. Read
+		// the plateau story from the unflagged rows, or rerun on
+		// multicore hardware (see EXPERIMENTS.md).
+		LoadgenSaturated bool `json:"loadgen_saturated,omitempty"`
 	}
 	var rows []row
 	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
@@ -192,7 +277,10 @@ func poolSweep(jsonOut string, poolSize, servers, ops int) error {
 			g, single.OpsPerSec, ms(single.LatencyP99),
 			pooled.OpsPerSec, ms(pooled.LatencyP99),
 			bin.OpsPerSec, ms(bin.LatencyP99), speedup)
-		rows = append(rows, row{Goroutines: g, Single: single, Pooled: pooled, Binary: bin})
+		rows = append(rows, row{
+			Goroutines: g, Single: single, Pooled: pooled, Binary: bin,
+			LoadgenSaturated: g >= 64,
+		})
 	}
 	if jsonOut == "" {
 		return nil

@@ -49,13 +49,16 @@ func main() {
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()
 		registerServerMetrics(reg, srv, store)
-		ln, err := obs.ListenAndServe(*debugAddr, obs.NewMux(reg, nil))
+		srv.Recorder().RegisterMetrics(reg)
+		mux := obs.NewMux(reg, nil)
+		obs.HandleServerSpans(mux, srv.Recorder())
+		ln, err := obs.ListenAndServe(*debugAddr, mux)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rnbmemd: debug endpoint: %v\n", err)
 			os.Exit(1)
 		}
 		defer ln.Close()
-		fmt.Printf("rnbmemd: debug endpoint on http://%s (/metrics, /debug/pprof)\n", ln.Addr())
+		fmt.Printf("rnbmemd: debug endpoint on http://%s (/metrics, /debug/spans, /debug/pprof)\n", ln.Addr())
 	}
 
 	var udp *memcache.UDPServer

@@ -58,6 +58,11 @@ func main() {
 		topoFile   = flag.String("topology", "", "backend list config file; watched for changes and re-read on SIGHUP (replaces positional backends)")
 		topoPoll   = flag.Duration("topology-poll", 2*time.Second, "poll interval for the -topology file")
 
+		trace       = flag.Bool("trace", false, "distributed tracing: propagate trace contexts to rnbmemd backends and keep tail-sampled traces (/debug/traces on -debug-addr)")
+		traceSample = flag.Int("trace-sample", 1, "head-sampling rate: every Nth multi-get starts a trace (with -trace)")
+		traceSlow   = flag.Duration("trace-slow", 10*time.Millisecond, "tail-sampling slow threshold: traces at least this slow are always kept (with -trace)")
+		traceDump   = flag.String("trace-dump", "", "write kept traces as Chrome trace-event JSON to this file on shutdown (with -trace; load in Perfetto)")
+
 		adaptive    = flag.Bool("adaptive", false, "adaptive hot-key replication: boost replication of keys that dominate recent traffic")
 		maxBoost    = flag.Int("adaptive-max-boost", 2, "extra replicas a hot key can earn (with -adaptive)")
 		promoteFrac = flag.Float64("adaptive-promote-frac", 0.002, "fraction of epoch traffic a key needs to be promoted (with -adaptive)")
@@ -104,6 +109,12 @@ func main() {
 	}
 	if *binary {
 		opts = append(opts, rnb.WithBinaryProtocol())
+	}
+	if *trace {
+		opts = append(opts, rnb.WithTracing(rnb.TraceConfig{
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+		}))
 	}
 	if *noPin {
 		opts = append(opts, rnb.WithPinnedDistinguished(false))
@@ -161,13 +172,21 @@ func main() {
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()
 		pxy.RegisterMetrics(reg)
-		ln, err := obs.ListenAndServe(*debugAddr, obs.NewMux(reg, client.Tracer()))
+		srv.Recorder().RegisterMetrics(reg)
+		mux := obs.NewMux(reg, client.Tracer())
+		endpoints := "/metrics, /debug/requests, /debug/pprof"
+		if buf := client.TraceBuffer(); buf != nil {
+			obs.HandleTraces(mux, buf)
+			obs.HandleServerSpans(mux, srv.Recorder())
+			endpoints += ", /debug/traces, /debug/trace/<id>, /debug/spans"
+		}
+		ln, err := obs.ListenAndServe(*debugAddr, mux)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rnbproxy: debug endpoint: %v\n", err)
 			os.Exit(1)
 		}
 		defer ln.Close()
-		fmt.Printf("rnbproxy: debug endpoint on http://%s (/metrics, /debug/requests, /debug/pprof)\n", ln.Addr())
+		fmt.Printf("rnbproxy: debug endpoint on http://%s (%s)\n", ln.Addr(), endpoints)
 	}
 	if *statsEvery > 0 {
 		go func() {
@@ -208,4 +227,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rnbproxy: %v\n", err)
 		os.Exit(1)
 	}
+	if *traceDump != "" {
+		if buf := client.TraceBuffer(); buf != nil {
+			if err := dumpTraces(*traceDump, buf); err != nil {
+				fmt.Fprintf(os.Stderr, "rnbproxy: trace dump: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "rnbproxy: wrote kept traces to %s\n", *traceDump)
+		}
+	}
+}
+
+// dumpTraces writes every kept trace as one Chrome trace-event JSON
+// file — drag it into Perfetto (ui.perfetto.dev) to see the causal
+// timeline.
+func dumpTraces(path string, buf *obs.TraceBuffer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTraceEvents(f, buf.Traces()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

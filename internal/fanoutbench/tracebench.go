@@ -1,0 +1,320 @@
+package fanoutbench
+
+// The trace-attribution experiment behind `rnbbench trace` and
+// BENCH_trace.json: drive Zipf-skewed multi-gets through a traced
+// client against in-process servers and aggregate the per-RTT
+// attribution (client queue / wire / server queue / parse / exec /
+// flush) by server. Under skew with r=1 the hot key's home server
+// absorbs a disproportionate share of the tier's queue wait — the
+// bottleneck of paper §II seen from the inside; with replication and
+// bundling (r>1) the planner spreads the same traffic and the hot
+// server's queue-wait share falls toward 1/N.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"rnb"
+	"rnb/internal/memcache"
+	"rnb/internal/obs"
+)
+
+// TraceConfig parameterizes one attribution run.
+type TraceConfig struct {
+	// Servers is the number of in-process backends (default 4).
+	Servers int `json:"servers"`
+	// Replicas is the RnB replication level (default 1: the no-RnB
+	// baseline; sweep against 3 to see the relief).
+	Replicas int `json:"replicas"`
+	// PoolSize selects the pooled transport (> 1; default 4). Pipelining
+	// is what makes server-side queue wait visible: concurrent requests
+	// stack behind each other on the hot server's connections.
+	PoolSize int `json:"pool_size"`
+	// Goroutines is the number of concurrent load generators (default 8).
+	Goroutines int `json:"goroutines"`
+	// Ops is the total number of GetMulti calls (default 2000).
+	Ops int `json:"ops"`
+	// TxnSize is the number of distinct keys per GetMulti (default 8).
+	TxnSize int `json:"txn_size"`
+	// Keys is the keyspace size (default 4096).
+	Keys int `json:"keys"`
+	// ValueSize is the stored value length in bytes (default 100).
+	ValueSize int `json:"value_size"`
+	// Skew is the Zipf exponent for key popularity (must be > 1 to
+	// skew; 0 selects uniform; default 1.2).
+	Skew float64 `json:"skew"`
+	// Balance enables the client's balanced planning (rotating
+	// tie-break): without it, replicated hot keys still bundle onto
+	// their lowest-id replica on every request.
+	Balance bool `json:"balance,omitempty"`
+	// Seed drives key selection (default 1).
+	Seed int64 `json:"seed"`
+}
+
+func (c *TraceConfig) defaults() error {
+	if c.Servers <= 0 {
+		c.Servers = 4
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4
+	}
+	if c.Goroutines <= 0 {
+		c.Goroutines = 8
+	}
+	if c.Ops <= 0 {
+		c.Ops = 2000
+	}
+	if c.TxnSize <= 0 {
+		c.TxnSize = 8
+	}
+	if c.Keys <= 0 {
+		c.Keys = 4096
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Skew != 0 && c.Skew <= 1 {
+		return fmt.Errorf("fanoutbench: Zipf skew must be > 1 (or 0 for uniform), got %g", c.Skew)
+	}
+	if c.Keys < c.TxnSize {
+		return fmt.Errorf("fanoutbench: keyspace %d smaller than transaction size %d", c.Keys, c.TxnSize)
+	}
+	return nil
+}
+
+// ServerAttribution aggregates the traced phase attribution of every
+// round trip that landed on one server.
+type ServerAttribution struct {
+	Addr string `json:"addr"`
+	// Txns is the number of traced round trips the server absorbed.
+	Txns int `json:"txns"`
+	// Keys is the number of keys those trips carried.
+	Keys int `json:"keys"`
+	// ClientQueueNS is client-side submit-to-wire wait summed over the
+	// server's trips; the remaining fields are the server's own phase
+	// report summed the same way. WireNS is the unattributed residual.
+	ClientQueueNS int64 `json:"client_queue_ns"`
+	WireNS        int64 `json:"wire_ns"`
+	QueueNS       int64 `json:"queue_ns"`
+	ParseNS       int64 `json:"parse_ns"`
+	WaitNS        int64 `json:"wait_ns"`
+	ExecNS        int64 `json:"exec_ns"`
+	FlushNS       int64 `json:"flush_ns"`
+}
+
+// TraceResult is one attribution measurement.
+type TraceResult struct {
+	Config TraceConfig `json:"config"`
+	// Traces / TracedRTTs count finished traces and the round trips
+	// inside them that returned server timings.
+	Traces     int `json:"traces"`
+	TracedRTTs int `json:"traced_rtts"`
+	// PerServer is the aggregate attribution, hottest server (by
+	// server-side queue wait) first.
+	PerServer []ServerAttribution `json:"per_server"`
+	// HotQueueShare is the hottest server's fraction of the tier's total
+	// server-side queue wait (1/Servers would be perfectly even).
+	HotQueueShare float64 `json:"hot_queue_share"`
+	// HotTxnShare is the hottest-by-queue server's fraction of traced
+	// round trips.
+	HotTxnShare float64 `json:"hot_txn_share"`
+	// HotQueueNSPerOp is the hot server's queue wait amortized per
+	// GetMulti — the absolute cost a request pays to the bottleneck.
+	HotQueueNSPerOp float64 `json:"hot_queue_ns_per_op"`
+	// TotalQueueNSPerOp is the whole tier's queue wait per GetMulti;
+	// bundling attacks this directly by issuing fewer transactions.
+	TotalQueueNSPerOp float64 `json:"total_queue_ns_per_op"`
+	// Latency quantiles over the measured GetMulti calls.
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP99 time.Duration `json:"latency_p99_ns"`
+	// MeanResidualFrac is mean(|DurNS − components| / DurNS) over traced
+	// RTTs — zero by construction (wire is the clamped remainder), kept
+	// in the record as the acceptance check that it stays that way.
+	MeanResidualFrac float64 `json:"mean_residual_frac"`
+}
+
+// TraceRun starts cfg.Servers traced in-process backends, drives
+// Zipf-skewed multi-gets through a traced client, and aggregates where
+// every nanosecond of every round trip went.
+func TraceRun(cfg TraceConfig) (TraceResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return TraceResult{}, err
+	}
+	servers := make([]*memcache.Server, cfg.Servers)
+	addrs := make([]string, cfg.Servers)
+	for i := range servers {
+		srv := memcache.NewServer(memcache.NewStore(0))
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return TraceResult{}, err
+		}
+		go srv.Serve(ln)
+		defer srv.Close()
+		servers[i] = srv
+		addrs[i] = ln.Addr().String()
+	}
+
+	// Aggregate every finished trace's RTT attribution by server address.
+	var (
+		mu       sync.Mutex
+		perAddr  = map[string]*ServerAttribution{}
+		traces   int
+		rtts     int
+		residual float64
+	)
+	onFinish := func(sp *obs.Span) {
+		mu.Lock()
+		defer mu.Unlock()
+		traces++
+		for i := range sp.RTTs {
+			r := &sp.RTTs[i]
+			if r.ServerTimings == nil {
+				continue
+			}
+			rtts++
+			agg := perAddr[r.Addr]
+			if agg == nil {
+				agg = &ServerAttribution{Addr: r.Addr}
+				perAddr[r.Addr] = agg
+			}
+			agg.Txns++
+			agg.Keys += r.Keys
+			agg.ClientQueueNS += r.QueueNS
+			agg.WireNS += r.WireNS()
+			agg.QueueNS += r.ServerTimings.QueueNS
+			agg.ParseNS += r.ServerTimings.ParseNS
+			agg.WaitNS += r.ServerTimings.WaitNS
+			agg.ExecNS += r.ServerTimings.ExecNS
+			agg.FlushNS += r.ServerTimings.FlushNS
+			if r.DurNS > 0 {
+				sum := r.QueueNS + r.WireNS() + r.ServerTimings.TotalNS()
+				diff := float64(r.DurNS - sum)
+				if diff < 0 {
+					diff = -diff
+				}
+				residual += diff / float64(r.DurNS)
+			}
+		}
+	}
+
+	cl, err := rnb.NewClient(addrs,
+		rnb.WithReplicas(cfg.Replicas),
+		rnb.WithTimeout(10*time.Second),
+		rnb.WithPoolSize(cfg.PoolSize),
+		rnb.WithBalancedPlanning(cfg.Balance),
+		rnb.WithTracing(rnb.TraceConfig{SampleEvery: 1, OnFinish: onFinish}),
+	)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	defer cl.Close()
+
+	key := func(i int) string { return fmt.Sprintf("item:%06d", i) }
+	val := make([]byte, cfg.ValueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := 0; i < cfg.Keys; i++ {
+		if err := cl.Set(&rnb.Item{Key: key(i), Value: val}); err != nil {
+			return TraceResult{}, fmt.Errorf("fanoutbench: preload: %w", err)
+		}
+	}
+
+	// Precompute the Zipf-skewed key sets so generation cost stays out of
+	// the measured window. rand.Zipf ranks key 0 most popular.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var draw func() int
+	if cfg.Skew > 1 {
+		z := rand.NewZipf(rng, cfg.Skew, 1, uint64(cfg.Keys-1))
+		draw = func() int { return int(z.Uint64()) }
+	} else {
+		draw = func() int { return rng.Intn(cfg.Keys) }
+	}
+	jobs := make(chan []string, cfg.Ops)
+	for op := 0; op < cfg.Ops; op++ {
+		seen := make(map[int]bool, cfg.TxnSize)
+		ks := make([]string, 0, cfg.TxnSize)
+		for len(ks) < cfg.TxnSize {
+			k := draw()
+			if !seen[k] {
+				seen[k] = true
+				ks = append(ks, key(k))
+			}
+		}
+		jobs <- ks
+	}
+	close(jobs)
+
+	errs := make(chan error, cfg.Goroutines)
+	shards := make([]*obs.Hist, cfg.Goroutines)
+	for i := range shards {
+		shards[i] = &obs.Hist{}
+	}
+	for g := 0; g < cfg.Goroutines; g++ {
+		hist := shards[g]
+		go func() {
+			for ks := range jobs {
+				opStart := time.Now()
+				if _, _, err := cl.GetMulti(ks); err != nil {
+					errs <- err
+					return
+				}
+				hist.Observe(time.Since(opStart))
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < cfg.Goroutines; g++ {
+		if err := <-errs; err != nil {
+			return TraceResult{}, err
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	res := TraceResult{Config: cfg, Traces: traces, TracedRTTs: rtts}
+	var totalQueue, hotQueue int64
+	var hot *ServerAttribution
+	for _, addr := range addrs { // every server appears, even if idle
+		agg := perAddr[addr]
+		if agg == nil {
+			agg = &ServerAttribution{Addr: addr}
+		}
+		res.PerServer = append(res.PerServer, *agg)
+		totalQueue += agg.QueueNS
+		if hot == nil || agg.QueueNS > hotQueue {
+			hot, hotQueue = agg, agg.QueueNS
+		}
+	}
+	if totalQueue > 0 && hot != nil {
+		res.HotQueueShare = float64(hotQueue) / float64(totalQueue)
+	}
+	if cfg.Ops > 0 {
+		res.HotQueueNSPerOp = float64(hotQueue) / float64(cfg.Ops)
+		res.TotalQueueNSPerOp = float64(totalQueue) / float64(cfg.Ops)
+	}
+	if rtts > 0 && hot != nil {
+		res.HotTxnShare = float64(hot.Txns) / float64(rtts)
+		res.MeanResidualFrac = residual / float64(rtts)
+	}
+	merged := &obs.Hist{}
+	for _, h := range shards {
+		merged.Merge(h)
+	}
+	res.LatencyP50 = merged.Quantile(0.50)
+	res.LatencyP99 = merged.Quantile(0.99)
+	sort.SliceStable(res.PerServer, func(i, j int) bool {
+		return res.PerServer[i].QueueNS > res.PerServer[j].QueueNS
+	})
+	return res, nil
+}

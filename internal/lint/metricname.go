@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"regexp"
 	"strings"
 )
@@ -14,11 +15,22 @@ import (
 // currently panics at first scrape moves to `make lint`, where it
 // fails before the binary ever runs. Names computed at runtime are
 // out of scope (the registry still panics on those).
+//
+// Production registrations must also live in one of the repo's
+// sanctioned namespaces (rnb_, proxy_, memd_ — e.g. the rnb_trace_*
+// sampling counters and the memd_* server phase histograms), so a new
+// family can't silently open a fourth namespace or drop the prefix the
+// dashboards key on. Test files are exempt: they register throwaway
+// names on purpose.
 var MetricName = &Analyzer{
 	Name: "metricname",
-	Doc:  "metric registration literals must match the Prometheus grammar; duration families end in _seconds",
+	Doc:  "metric registration literals must match the Prometheus grammar, use a sanctioned namespace, and name duration families *_seconds",
 	Run:  runMetricName,
 }
+
+// metricNamespaces are the sanctioned family prefixes: client (rnb_,
+// including rnb_trace_*), proxy (proxy_), and server daemon (memd_).
+var metricNamespaces = []string{"rnb_", "proxy_", "memd_"}
 
 // promNameRE is the Prometheus metric name grammar, as enforced at
 // runtime by internal/obs.
@@ -74,6 +86,12 @@ func runMetricName(pkgs []*Package, report ReportFunc) {
 						"duration histogram %q must be named *_seconds (durations are exported in seconds)", name)
 					return true
 				}
+				if !inTestFile(pkg, call.Pos()) && !hasMetricNamespace(name) {
+					report(pkg, call.Args[0].Pos(),
+						"metric %s %q is outside the sanctioned namespaces (%s)",
+						argKind(isPrefix), name, strings.Join(metricNamespaces, ", "))
+					return true
+				}
 				if !isPrefix {
 					for _, suf := range wrongUnitSuffixes {
 						if strings.HasSuffix(name, suf) {
@@ -94,4 +112,24 @@ func argKind(isPrefix bool) string {
 		return "prefix"
 	}
 	return "name"
+}
+
+// hasMetricNamespace reports whether name lives in a sanctioned family
+// namespace.
+func hasMetricNamespace(name string) bool {
+	for _, ns := range metricNamespaces {
+		if strings.HasPrefix(name, ns) {
+			return true
+		}
+	}
+	return false
+}
+
+// inTestFile reports whether pos falls in a _test.go file; tests
+// register throwaway names outside the production namespaces.
+func inTestFile(pkg *Package, pos token.Pos) bool {
+	if f := pkg.Fset.File(pos); f != nil {
+		return strings.HasSuffix(f.Name(), "_test.go")
+	}
+	return false
 }

@@ -16,4 +16,6 @@ func register(r *Registry) {
 	r.RegisterDurationHist("rnb_req_latency", "missing unit suffix")   // want metricname "must be named *_seconds"
 	r.Register("rnb_poll_interval_ms", "wrong unit", "gauge", nil)     // want metricname "durations are exported in seconds (*_seconds)"
 	r.RegisterUint64Map("bad-prefix", "dashes are not allowed", nil)   // want metricname "does not match the Prometheus name grammar"
+	r.Register("trace_started", "missing namespace", "counter", nil)   // want metricname "outside the sanctioned namespaces"
+	r.RegisterUint64Map("cache_", "unknown namespace", nil)            // want metricname "outside the sanctioned namespaces"
 }

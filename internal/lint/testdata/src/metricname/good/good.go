@@ -17,7 +17,11 @@ func (fakeSink) Register(name, help, kind string, collect func() float64) {}
 func register(r *Registry, dynamic string) {
 	r.Register("rnb_pool_conns_active", "open connections", "gauge", nil)
 	r.Register("rnb_hotspot_promotions_total", "promotions", "counter", nil)
+	r.Register("rnb_trace_started", "head-sampled traces", "counter", nil)
+	r.Register("proxy_requests", "proxy requests", "counter", nil)
+	r.Register("memd_traced_transactions", "traced transactions", "counter", nil)
 	r.RegisterDurationHist("rnb_request_latency_seconds", "request latency")
+	r.RegisterDurationHist("memd_queue_wait_seconds", "server queue wait")
 	r.RegisterUint64Map("rnb_server_ops", "per-server op counts", nil)
 	r.Register(dynamic, "computed names are checked at startup", "gauge", nil)
 	fakeSink{}.Register("not a metric name", "different receiver type", "gauge", nil)

@@ -5,6 +5,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
+
+	"rnb/internal/obs"
 )
 
 // Binary protocol support (the memcached binary wire format, which
@@ -195,18 +198,51 @@ type pendingQuietGet struct {
 }
 
 // serveBinary runs the binary-protocol loop on a connection.
-func (s *Server) serveBinary(r *bufio.Reader, w *bufio.Writer) {
+func (s *Server) serveBinary(fr *fillReader, r *bufio.Reader, w *bufio.Writer) {
 	var quiet []pendingQuietGet
+	var pending obs.TraceContext
+	var pendingOpaque uint32
+	var ct *connTrace
 	req := &binRequest{} // reused across frames; bodies are per-frame
 	for {
 		if err := readBinRequest(r, req); err != nil {
 			return
 		}
+		if req.opcode == binOpTrace {
+			// A trace frame arms the NEXT command; it is not a transaction
+			// and gets no immediate response (its answer rides behind the
+			// traced command's). Any quiet run in flight predates the
+			// context, so it flushes untraced first. A malformed frame
+			// answers invalid-args and arms nothing.
+			if err := s.flushQuiet(w, &quiet, s.backend); err != nil {
+				return
+			}
+			if len(req.extras) != 16 {
+				if err := writeBinResponse(w, binOpTrace, binStatusInvalidArgs, req.opaque, 0, nil, "", nil); err != nil {
+					return
+				}
+				if err := w.Flush(); err != nil {
+					return
+				}
+				continue
+			}
+			pending = obs.TraceContext{
+				TraceID: binary.BigEndian.Uint64(req.extras[0:8]),
+				Parent:  binary.BigEndian.Uint64(req.extras[8:16]),
+			}
+			pendingOpaque = req.opaque
+			continue
+		}
+		if pending.Valid() && ct == nil {
+			ct = s.armTrace(pending, fr, binOpName(req.opcode))
+			pending = obs.TraceContext{}
+		}
 		switch req.opcode {
 		case binOpGetQ, binOpGetKQ:
 			// Quiet gets batch until a blocking command; the whole run
 			// counts as one transaction at its flush — the binary
-			// analogue of a multi-key text "get" line.
+			// analogue of a multi-key text "get" line. An armed trace
+			// stays armed across the run and settles at its flush.
 			quiet = append(quiet, pendingQuietGet{opcode: req.opcode, key: req.key, opaque: req.opaque})
 			continue
 		case binOpNoop:
@@ -215,7 +251,7 @@ func (s *Server) serveBinary(r *bufio.Reader, w *bufio.Writer) {
 			if len(quiet) == 0 {
 				s.stats.Transactions.Add(1)
 			}
-			if err := s.flushQuiet(w, &quiet); err != nil {
+			if err := s.flushQuiet(w, &quiet, s.backendFor(ct)); err != nil {
 				return
 			}
 			if err := writeBinResponse(w, binOpNoop, binStatusOK, req.opaque, 0, nil, "", nil); err != nil {
@@ -223,28 +259,83 @@ func (s *Server) serveBinary(r *bufio.Reader, w *bufio.Writer) {
 			}
 		case binOpQuit:
 			s.stats.Transactions.Add(1)
-			_ = s.flushQuiet(w, &quiet)
+			_ = s.flushQuiet(w, &quiet, s.backendFor(ct))
 			_ = writeBinResponse(w, binOpQuit, binStatusOK, req.opaque, 0, nil, "", nil)
 			_ = w.Flush()
 			return
 		default:
 			s.stats.Transactions.Add(1)
-			if err := s.flushQuiet(w, &quiet); err != nil {
+			be := s.backendFor(ct)
+			if err := s.flushQuiet(w, &quiet, be); err != nil {
 				return
 			}
-			if err := s.dispatchBinary(req, w); err != nil {
+			if err := s.dispatchBinary(req, w, be); err != nil {
 				return
 			}
+		}
+		var dispatchEnd time.Time
+		if ct != nil {
+			dispatchEnd = time.Now()
 		}
 		if err := w.Flush(); err != nil {
 			return
 		}
+		if ct != nil {
+			st := s.finishTrace(ct, dispatchEnd, time.Now())
+			ct = nil
+			if err := writeBinServerTraceResponse(w, pendingOpaque, &st); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// binOpName labels a traced binary command with the text-protocol verb
+// it corresponds to, so ServerSpan.Op reads identically across wire
+// formats.
+func binOpName(op byte) string {
+	switch op {
+	case binOpGet, binOpGetK:
+		return "get"
+	case binOpGetQ, binOpGetKQ, binOpNoop:
+		return "get_multi"
+	case binOpSet:
+		return "set"
+	case binOpSetP:
+		return "setp"
+	case binOpAdd:
+		return "add"
+	case binOpReplace:
+		return "replace"
+	case binOpDelete:
+		return "delete"
+	case binOpIncrement:
+		return "incr"
+	case binOpDecrement:
+		return "decr"
+	case binOpAppend:
+		return "append"
+	case binOpPrepend:
+		return "prepend"
+	case binOpTouch:
+		return "touch"
+	case binOpFlush:
+		return "flush_all"
+	case binOpStat:
+		return "stats"
+	case binOpVersion:
+		return "version"
+	default:
+		return fmt.Sprintf("op_0x%02x", op)
 	}
 }
 
 // flushQuiet executes the buffered quiet gets as ONE backend multi-get
-// and emits responses for hits only (quiet semantics).
-func (s *Server) flushQuiet(w *bufio.Writer, quiet *[]pendingQuietGet) error {
+// against be and emits responses for hits only (quiet semantics).
+func (s *Server) flushQuiet(w *bufio.Writer, quiet *[]pendingQuietGet, be Backend) error {
 	batch := *quiet
 	if len(batch) == 0 {
 		return nil
@@ -256,7 +347,7 @@ func (s *Server) flushQuiet(w *bufio.Writer, quiet *[]pendingQuietGet) error {
 	}
 	s.stats.Transactions.Add(1) // the whole quiet run is one transaction
 	s.stats.CmdGet.Add(uint64(len(keys)))
-	items, err := s.backend.GetMulti(keys)
+	items, err := be.GetMulti(keys)
 	if err != nil {
 		// Report the failure on each pending opaque so the client does
 		// not hang waiting for hits that will never come.
@@ -287,15 +378,16 @@ func (s *Server) flushQuiet(w *bufio.Writer, quiet *[]pendingQuietGet) error {
 	return nil
 }
 
-// dispatchBinary handles one blocking (non-quiet) request.
-func (s *Server) dispatchBinary(req *binRequest, w *bufio.Writer) error {
+// dispatchBinary handles one blocking (non-quiet) request against be —
+// the raw backend, or the per-command timing wrapper when traced.
+func (s *Server) dispatchBinary(req *binRequest, w *bufio.Writer, be Backend) error {
 	fail := func(status uint16) error {
 		return writeBinResponse(w, req.opcode, status, req.opaque, 0, nil, "", nil)
 	}
 	switch req.opcode {
 	case binOpGet, binOpGetK:
 		s.stats.CmdGet.Add(1)
-		items, err := s.backend.GetMulti([]string{req.key})
+		items, err := be.GetMulti([]string{req.key})
 		if err != nil {
 			return fail(binStatusInternal)
 		}
@@ -329,16 +421,16 @@ func (s *Server) dispatchBinary(req *binRequest, w *bufio.Writer) error {
 		case binOpSet:
 			if req.cas != 0 {
 				it.CAS = req.cas
-				err = s.backend.CompareAndSwap(it)
+				err = be.CompareAndSwap(it)
 			} else {
-				err = s.backend.Set(it)
+				err = be.Set(it)
 			}
 		case binOpSetP:
-			err = s.backend.SetPinned(it)
+			err = be.SetPinned(it)
 		case binOpAdd:
-			err = s.backend.Add(it)
+			err = be.Add(it)
 		case binOpReplace:
-			err = s.backend.Replace(it)
+			err = be.Replace(it)
 		}
 		switch {
 		case err == nil:
@@ -361,7 +453,7 @@ func (s *Server) dispatchBinary(req *binRequest, w *bufio.Writer) error {
 		if req.key == "" {
 			return fail(binStatusInvalidArgs)
 		}
-		if err := s.backend.Delete(req.key); err != nil {
+		if err := be.Delete(req.key); err != nil {
 			return fail(binStatusNotFound)
 		}
 		return writeBinResponse(w, req.opcode, binStatusOK, req.opaque, 0, nil, "", nil)
@@ -386,7 +478,7 @@ func (s *Server) dispatchBinary(req *binRequest, w *bufio.Writer) error {
 		if req.opcode == binOpDecrement {
 			d = -d
 		}
-		val, err := s.backend.Increment(req.key, d)
+		val, err := be.Increment(req.key, d)
 		switch {
 		case err == nil:
 			var body [8]byte
@@ -409,9 +501,9 @@ func (s *Server) dispatchBinary(req *binRequest, w *bufio.Writer) error {
 		}
 		var err error
 		if req.opcode == binOpAppend {
-			err = s.backend.Append(req.key, req.value)
+			err = be.Append(req.key, req.value)
 		} else {
-			err = s.backend.Prepend(req.key, req.value)
+			err = be.Prepend(req.key, req.value)
 		}
 		switch {
 		case err == nil:
@@ -431,22 +523,22 @@ func (s *Server) dispatchBinary(req *binRequest, w *bufio.Writer) error {
 			return fail(binStatusInvalidArgs)
 		}
 		exp := int32(binary.BigEndian.Uint32(req.extras))
-		if err := s.backend.Touch(req.key, exp); err != nil {
+		if err := be.Touch(req.key, exp); err != nil {
 			return fail(binStatusNotFound)
 		}
 		return writeBinResponse(w, req.opcode, binStatusOK, req.opaque, 0, nil, "", nil)
 
 	case binOpFlush:
-		if err := s.backend.FlushAll(); err != nil {
+		if err := be.FlushAll(); err != nil {
 			return fail(binStatusInternal)
 		}
 		return writeBinResponse(w, req.opcode, binStatusOK, req.opaque, 0, nil, "", nil)
 
 	case binOpVersion:
-		return writeBinResponse(w, req.opcode, binStatusOK, req.opaque, 0, nil, "", []byte("rnb-memcache/1.0"))
+		return writeBinResponse(w, req.opcode, binStatusOK, req.opaque, 0, nil, "", []byte(VersionBanner))
 
 	case binOpStat:
-		for k, v := range s.backend.BackendStats() {
+		for k, v := range be.BackendStats() {
 			if err := writeBinResponse(w, binOpStat, binStatusOK, req.opaque, 0, nil, k, []byte(v)); err != nil {
 				return err
 			}

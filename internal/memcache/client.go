@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"rnb/internal/obs"
 )
 
 // Client is a memcached text-protocol client for a single server. It
@@ -34,6 +36,12 @@ type Client struct {
 	// Transactions counts protocol round-trips issued — the quantity
 	// RnB minimizes.
 	transactions uint64
+
+	// tracing enables wire-level trace propagation; traceOK caches the
+	// handshake outcome (0 unknown, 1 negotiated, 2 plain server). With
+	// tracing off — the default — the wire carries zero extra bytes.
+	tracing bool
+	traceOK int8
 }
 
 // Dial connects to a server at addr. timeout <= 0 means no I/O
@@ -152,6 +160,10 @@ func (c *Client) roundTripIdempotent(fn func() error) error {
 func (c *Client) do(fn func() error, idempotent bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.doLocked(fn, idempotent)
+}
+
+func (c *Client) doLocked(fn func() error, idempotent bool) error {
 	fresh := false
 	if c.conn == nil {
 		if err := c.connect(); err != nil {
@@ -248,6 +260,100 @@ func (c *Client) getMulti(verb string, keys []string) (map[string]*Item, error) 
 		return nil, err
 	}
 	return out, nil
+}
+
+// SetTracing enables (or disables) wire-level trace propagation. The
+// first traced round trip probes the server's version banner; only a
+// server announcing rnb-memcache support ever sees a trace prefix, so
+// plain memcached keeps receiving stock protocol bytes.
+func (c *Client) SetTracing(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tracing == on {
+		return
+	}
+	c.tracing = on
+	c.traceOK = 0
+}
+
+// probeLocked resolves the tracing handshake with one version round
+// trip. Called with the mutex held; a failure leaves the outcome
+// unknown so a later traced request retries.
+func (c *Client) probeLocked() {
+	var banner string
+	err := c.doLocked(func() error {
+		if err := writeVersionCmd(c.w); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		var rerr error
+		banner, rerr = readVersionReply(c.r)
+		return rerr
+	}, true)
+	if err != nil {
+		return
+	}
+	if bannerSupportsTracing(banner) {
+		c.traceOK = 1
+	} else {
+		c.traceOK = 2
+	}
+}
+
+// TracedGetMulti is GetMulti carrying a distributed-trace context. It
+// returns the items, the client-side queue wait (time spent blocked on
+// the connection mutex, in nanoseconds), and the server's phase
+// timings — nil when the server did not negotiate tracing, in which
+// case the request degraded to a stock multi-get.
+func (c *Client) TracedGetMulti(tc obs.TraceContext, keys []string) (map[string]*Item, int64, *obs.ServerTimings, error) {
+	if len(keys) == 0 {
+		return map[string]*Item{}, 0, nil, nil
+	}
+	for _, k := range keys {
+		if !validKey(k) {
+			return nil, 0, nil, ErrBadKey
+		}
+	}
+	lockStart := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	queueNS := time.Since(lockStart).Nanoseconds()
+	if c.tracing && c.traceOK == 0 {
+		c.probeLocked()
+	}
+	traced := c.tracing && c.traceOK == 1 && tc.Valid()
+	out := make(map[string]*Item, len(keys))
+	var st *obs.ServerTimings
+	err := c.doLocked(func() error {
+		if traced {
+			if err := writeTraceCmd(c.w, tc); err != nil {
+				return err
+			}
+		}
+		if err := writeGetCmd(c.w, "get", keys); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		if err := readValuesInto(c.r, false, out); err != nil {
+			return err
+		}
+		if traced {
+			st = new(obs.ServerTimings)
+			if err := readTraceReply(c.r, st); err != nil {
+				st = nil
+				return err
+			}
+		}
+		return nil
+	}, true)
+	if err != nil {
+		return nil, queueNS, nil, err
+	}
+	return out, queueNS, st, nil
 }
 
 // Set stores an item unconditionally.

@@ -1,5 +1,7 @@
 package memcache
 
+import "rnb/internal/obs"
+
 // Conn is the per-server transport handle: everything the RnB client
 // (and the proxy behind it) needs from a memcached connection,
 // satisfied both by the single-connection Client and by the pooled,
@@ -33,6 +35,18 @@ type Conn interface {
 	FlushAll() error
 	Version() (string, error)
 	Stats() (map[string]string, error)
+
+	// SetTracing enables wire-level distributed-trace propagation. The
+	// transport negotiates support via the server's version banner; a
+	// plain memcached server keeps seeing stock protocol bytes, and with
+	// tracing off the wire is byte-identical to an untraced build.
+	SetTracing(on bool)
+	// TracedGetMulti is GetMulti carrying a trace context. It returns
+	// the items, the client-side queue wait in nanoseconds (time spent
+	// between submission and the request's bytes reaching the wire), and
+	// the server's phase attribution — nil when tracing did not
+	// negotiate, in which case the call degraded to a stock GetMulti.
+	TracedGetMulti(tc obs.TraceContext, keys []string) (map[string]*Item, int64, *obs.ServerTimings, error)
 }
 
 var (

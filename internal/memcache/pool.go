@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rnb/internal/metrics"
+	"rnb/internal/obs"
 )
 
 // Pool is a pooled, pipelined client for a single server, replacing
@@ -62,6 +63,14 @@ type Pool struct {
 	reapDone chan struct{}
 
 	transactions atomic.Uint64
+
+	// tracing enables wire-level trace propagation; traceOK caches the
+	// handshake outcome pool-wide (0 unknown, 1 negotiated, 2 plain
+	// server) — one address speaks one banner, so the answer holds for
+	// every connection. With tracing off the wire carries zero extra
+	// bytes.
+	tracing atomic.Bool
+	traceOK atomic.Int32
 }
 
 // PoolConfig parameterizes a Pool. The zero value picks the defaults.
@@ -384,6 +393,14 @@ type poolRequest struct {
 	idempotent bool
 	written    bool
 	done       chan error
+
+	// Traced requests measure their pool queue wait: submitted is
+	// stamped at submission and queueNS (when non-nil) receives the
+	// submit-to-wire delay, written by the writer goroutine just before
+	// the request's bytes go out. The completion channel orders that
+	// write before the caller's read.
+	submitted time.Time
+	queueNS   *int64
 }
 
 func (r *poolRequest) complete(err error) { r.done <- err }
@@ -399,11 +416,17 @@ func (e *connDeadError) Unwrap() error { return e.cause }
 // do submits one request and waits for its completion, handling
 // rerouting and the per-request idempotent replay rule.
 func (p *Pool) do(idempotent bool, write func(w *bufio.Writer) error, read func(r *bufio.Reader) error) error {
+	return p.submit(&poolRequest{write: write, read: read, idempotent: idempotent, done: make(chan error, 1)})
+}
+
+// submit routes req until it completes, applying the resubmit and
+// replay rules.
+func (p *Pool) submit(req *poolRequest) error {
 	if p.rttObs != nil {
 		start := time.Now()
 		defer func() { p.rttObs(time.Since(start)) }()
 	}
-	req := &poolRequest{write: write, read: read, idempotent: idempotent, done: make(chan error, 1)}
+	idempotent := req.idempotent
 	replayed := false
 	resubmits := 0
 	for {
@@ -520,6 +543,9 @@ func (c *pconn) writeLoop() {
 			c.queued.Add(-1)
 			c.pool.gauges.Queued.Add(-1)
 			req.written = true
+			if req.queueNS != nil {
+				*req.queueNS = time.Since(req.submitted).Nanoseconds()
+			}
 			c.pool.transactions.Add(1)
 			if err := req.write(c.w); err != nil {
 				req.complete(err)
@@ -682,6 +708,110 @@ func (p *Pool) getMulti(verb string, keys []string) (map[string]*Item, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// SetTracing enables (or disables) wire-level trace propagation. The
+// first traced request probes the server's version banner — once, pool
+// wide — and only a server announcing rnb-memcache support ever sees a
+// trace frame; plain memcached keeps receiving stock protocol bytes.
+func (p *Pool) SetTracing(on bool) {
+	p.tracing.Store(on)
+	if on {
+		p.traceOK.Store(0)
+	}
+}
+
+// probeTracing resolves the tracing handshake with one version round
+// trip. A failure leaves the outcome unknown so a later traced request
+// retries; concurrent probes are harmless (version is idempotent).
+func (p *Pool) probeTracing() {
+	banner, err := p.Version()
+	if err != nil {
+		return
+	}
+	if bannerSupportsTracing(banner) {
+		p.traceOK.Store(1)
+	} else {
+		p.traceOK.Store(2)
+	}
+}
+
+// TracedGetMulti is GetMulti carrying a distributed-trace context. It
+// returns the items, the client-side queue wait (submission to the
+// wire, in nanoseconds), and the server's phase timings — nil when the
+// server did not negotiate tracing, in which case the request degraded
+// to a stock multi-get.
+func (p *Pool) TracedGetMulti(tc obs.TraceContext, keys []string) (map[string]*Item, int64, *obs.ServerTimings, error) {
+	if len(keys) == 0 {
+		return map[string]*Item{}, 0, nil, nil
+	}
+	for _, k := range keys {
+		if !validKey(k) {
+			return nil, 0, nil, ErrBadKey
+		}
+	}
+	if p.tracing.Load() && p.traceOK.Load() == 0 {
+		p.probeTracing()
+	}
+	traced := p.tracing.Load() && p.traceOK.Load() == 1 && tc.Valid()
+	out := make(map[string]*Item, len(keys))
+	var queueNS int64
+	var st *obs.ServerTimings
+	var write func(w *bufio.Writer) error
+	var read func(r *bufio.Reader) error
+	if p.bin {
+		write = func(w *bufio.Writer) error {
+			if traced {
+				if err := writeBinTraceCmd(w, tc); err != nil {
+					return err
+				}
+			}
+			return writeBinMultiGetCmd(w, keys)
+		}
+		read = func(r *bufio.Reader) error {
+			if err := readBinMultiGetInto(r, len(keys), out); err != nil {
+				return err
+			}
+			if traced {
+				st = new(obs.ServerTimings)
+				if err := readBinTraceReply(r, st); err != nil {
+					st = nil
+					return err
+				}
+			}
+			return nil
+		}
+	} else {
+		write = func(w *bufio.Writer) error {
+			if traced {
+				if err := writeTraceCmd(w, tc); err != nil {
+					return err
+				}
+			}
+			return writeGetCmd(w, "get", keys)
+		}
+		read = func(r *bufio.Reader) error {
+			if err := readValuesInto(r, false, out); err != nil {
+				return err
+			}
+			if traced {
+				st = new(obs.ServerTimings)
+				if err := readTraceReply(r, st); err != nil {
+					st = nil
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	req := &poolRequest{
+		write: write, read: read, idempotent: true,
+		done: make(chan error, 1), submitted: time.Now(), queueNS: &queueNS,
+	}
+	if err := p.submit(req); err != nil {
+		return nil, queueNS, nil, err
+	}
+	return out, queueNS, st, nil
 }
 
 // Set stores an item unconditionally.

@@ -11,6 +11,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"rnb/internal/obs"
 )
 
 // ServerStats are the counters exposed via the "stats" command.
@@ -66,6 +69,21 @@ func (b storeBackend) GetMulti(keys []string) (map[string]*Item, error) {
 func (b storeBackend) GetsMulti(keys []string) (map[string]*Item, error) {
 	return b.GetMulti(keys) // local tokens are always authoritative
 }
+
+// GetMultiTimed implements timedBackend: the traced read path, also
+// reporting the shard-lock wait the batch accumulated.
+func (b storeBackend) GetMultiTimed(keys []string) (map[string]*Item, int64, error) {
+	out := make(map[string]*Item, len(keys))
+	var wait int64
+	for _, k := range keys {
+		it, w, err := b.s.GetTimed(k)
+		wait += w
+		if err == nil {
+			out[k] = it
+		}
+	}
+	return out, wait, nil
+}
 func (b storeBackend) Set(it *Item) error                    { return b.s.Set(it) }
 func (b storeBackend) SetPinned(it *Item) error              { return b.s.SetPinned(it, true) }
 func (b storeBackend) Add(it *Item) error                    { return b.s.Add(it) }
@@ -98,6 +116,12 @@ type Server struct {
 	backend Backend
 	stats   ServerStats
 
+	// recorder is the server-side flight recorder: per-phase histograms
+	// plus a ring of recent ServerSpans, fed by every traced command.
+	// Always present — tracing is a per-command client decision, so the
+	// server must stand ready on every connection.
+	recorder *obs.ServerRecorder
+
 	// noText / noBinary disable one wire format (SetProtocols). Both
 	// false — the zero value — serves both.
 	noText   bool
@@ -113,16 +137,25 @@ type Server struct {
 // NewServer wraps a Store in a protocol server.
 func NewServer(store *Store) *Server {
 	return &Server{
-		store:   store,
-		backend: storeBackend{s: store},
-		conns:   make(map[net.Conn]struct{}),
+		store:    store,
+		backend:  storeBackend{s: store},
+		recorder: obs.NewServerRecorder(0),
+		conns:    make(map[net.Conn]struct{}),
 	}
 }
 
 // NewServerBackend serves an arbitrary Backend (e.g. an RnB proxy).
 func NewServerBackend(b Backend) *Server {
-	return &Server{backend: b, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		backend:  b,
+		recorder: obs.NewServerRecorder(0),
+		conns:    make(map[net.Conn]struct{}),
+	}
 }
+
+// Recorder returns the server-side flight recorder (per-phase
+// histograms plus the ServerSpan ring fed by traced commands).
+func (s *Server) Recorder() *obs.ServerRecorder { return s.recorder }
 
 // Store returns the server's storage engine, or nil when serving a
 // custom backend.
@@ -240,7 +273,10 @@ func (s *Server) dropConn(conn net.Conn) {
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.dropConn(conn)
-	r := bufio.NewReaderSize(conn, 64<<10)
+	// The fill reader stamps when bytes actually arrive, so traced
+	// commands can report how long they queued in the read buffer.
+	fr := &fillReader{c: conn}
+	r := bufio.NewReaderSize(fr, 64<<10)
 	w := bufio.NewWriterSize(conn, 64<<10)
 	// Protocol sniff, as memcached does on a shared port: binary
 	// requests always start with the 0x80 magic, which is not a
@@ -249,12 +285,13 @@ func (s *Server) handleConn(conn net.Conn) {
 		if s.noBinary {
 			return
 		}
-		s.serveBinary(r, w)
+		s.serveBinary(fr, r, w)
 		return
 	}
 	if s.noText {
 		return
 	}
+	var pending obs.TraceContext
 	for {
 		line, err := readLine(r)
 		if err != nil {
@@ -263,13 +300,47 @@ func (s *Server) handleConn(conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
+		// The trace prefix arms the NEXT command; it is not a
+		// transaction of its own and sends no reply. A malformed prefix
+		// answers ERROR and arms nothing.
+		if tc, ok, malformed := parseTraceLine(line); ok || malformed {
+			pending = tc
+			if malformed {
+				if _, err := w.WriteString("ERROR\r\n"); err != nil {
+					return
+				}
+				if err := w.Flush(); err != nil {
+					return
+				}
+			}
+			continue
+		}
 		s.stats.Transactions.Add(1)
-		quit, err := s.dispatch(line, r, w)
+		var ct *connTrace
+		if pending.Valid() {
+			verb, _ := nextField(line)
+			ct = s.armTrace(pending, fr, string(verb))
+			pending = obs.TraceContext{}
+		}
+		quit, err := s.dispatch(line, r, w, s.backendFor(ct))
 		if err != nil {
 			return
 		}
+		var dispatchEnd time.Time
+		if ct != nil {
+			dispatchEnd = time.Now()
+		}
 		if err := w.Flush(); err != nil {
 			return
+		}
+		if ct != nil {
+			st := s.finishTrace(ct, dispatchEnd, time.Now())
+			if err := writeServerTraceLine(w, &st); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
 		}
 		if quit {
 			return
@@ -288,9 +359,11 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 	return line, nil
 }
 
-// dispatch processes one command line. It returns quit=true for the
-// "quit" command and a non-nil error for connection-fatal conditions.
-func (s *Server) dispatch(line []byte, r *bufio.Reader, w *bufio.Writer) (quit bool, err error) {
+// dispatch processes one command line against be — the raw backend, or
+// the per-command timing wrapper when the command is traced. It
+// returns quit=true for the "quit" command and a non-nil error for
+// connection-fatal conditions.
+func (s *Server) dispatch(line []byte, r *bufio.Reader, w *bufio.Writer, be Backend) (quit bool, err error) {
 	fields := strings.Fields(string(line))
 	if len(fields) == 0 {
 		_, err = w.WriteString("ERROR\r\n")
@@ -298,21 +371,21 @@ func (s *Server) dispatch(line []byte, r *bufio.Reader, w *bufio.Writer) (quit b
 	}
 	switch fields[0] {
 	case "get":
-		return false, s.handleGet(fields[1:], w, false)
+		return false, s.handleGet(fields[1:], w, false, be)
 	case "gets":
-		return false, s.handleGet(fields[1:], w, true)
+		return false, s.handleGet(fields[1:], w, true, be)
 	case "set", "add", "replace", "setp", "append", "prepend":
-		return false, s.handleStore(fields[0], fields[1:], r, w)
+		return false, s.handleStore(fields[0], fields[1:], r, w, be)
 	case "cas":
-		return false, s.handleCas(fields[1:], r, w)
+		return false, s.handleCas(fields[1:], r, w, be)
 	case "incr", "decr":
-		return false, s.handleIncrDecr(fields[0] == "decr", fields[1:], w)
+		return false, s.handleIncrDecr(fields[0] == "decr", fields[1:], w, be)
 	case "delete":
-		return false, s.handleDelete(fields[1:], w)
+		return false, s.handleDelete(fields[1:], w, be)
 	case "touch":
-		return false, s.handleTouch(fields[1:], w)
+		return false, s.handleTouch(fields[1:], w, be)
 	case "flush_all":
-		ferr := s.backend.FlushAll()
+		ferr := be.FlushAll()
 		if !hasNoreply(fields[1:]) {
 			if ferr != nil {
 				_, err = fmt.Fprintf(w, "SERVER_ERROR %s\r\n", ferr)
@@ -322,7 +395,7 @@ func (s *Server) dispatch(line []byte, r *bufio.Reader, w *bufio.Writer) (quit b
 		}
 		return false, err
 	case "version":
-		_, err = w.WriteString("VERSION rnb-memcache/1.0\r\n")
+		_, err = w.WriteString("VERSION " + VersionBanner + "\r\n")
 		return false, err
 	case "stats":
 		return false, s.handleStats(w)
@@ -338,7 +411,7 @@ func hasNoreply(fields []string) bool {
 	return len(fields) > 0 && fields[len(fields)-1] == "noreply"
 }
 
-func (s *Server) handleGet(keys []string, w *bufio.Writer, withCAS bool) error {
+func (s *Server) handleGet(keys []string, w *bufio.Writer, withCAS bool, be Backend) error {
 	if len(keys) == 0 {
 		_, err := w.WriteString("ERROR\r\n")
 		return err
@@ -347,9 +420,9 @@ func (s *Server) handleGet(keys []string, w *bufio.Writer, withCAS bool) error {
 	var items map[string]*Item
 	var gerr error
 	if withCAS {
-		items, gerr = s.backend.GetsMulti(keys)
+		items, gerr = be.GetsMulti(keys)
 	} else {
-		items, gerr = s.backend.GetMulti(keys)
+		items, gerr = be.GetMulti(keys)
 	}
 	if gerr != nil {
 		_, err := fmt.Fprintf(w, "SERVER_ERROR %s\r\n", gerr)
@@ -443,7 +516,7 @@ func readStorePayload(fields []string, extra int, r *bufio.Reader) (it *Item, ca
 	}, casID, noreply, "", nil
 }
 
-func (s *Server) handleStore(cmd string, fields []string, r *bufio.Reader, w *bufio.Writer) error {
+func (s *Server) handleStore(cmd string, fields []string, r *bufio.Reader, w *bufio.Writer, be Backend) error {
 	s.stats.CmdSet.Add(1)
 	it, _, noreply, cerr, err := readStorePayload(fields, 0, r)
 	if err != nil {
@@ -456,20 +529,20 @@ func (s *Server) handleStore(cmd string, fields []string, r *bufio.Reader, w *bu
 	var serr error
 	switch cmd {
 	case "set":
-		serr = s.backend.Set(it)
+		serr = be.Set(it)
 	case "setp":
 		// RnB extension (§IV): a pinned set. The stored copy is exempt
 		// from LRU eviction — used for distinguished copies so they can
 		// never miss. Not part of stock memcached.
-		serr = s.backend.SetPinned(it)
+		serr = be.SetPinned(it)
 	case "add":
-		serr = s.backend.Add(it)
+		serr = be.Add(it)
 	case "replace":
-		serr = s.backend.Replace(it)
+		serr = be.Replace(it)
 	case "append":
-		serr = s.backend.Append(it.Key, it.Value)
+		serr = be.Append(it.Key, it.Value)
 	case "prepend":
-		serr = s.backend.Prepend(it.Key, it.Value)
+		serr = be.Prepend(it.Key, it.Value)
 	}
 	if noreply {
 		return nil
@@ -489,7 +562,7 @@ func (s *Server) handleStore(cmd string, fields []string, r *bufio.Reader, w *bu
 	return err
 }
 
-func (s *Server) handleCas(fields []string, r *bufio.Reader, w *bufio.Writer) error {
+func (s *Server) handleCas(fields []string, r *bufio.Reader, w *bufio.Writer, be Backend) error {
 	s.stats.CmdSet.Add(1)
 	it, casID, noreply, cerr, err := readStorePayload(fields, 1, r)
 	if err != nil {
@@ -500,7 +573,7 @@ func (s *Server) handleCas(fields []string, r *bufio.Reader, w *bufio.Writer) er
 		return err
 	}
 	it.CAS = casID
-	serr := s.backend.CompareAndSwap(it)
+	serr := be.CompareAndSwap(it)
 	if noreply {
 		return nil
 	}
@@ -517,7 +590,7 @@ func (s *Server) handleCas(fields []string, r *bufio.Reader, w *bufio.Writer) er
 	return err
 }
 
-func (s *Server) handleIncrDecr(decr bool, fields []string, w *bufio.Writer) error {
+func (s *Server) handleIncrDecr(decr bool, fields []string, w *bufio.Writer, be Backend) error {
 	noreply := hasNoreply(fields)
 	if noreply {
 		fields = fields[:len(fields)-1]
@@ -535,7 +608,7 @@ func (s *Server) handleIncrDecr(decr bool, fields []string, w *bufio.Writer) err
 	if decr {
 		d = -d
 	}
-	val, serr := s.backend.Increment(fields[0], d)
+	val, serr := be.Increment(fields[0], d)
 	if noreply {
 		return nil
 	}
@@ -551,7 +624,7 @@ func (s *Server) handleIncrDecr(decr bool, fields []string, w *bufio.Writer) err
 	return err
 }
 
-func (s *Server) handleDelete(fields []string, w *bufio.Writer) error {
+func (s *Server) handleDelete(fields []string, w *bufio.Writer, be Backend) error {
 	noreply := hasNoreply(fields)
 	if noreply {
 		fields = fields[:len(fields)-1]
@@ -560,7 +633,7 @@ func (s *Server) handleDelete(fields []string, w *bufio.Writer) error {
 		_, err := w.WriteString("CLIENT_ERROR bad command line format\r\n")
 		return err
 	}
-	serr := s.backend.Delete(fields[0])
+	serr := be.Delete(fields[0])
 	if noreply {
 		return nil
 	}
@@ -573,7 +646,7 @@ func (s *Server) handleDelete(fields []string, w *bufio.Writer) error {
 	return err
 }
 
-func (s *Server) handleTouch(fields []string, w *bufio.Writer) error {
+func (s *Server) handleTouch(fields []string, w *bufio.Writer, be Backend) error {
 	noreply := hasNoreply(fields)
 	if noreply {
 		fields = fields[:len(fields)-1]
@@ -587,7 +660,7 @@ func (s *Server) handleTouch(fields []string, w *bufio.Writer) error {
 		_, werr := w.WriteString("CLIENT_ERROR bad exptime\r\n")
 		return werr
 	}
-	serr := s.backend.Touch(fields[0], exp)
+	serr := be.Touch(fields[0], exp)
 	if noreply {
 		return nil
 	}

@@ -116,6 +116,29 @@ func (s *Store) Get(key string) (*Item, error) {
 	return it, nil
 }
 
+// GetTimed is Get plus the time spent waiting for the shard lock, in
+// nanoseconds — the store-contention share of a traced command.
+func (s *Store) GetTimed(key string) (*Item, int64, error) {
+	if !validKey(key) {
+		return nil, 0, ErrBadKey
+	}
+	sh := s.shard(key)
+	now := s.nowFn()
+	lockStart := time.Now()
+	sh.mu.Lock()
+	wait := time.Since(lockStart).Nanoseconds()
+	defer sh.mu.Unlock()
+	it, ok := sh.cache.Get(key)
+	if !ok {
+		return nil, wait, ErrCacheMiss
+	}
+	if expired(it, now) {
+		sh.cache.Delete(key)
+		return nil, wait, ErrCacheMiss
+	}
+	return it, wait, nil
+}
+
 // Peek is Get without LRU promotion (hitchhiker policy hook).
 func (s *Store) Peek(key string) (*Item, error) {
 	if !validKey(key) {

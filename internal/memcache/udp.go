@@ -165,7 +165,7 @@ func (u *UDPServer) handlePacket(pkt []byte, raddr *net.UDPAddr) {
 	var out bytes.Buffer
 	w := bufio.NewWriter(&out)
 	u.srv.stats.Transactions.Add(1)
-	if _, err := u.srv.dispatch(line, r, w); err != nil {
+	if _, err := u.srv.dispatch(line, r, w, u.srv.backend); err != nil {
 		return
 	}
 	if err := w.Flush(); err != nil {

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
+	"time"
 )
 
 // RequestSource yields flight-recorder dumps; *Tracer implements it.
@@ -13,10 +15,17 @@ type RequestSource interface {
 	Requests() []Span
 }
 
+// RequestsSchemaVersion stamps /debug/requests dumps so scripted
+// consumers can detect shape changes. Bump it when the envelope (not
+// the additive Span fields) changes incompatibly.
+const RequestsSchemaVersion = 2
+
 // NewMux assembles the debug endpoint:
 //
 //	/metrics         Prometheus text format, stable sorted names
-//	/debug/requests  flight-recorder dump as JSON, newest first (?n= caps it)
+//	/debug/requests  flight-recorder dump as JSON, newest first
+//	                 (?n= caps the count, ?min_dur= keeps only spans at
+//	                 least that slow, e.g. ?min_dur=50ms)
 //	/debug/pprof/*   the standard net/http/pprof handlers
 //
 // src may be nil (a daemon with no request tracer); /debug/requests
@@ -29,6 +38,20 @@ func NewMux(reg *Registry, src RequestSource) *http.ServeMux {
 		if src != nil {
 			spans = src.Requests()
 		}
+		if s := r.URL.Query().Get("min_dur"); s != "" {
+			min, err := time.ParseDuration(s)
+			if err != nil {
+				http.Error(w, "bad min_dur: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			kept := spans[:0]
+			for _, sp := range spans {
+				if sp.TotalNS >= int64(min) {
+					kept = append(kept, sp)
+				}
+			}
+			spans = kept
+		}
 		if s := r.URL.Query().Get("n"); s != "" {
 			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(spans) {
 				spans = spans[:n]
@@ -38,9 +61,10 @@ func NewMux(reg *Registry, src RequestSource) *http.ServeMux {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(struct {
+			Schema   int    `json:"schema"`
 			Count    int    `json:"count"`
 			Requests []Span `json:"requests"`
-		}{Count: len(spans), Requests: spans})
+		}{Schema: RequestsSchemaVersion, Count: len(spans), Requests: spans})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -48,6 +72,99 @@ func NewMux(reg *Registry, src RequestSource) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// TraceSource yields kept distributed traces; *TraceBuffer implements
+// it.
+type TraceSource interface {
+	Traces() []Span
+	Trace(id uint64) (Span, bool)
+}
+
+// HandleTraces mounts the distributed-tracing endpoints on mux:
+//
+//	/debug/traces       index of kept traces (tail-sampled), newest
+//	                    slow traces first then the reservoir
+//	/debug/trace/<id>   one trace as Chrome trace-event JSON (load the
+//	                    response in Perfetto); ?format=span returns the
+//	                    raw Span record instead
+func HandleTraces(mux *http.ServeMux, src TraceSource) {
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		type entry struct {
+			TraceID uint64    `json:"trace_id"`
+			Op      string    `json:"op"`
+			Start   time.Time `json:"start"`
+			Keys    int       `json:"keys"`
+			TotalNS int64     `json:"total_ns"`
+			Err     string    `json:"err,omitempty"`
+		}
+		spans := src.Traces()
+		index := make([]entry, 0, len(spans))
+		for _, sp := range spans {
+			index = append(index, entry{
+				TraceID: sp.TraceID, Op: sp.Op, Start: sp.Start,
+				Keys: sp.Keys, TotalNS: sp.TotalNS, Err: sp.Err,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Schema int     `json:"schema"`
+			Count  int     `json:"count"`
+			Traces []entry `json:"traces"`
+		}{Schema: RequestsSchemaVersion, Count: len(index), Traces: index})
+	})
+	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, r *http.Request) {
+		idStr := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		sp, ok := src.Trace(id)
+		if !ok {
+			http.Error(w, "trace not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("format") == "span" {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(&sp)
+			return
+		}
+		_ = WriteTraceEvents(w, []Span{sp})
+	})
+}
+
+// ServerSpanSource yields the server-side flight recorder's ring;
+// *ServerRecorder implements it.
+type ServerSpanSource interface {
+	Spans() []ServerSpan
+}
+
+// HandleServerSpans mounts /debug/spans: the server-side flight
+// recorder dumped as JSON, newest first — one record per *traced*
+// transaction with its phase attribution (queue/parse/wait/exec/flush)
+// and the client span it was issued under. ?n= caps the count.
+func HandleServerSpans(mux *http.ServeMux, src ServerSpanSource) {
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		spans := src.Spans()
+		if s := r.URL.Query().Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(spans) {
+				spans = spans[:n]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Schema int          `json:"schema"`
+			Count  int          `json:"count"`
+			Spans  []ServerSpan `json:"spans"`
+		}{Schema: RequestsSchemaVersion, Count: len(spans), Spans: spans})
+	})
 }
 
 // ListenAndServe binds addr and serves handler in a background

@@ -25,6 +25,35 @@ type TxnRTT struct {
 	DurNS int64 `json:"dur_ns"`
 	// Err is the failure, if the transaction hit one.
 	Err string `json:"err,omitempty"`
+
+	// Distributed-tracing fields, present only on traced requests.
+
+	// SpanID is the client-side span id minted for this round trip;
+	// server spans it caused name it as their parent.
+	SpanID uint64 `json:"span_id,omitempty"`
+	// OffsetNS is the trip's start offset from the owning Span.Start.
+	OffsetNS int64 `json:"offset_ns,omitempty"`
+	// QueueNS is the client-side share of DurNS spent waiting to reach
+	// the wire (pool submit-to-write wait, or single-conn mutex wait).
+	QueueNS int64 `json:"queue_ns,omitempty"`
+	// ServerTimings is the server's phase attribution for the trip,
+	// returned in-band; nil when the server did not negotiate tracing.
+	// DurNS − QueueNS − ServerTimings.TotalNS() is the wire residual.
+	ServerTimings *ServerTimings `json:"server_timings,omitempty"`
+}
+
+// WireNS returns the round trip's wire residual: the part of DurNS not
+// attributed to client queueing or the server's phases, clamped at
+// zero (clock noise can push the subtraction slightly negative).
+func (r *TxnRTT) WireNS() int64 {
+	if r.ServerTimings == nil {
+		return 0
+	}
+	wire := r.DurNS - r.QueueNS - r.ServerTimings.TotalNS()
+	if wire < 0 {
+		wire = 0
+	}
+	return wire
 }
 
 // Span is one request's lifecycle record: where the time went (plan,
@@ -69,6 +98,13 @@ type Span struct {
 	RTTs []TxnRTT `json:"rtts,omitempty"`
 	// Err is the request-level failure, if any.
 	Err string `json:"err,omitempty"`
+
+	// TraceID is the distributed trace id propagated on the wire; zero
+	// when the request was not head-sampled for tracing.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	// ParentSpan is the upstream client span this request serves (a
+	// proxy's server-side parent); zero at the originating client.
+	ParentSpan uint64 `json:"parent_span,omitempty"`
 }
 
 // Total returns the span's wall time.

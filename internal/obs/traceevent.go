@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// traceEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// ph "X" complete events with microsecond ts/dur, ph "M" metadata
+// naming processes and threads. Perfetto and chrome://tracing both
+// load the {"traceEvents": [...]} envelope directly.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func usNS(ns int64) float64 { return float64(ns) / float64(time.Microsecond) }
+
+// WriteTraceEvents renders spans as Chrome trace-event JSON, loadable
+// in Perfetto. Each span becomes one process (pid) on a shared
+// wall-clock timeline: tid 0 is the client with its phase slices
+// (plan → fanout → round2 → loader), and each server the request
+// touched gets its own thread carrying the round-trip slices. Traced
+// round trips nest client-queue and server-phase slices inside the
+// RTT, with the wire residual as the unattributed remainder, so the
+// queue/wire/server split is visible directly in the UI.
+func WriteTraceEvents(w io.Writer, spans []Span) error {
+	events := make([]traceEvent, 0, len(spans)*8)
+	for i, sp := range spans {
+		pid := i + 1
+		events = append(events, buildSpanEvents(pid, &sp)...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+		DisplayUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayUnit: "ms"})
+}
+
+func buildSpanEvents(pid int, sp *Span) []traceEvent {
+	base := usNS(sp.Start.UnixNano())
+	name := fmt.Sprintf("trace %d · %s", sp.TraceID, sp.Op)
+	if sp.TraceID == 0 {
+		name = fmt.Sprintf("span %d · %s", sp.ID, sp.Op)
+	}
+	events := []traceEvent{
+		{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name}},
+		{Name: "thread_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": "client"}},
+		{Name: sp.Op, Ph: "X", Pid: pid, Tid: 0, Ts: base, Dur: usNS(sp.TotalNS),
+			Args: map[string]any{
+				"trace_id": sp.TraceID, "span_id": sp.ID, "keys": sp.Keys,
+				"transactions": sp.Transactions, "retries": sp.Retries,
+				"failed": sp.Failed, "err": sp.Err,
+			}},
+	}
+	// Client phases laid out sequentially — the client runs them in
+	// this order, and their durations are measured back to back.
+	off := int64(0)
+	for _, ph := range []struct {
+		name string
+		ns   int64
+	}{{"plan", sp.PlanNS}, {"fanout", sp.FanoutNS}, {"round2", sp.Round2NS}, {"loader", sp.LoaderNS}} {
+		if ph.ns <= 0 {
+			continue
+		}
+		events = append(events, traceEvent{
+			Name: ph.name, Ph: "X", Pid: pid, Tid: 0,
+			Ts: base + usNS(off), Dur: usNS(ph.ns),
+		})
+		off += ph.ns
+	}
+	// One thread per server; round trips nest their attribution.
+	tids := map[int]int{}
+	for _, r := range sp.RTTs {
+		tid, ok := tids[r.Server]
+		if !ok {
+			tid = len(tids) + 1
+			tids[r.Server] = tid
+			events = append(events, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": fmt.Sprintf("s%d %s", r.Server, r.Addr)},
+			})
+		}
+		events = append(events, rttEvents(pid, tid, base, &r)...)
+	}
+	return events
+}
+
+// rttEvents renders one round trip: the RTT slice itself, then (when
+// the server returned timings) nested slices for the client queue wait
+// and the server's phases. The server block is placed after the
+// client queue plus half the wire residual — the wire cost is split
+// between the request and response halves — so the gaps on either
+// side of it read as wire time.
+func rttEvents(pid, tid int, base float64, r *TxnRTT) []traceEvent {
+	rttName := fmt.Sprintf("rtt %s (%d keys)", r.Phase, r.Keys)
+	args := map[string]any{"span_id": r.SpanID, "keys": r.Keys, "err": r.Err}
+	st := r.ServerTimings
+	if st != nil {
+		args["queue_ns"] = r.QueueNS
+		args["server_ns"] = st.TotalNS()
+		args["wire_ns"] = r.WireNS()
+	}
+	start := base + usNS(r.OffsetNS)
+	events := []traceEvent{{
+		Name: rttName, Ph: "X", Pid: pid, Tid: tid,
+		Ts: start, Dur: usNS(r.DurNS), Args: args,
+	}}
+	if r.QueueNS > 0 {
+		events = append(events, traceEvent{
+			Name: "client queue", Ph: "X", Pid: pid, Tid: tid,
+			Ts: start, Dur: usNS(r.QueueNS),
+		})
+	}
+	if st == nil {
+		return events
+	}
+	srvStart := start + usNS(r.QueueNS+r.WireNS()/2)
+	cursor := srvStart
+	for _, ph := range []struct {
+		name string
+		ns   int64
+	}{{"srv queue", st.QueueNS}, {"parse", st.ParseNS}, {"exec", st.ExecNS}, {"flush", st.FlushNS}} {
+		if ph.ns <= 0 {
+			continue
+		}
+		events = append(events, traceEvent{
+			Name: ph.name, Ph: "X", Pid: pid, Tid: tid,
+			Ts: cursor, Dur: usNS(ph.ns),
+			Args: map[string]any{"server_span": st.SpanID},
+		})
+		if ph.name == "exec" && st.WaitNS > 0 {
+			events = append(events, traceEvent{
+				Name: "lock wait", Ph: "X", Pid: pid, Tid: tid,
+				Ts: cursor, Dur: usNS(st.WaitNS),
+			})
+		}
+		cursor += usNS(ph.ns)
+	}
+	return events
+}

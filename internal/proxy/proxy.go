@@ -79,6 +79,24 @@ func (p *Proxy) GetMulti(keys []string) (map[string]*memcache.Item, error) {
 	return items, nil
 }
 
+// GetMultiTraced implements the memcache server's tracedBackend
+// extension: a trace context that arrived on the proxy's front wire is
+// carried through the RnB client onto the backend wire, so one trace id
+// stitches app → proxy → server tier. Stats are accounted exactly like
+// GetMulti.
+func (p *Proxy) GetMultiTraced(tc obs.TraceContext, keys []string) (map[string]*memcache.Item, error) {
+	p.requests.Add(1)
+	items, stats, err := p.client.GetMultiTraced(tc, keys)
+	if err != nil {
+		return nil, err
+	}
+	p.backendTxns.Add(uint64(stats.Transactions))
+	p.round2.Add(uint64(stats.Round2))
+	p.hitchhikers.Add(uint64(stats.Hitchhikers))
+	p.loadedFromDB.Add(uint64(stats.Loaded))
+	return items, nil
+}
+
 // GetsMulti implements memcache.Backend: CAS tokens must be
 // authoritative, so keys are read from their distinguished servers
 // (bundled per server), not from whichever replica the planner would

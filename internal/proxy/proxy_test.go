@@ -10,6 +10,7 @@ import (
 
 	"rnb"
 	"rnb/internal/memcache"
+	"rnb/internal/obs"
 )
 
 // stack spins up `backends` memcached servers, an RnB client over
@@ -299,5 +300,122 @@ func TestProxyStatsNoGhostSeriesAfterDrain(t *testing.T) {
 	}
 	if after["proxy_topology_drains"] != "1" || after["proxy_topology_drains_completed"] != "1" {
 		t.Fatalf("topology counters missing from stats: %v", after)
+	}
+}
+
+// TestProxyTraceChaining follows one trace context through the whole
+// chain: a traced legacy client sends `trace <id> <span>` to the proxy
+// front end, the front server mints a span under the legacy client's
+// span, the proxy continues the trace into the RnB client via
+// GetMultiTraced, and every backend transaction records the same trace
+// id parented under the client's fan-out spans.
+func TestProxyTraceChaining(t *testing.T) {
+	var addrs []string
+	var backends []*memcache.Server
+	for i := 0; i < 4; i++ {
+		srv := memcache.NewServer(memcache.NewStore(0))
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, ln.Addr().String())
+		backends = append(backends, srv)
+	}
+	client, err := rnb.NewClient(addrs, rnb.WithReplicas(2),
+		rnb.WithTracing(rnb.TraceConfig{SampleEvery: 1, SlowThreshold: time.Nanosecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	p := New(client)
+	front := memcache.NewServerBackend(p)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go front.Serve(ln)
+	t.Cleanup(func() { front.Close() })
+
+	legacy, err := memcache.Dial(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { legacy.Close() })
+
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("chain-%02d", i)
+		if err := legacy.Set(&memcache.Item{Key: keys[i], Value: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	legacy.SetTracing(true)
+	app := obs.TraceContext{TraceID: 0xabcdef, Parent: 7}
+	items, _, st, err := legacy.TracedGetMulti(app, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(keys) {
+		t.Fatalf("traced multiget returned %d items, want %d", len(items), len(keys))
+	}
+	if st == nil || st.TraceID != app.TraceID {
+		t.Fatalf("front server timings: %+v, want trace %#x", st, app.TraceID)
+	}
+
+	// Hop 1: the proxy front end's span sits under the app's span.
+	var frontSpan obs.ServerSpan
+	found := false
+	for _, ss := range front.Recorder().Spans() {
+		if ss.ID == st.SpanID {
+			frontSpan, found = ss, true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("front server did not record span %d", st.SpanID)
+	}
+	if frontSpan.Parent != app.Parent || frontSpan.Timings.TraceID != app.TraceID {
+		t.Fatalf("front span parent=%d trace=%#x, want %d/%#x",
+			frontSpan.Parent, frontSpan.Timings.TraceID, app.Parent, app.TraceID)
+	}
+
+	// Hop 2: the RnB client's span adopted the trace and sits under the
+	// front server's span.
+	clientSpan, ok := client.TraceBuffer().Trace(app.TraceID)
+	if !ok {
+		t.Fatal("RnB client kept no span for the chained trace")
+	}
+	if clientSpan.ParentSpan != frontSpan.ID {
+		t.Fatalf("client span parent = %d, want front server span %d",
+			clientSpan.ParentSpan, frontSpan.ID)
+	}
+
+	// Hop 3: every backend transaction carries the same trace id,
+	// parented under one of the client's fan-out spans.
+	issuing := map[uint64]bool{}
+	for _, rtt := range clientSpan.RTTs {
+		issuing[rtt.SpanID] = true
+	}
+	var traced int
+	for i, srv := range backends {
+		for _, ss := range srv.Recorder().Spans() {
+			if ss.Timings.TraceID != app.TraceID {
+				t.Fatalf("backend %d span %d has trace %#x, want %#x",
+					i, ss.ID, ss.Timings.TraceID, app.TraceID)
+			}
+			if !issuing[ss.Parent] {
+				t.Fatalf("backend %d span %d parent %d is no client fan-out span",
+					i, ss.ID, ss.Parent)
+			}
+			traced++
+		}
+	}
+	if traced == 0 || traced != len(clientSpan.RTTs) {
+		t.Fatalf("backends recorded %d traced transactions, client issued %d",
+			traced, len(clientSpan.RTTs))
 	}
 }

@@ -53,6 +53,10 @@ type ObsConfig = obs.Config
 // WithAdaptiveReplication callers.
 type AdaptiveConfig = hotspot.Config
 
+// TraceConfig re-exports the distributed-tracing configuration for
+// WithTracing callers.
+type TraceConfig = obs.TraceConfig
+
 // Item is a stored object (re-exported from the protocol package).
 type Item = memcache.Item
 
@@ -72,6 +76,7 @@ type clientConfig struct {
 	vnodes           int
 	timeout          time.Duration
 	hitchhike        bool
+	balancePlan      bool
 	writeBack        bool
 	pinDistinguished bool
 	loader           Loader
@@ -83,6 +88,7 @@ type clientConfig struct {
 	poolSize         int
 	binary           bool
 	obs              obs.Config
+	trace            *obs.TraceConfig
 	transitionWindow time.Duration
 	drainTimeout     time.Duration
 }
@@ -107,6 +113,17 @@ func WithTimeout(d time.Duration) Option {
 // transactions to raise hit rates under memory pressure (default on).
 func WithHitchhiking(on bool) Option {
 	return func(c *clientConfig) { c.hitchhike = on }
+}
+
+// WithBalancedPlanning rotates the planner's candidate-server ordering
+// by a per-request fingerprint so coverage ties spread across replicas
+// instead of always favoring low server ids (default off: the
+// deterministic tie-break maximizes request locality, fig. 7). Turn it
+// on when Zipf-skewed traffic concentrates whole bundles — and with
+// them the tier's queue wait — onto the hot keys' lowest-id replica;
+// `rnbbench trace` measures exactly that trade.
+func WithBalancedPlanning(on bool) Option {
+	return func(c *clientConfig) { c.balancePlan = on }
 }
 
 // WithPinnedDistinguished controls whether the distinguished copy of
@@ -223,6 +240,22 @@ func WithSlowRequestThreshold(d time.Duration) Option {
 	return func(c *clientConfig) { c.obs.SlowThreshold = d }
 }
 
+// WithTracing turns on end-to-end distributed tracing: a head-sampled
+// share of requests (TraceConfig.SampleEvery) carries a compact trace
+// context over the wire to every server it touches, and each traced
+// server returns its phase timings (queue, parse, store wait, exec,
+// flush) in-band. The client stitches its own span and the returned
+// timings into one causal trace — every round trip split into
+// queue/wire/server components — and keeps slow traces plus a seeded
+// reservoir of normal ones in the TraceBuffer for /debug/trace
+// endpoints and Perfetto export. Propagation is negotiated per server
+// via the version banner, so plain memcached servers keep seeing stock
+// protocol bytes; with this option off the wire is byte-identical to
+// an untraced build.
+func WithTracing(cfg TraceConfig) Option {
+	return func(c *clientConfig) { c.trace = &cfg }
+}
+
 // WithLoader installs a cache-aside backing store: keys that miss on
 // every replica AND on their distinguished server are fetched through
 // the loader (one call per GetMulti), stored back (distinguished copy
@@ -276,7 +309,10 @@ type Client struct {
 	// tracer is the always-on observability hub: request-phase latency
 	// histograms, the flight recorder, and the slow-request log.
 	tracer *obs.Tracer
-	shut   atomic.Bool
+	// traceBuf keeps tail-sampled distributed traces (nil without
+	// WithTracing).
+	traceBuf *obs.TraceBuffer
+	shut     atomic.Bool
 }
 
 // Minimal atomic wrapper (keep the struct copyable-by-pointer only).
@@ -339,6 +375,11 @@ func (c *Client) PoolGauges() *metrics.PoolGauges { return c.poolGauges }
 // slow-request counters. Never nil.
 func (c *Client) Tracer() *obs.Tracer { return c.tracer }
 
+// TraceBuffer exposes the tail-sampled distributed-trace buffer: every
+// kept trace's stitched client+server span, slow traces first. Nil
+// without WithTracing.
+func (c *Client) TraceBuffer() *obs.TraceBuffer { return c.traceBuf }
+
 // RecentRequests dumps the flight recorder: the last requests' full
 // lifecycle spans (plan/fan-out/recovery timings, per-server RTTs,
 // retries), newest first. Intended for post-mortem debugging and the
@@ -367,6 +408,16 @@ func (c *Client) RegisterMetrics(reg *obs.Registry) {
 		obs.Counter, func() float64 { return float64(c.Transactions()) })
 	reg.RegisterFunc("rnb_slow_requests", "Requests over the slow threshold.",
 		obs.Counter, func() float64 { return float64(c.tracer.SlowSeen()) })
+	if c.traceBuf != nil {
+		reg.RegisterFunc("rnb_trace_started", "Requests head-sampled into distributed tracing.",
+			obs.Counter, func() float64 { return float64(c.traceBuf.Started()) })
+		reg.RegisterFunc("rnb_trace_finished", "Traced requests completed and offered to the tail sampler.",
+			obs.Counter, func() float64 { return float64(c.traceBuf.Finished()) })
+		reg.RegisterFunc("rnb_trace_kept_slow", "Traces kept because they exceeded the slow threshold.",
+			obs.Counter, func() float64 { return float64(c.traceBuf.KeptSlow()) })
+		reg.RegisterFunc("rnb_trace_kept_reservoir", "Normal-latency traces kept by the reservoir sampler.",
+			obs.Counter, func() float64 { return float64(c.traceBuf.KeptReservoir()) })
+	}
 	// Per-server gauges are labeled by the stable slot index and emit
 	// only current members: a drained server's series disappears from
 	// /metrics with it (no ghost series), and reappears under the same
@@ -539,6 +590,9 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 		tracer:     obs.New(cfg.obs),
 		stop:       make(chan struct{}),
 	}
+	if cfg.trace != nil {
+		c.traceBuf = obs.NewTraceBuffer(*cfg.trace)
+	}
 	// The transport is chosen once, in dial: WithPoolSize above one
 	// swaps each server's single mutex-guarded connection for a
 	// pipelined pool. Either way a dead address fails construction
@@ -579,20 +633,30 @@ func NewClient(addrs []string, opts ...Option) (*Client, error) {
 
 // dial opens the configured transport for one server address.
 func (c *Client) dial(addr string) (memcache.Conn, error) {
+	var conn memcache.Conn
 	if c.poolGauges != nil {
-		return memcache.NewPool(addr, c.cfg.timeout, memcache.PoolConfig{
+		pool, err := memcache.NewPool(addr, c.cfg.timeout, memcache.PoolConfig{
 			Size:        c.cfg.poolSize,
 			Binary:      c.cfg.binary,
 			Gauges:      c.poolGauges,
 			RTTObserver: c.tracer.ObserveRTT,
 		})
+		if err != nil {
+			return nil, err
+		}
+		conn = pool
+	} else {
+		single, err := memcache.Dial(addr, c.cfg.timeout)
+		if err != nil {
+			return nil, err
+		}
+		single.SetRTTObserver(c.tracer.ObserveRTT)
+		conn = single
 	}
-	single, err := memcache.Dial(addr, c.cfg.timeout)
-	if err != nil {
-		return nil, err
+	if c.cfg.trace != nil {
+		conn.SetTracing(true)
 	}
-	single.SetRTTObserver(c.tracer.ObserveRTT)
-	return single, nil
+	return conn, nil
 }
 
 // closeSlotsLocked tears down every open slot (construction failure
@@ -1013,7 +1077,15 @@ type Stats struct {
 // distinguished server are simply absent) plus the transaction stats.
 // Duplicate keys are rejected.
 func (c *Client) GetMulti(keys []string) (map[string]*Item, Stats, error) {
-	return c.getMulti(keys, 0)
+	return c.getMulti(keys, 0, obs.TraceContext{})
+}
+
+// GetMultiTraced is GetMulti joining an externally supplied distributed
+// trace: the request adopts tc's trace id (bypassing the head sampler)
+// and records tc.Parent as its parent span, so a proxy can continue a
+// trace that arrived on its server side down into the cache tier.
+func (c *Client) GetMultiTraced(tc obs.TraceContext, keys []string) (map[string]*Item, Stats, error) {
+	return c.getMulti(keys, 0, tc)
 }
 
 // GetMultiLimit is GetMulti for "fetch at least minItems of these"
@@ -1025,7 +1097,7 @@ func (c *Client) GetMultiLimit(keys []string, minItems int) (map[string]*Item, S
 	if minItems < 0 {
 		return nil, Stats{}, fmt.Errorf("rnb: negative minItems %d", minItems)
 	}
-	return c.getMulti(keys, minItems)
+	return c.getMulti(keys, minItems, obs.TraceContext{})
 }
 
 // GetMultiBudget fetches as many of the given keys as possible using at
@@ -1037,6 +1109,7 @@ func (c *Client) GetMultiBudget(keys []string, maxTransactions int) (out map[str
 		return map[string]*Item{}, stats, nil
 	}
 	sp := &obs.Span{ID: c.tracer.NextID(), Op: "get_multi_budget", Start: time.Now(), Keys: len(keys)}
+	c.armSpanTrace(sp, obs.TraceContext{})
 	trips0 := c.resilience.BreakerOpened.Load()
 	defer func() {
 		sp.BreakerTrips = int(c.resilience.BreakerOpened.Load() - trips0)
@@ -1095,6 +1168,31 @@ func (c *Client) finishSpan(sp *obs.Span, out map[string]*Item, stats *Stats, er
 		sp.Err = err.Error()
 	}
 	c.tracer.Record(sp)
+	if sp.TraceID != 0 && c.traceBuf != nil {
+		c.traceBuf.Finish(sp)
+	}
+}
+
+// newTraceID mints a random non-zero trace id. Randomness (rather than
+// a sequence) keeps ids from colliding across independent clients
+// feeding one trace store.
+func newTraceID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// armRTTTrace prepares one round trip's tracing: when the owning span
+// is traced, it mints the client-side span id and the context the
+// server will see (the RTT span is the server span's parent).
+func (c *Client) armRTTTrace(sp *obs.Span) (uint64, obs.TraceContext) {
+	if sp == nil || sp.TraceID == 0 {
+		return 0, obs.TraceContext{}
+	}
+	spanID := c.tracer.NextID()
+	return spanID, obs.TraceContext{TraceID: sp.TraceID, Parent: spanID}
 }
 
 // fanout executes the planned transactions concurrently, merging found
@@ -1108,9 +1206,11 @@ func (c *Client) fanout(t *tier, txns []core.Transaction, keyOf map[uint64]strin
 		return nil
 	}
 	if len(txns) == 1 {
+		spanID, tc := c.armRTTTrace(sp)
 		start := time.Now()
-		items, err := c.execTxn(t, &txns[0], keyOf)
-		c.stampRTT(t, sp, &txns[0], phase, round, start, err)
+		items, tr, err := c.execTxn(t, &txns[0], keyOf, tc)
+		tr.spanID = spanID
+		c.stampRTT(t, sp, &txns[0], phase, round, start, err, tr)
 		if err != nil {
 			c.markDown(t, txns[0].Server)
 			return []int{txns[0].Server}
@@ -1127,11 +1227,13 @@ func (c *Client) fanout(t *tier, txns []core.Transaction, keyOf map[uint64]strin
 		wg.Add(1)
 		go func(txn *core.Transaction) {
 			defer wg.Done()
+			spanID, tc := c.armRTTTrace(sp)
 			start := time.Now()
-			items, err := c.execTxn(t, txn, keyOf)
+			items, tr, err := c.execTxn(t, txn, keyOf, tc)
+			tr.spanID = spanID
 			mu.Lock()
 			defer mu.Unlock()
-			c.stampRTT(t, sp, txn, phase, round, start, err)
+			c.stampRTT(t, sp, txn, phase, round, start, err, tr)
 			if err != nil {
 				c.markDown(t, txn.Server)
 				failed = append(failed, txn.Server)
@@ -1145,19 +1247,33 @@ func (c *Client) fanout(t *tier, txns []core.Transaction, keyOf map[uint64]strin
 	return failed
 }
 
+// rttTrace carries one round trip's tracing attribution from execTxn
+// back to stampRTT: the client-side span id, the client queue wait, and
+// the server's in-band phase timings (nil when untraced or when the
+// server did not negotiate).
+type rttTrace struct {
+	spanID  uint64
+	queueNS int64
+	st      *obs.ServerTimings
+}
+
 // stampRTT appends one fan-out round trip to the span. The caller must
 // ensure exclusive access to sp (fanout stamps under its merge mutex).
-func (c *Client) stampRTT(t *tier, sp *obs.Span, txn *core.Transaction, phase string, round int, start time.Time, err error) {
+func (c *Client) stampRTT(t *tier, sp *obs.Span, txn *core.Transaction, phase string, round int, start time.Time, err error, tr rttTrace) {
 	if sp == nil {
 		return
 	}
 	rtt := obs.TxnRTT{
-		Server: txn.Server,
-		Addr:   t.slots[txn.Server].addr,
-		Keys:   len(txn.Primary) + len(txn.Hitchhikers),
-		Phase:  phase,
-		Round:  round,
-		DurNS:  int64(time.Since(start)),
+		Server:        txn.Server,
+		Addr:          t.slots[txn.Server].addr,
+		Keys:          len(txn.Primary) + len(txn.Hitchhikers),
+		Phase:         phase,
+		Round:         round,
+		DurNS:         int64(time.Since(start)),
+		SpanID:        tr.spanID,
+		OffsetNS:      start.Sub(sp.Start).Nanoseconds(),
+		QueueNS:       tr.queueNS,
+		ServerTimings: tr.st,
 	}
 	if err != nil {
 		rtt.Err = err.Error()
@@ -1190,8 +1306,10 @@ func jitteredBackoff(base time.Duration, round int) time.Duration {
 	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
-// execTxn issues one planned transaction as a single multi-get.
-func (c *Client) execTxn(t *tier, txn *core.Transaction, keyOf map[uint64]string) (map[string]*Item, error) {
+// execTxn issues one planned transaction as a single multi-get. When tc
+// is valid the multi-get carries the trace context and the returned
+// rttTrace holds the client queue wait and the server's phase timings.
+func (c *Client) execTxn(t *tier, txn *core.Transaction, keyOf map[uint64]string, tc obs.TraceContext) (map[string]*Item, rttTrace, error) {
 	reqKeys := make([]string, 0, len(txn.Primary)+len(txn.Hitchhikers))
 	for _, id := range txn.Primary {
 		reqKeys = append(reqKeys, keyOf[id])
@@ -1200,15 +1318,20 @@ func (c *Client) execTxn(t *tier, txn *core.Transaction, keyOf map[uint64]string
 		reqKeys = append(reqKeys, keyOf[id])
 	}
 	var items map[string]*Item
+	var tr rttTrace
 	err := t.slots[txn.Server].do(func(conn memcache.Conn) error {
 		var err error
-		items, err = conn.GetMulti(reqKeys)
+		if tc.Valid() {
+			items, tr.queueNS, tr.st, err = conn.TracedGetMulti(tc, reqKeys)
+		} else {
+			items, err = conn.GetMulti(reqKeys)
+		}
 		return err
 	})
 	if err != nil {
-		return nil, fmt.Errorf("rnb: multi-get on %s: %w", t.slots[txn.Server].addr, err)
+		return nil, tr, fmt.Errorf("rnb: multi-get on %s: %w", t.slots[txn.Server].addr, err)
 	}
-	return items, nil
+	return items, tr, nil
 }
 
 // avoidsServer evaluates a possibly-nil avoid filter.
@@ -1239,7 +1362,22 @@ func (c *Client) keyIDs(keys []string) ([]uint64, map[uint64]string, error) {
 	return ids, keyOf, nil
 }
 
-func (c *Client) getMulti(keys []string, target int) (out map[string]*Item, stats Stats, err error) {
+// armSpanTrace decides whether sp joins a distributed trace: an
+// externally supplied context always wins (the request continues that
+// trace); otherwise the head sampler picks every Nth request and a
+// fresh trace id is minted.
+func (c *Client) armSpanTrace(sp *obs.Span, ext obs.TraceContext) {
+	if ext.Valid() {
+		sp.TraceID = ext.TraceID
+		sp.ParentSpan = ext.Parent
+		return
+	}
+	if c.traceBuf != nil && c.traceBuf.ShouldTrace() {
+		sp.TraceID = newTraceID()
+	}
+}
+
+func (c *Client) getMulti(keys []string, target int, ext obs.TraceContext) (out map[string]*Item, stats Stats, err error) {
 	if len(keys) == 0 {
 		return map[string]*Item{}, stats, nil
 	}
@@ -1252,6 +1390,7 @@ func (c *Client) getMulti(keys []string, target int) (out map[string]*Item, stat
 		op = "get_multi_limit"
 	}
 	sp := &obs.Span{ID: c.tracer.NextID(), Op: op, Start: time.Now(), Keys: len(keys)}
+	c.armSpanTrace(sp, ext)
 	trips0 := c.resilience.BreakerOpened.Load()
 	defer func() {
 		sp.BreakerTrips = int(c.resilience.BreakerOpened.Load() - trips0)
@@ -1377,14 +1516,21 @@ func (c *Client) getMulti(keys []string, target int) (out map[string]*Item, stat
 		}
 		stats.Transactions++
 		stats.Round2++
+		spanID, tc := c.armRTTTrace(sp)
 		txnStart := time.Now()
 		var items map[string]*Item
+		var tr rttTrace
 		err := t.slots[txn.Server].do(func(conn memcache.Conn) error {
 			var err error
-			items, err = conn.GetMulti(reqKeys)
+			if tc.Valid() {
+				items, tr.queueNS, tr.st, err = conn.TracedGetMulti(tc, reqKeys)
+			} else {
+				items, err = conn.GetMulti(reqKeys)
+			}
 			return err
 		})
-		c.stampRTT(t, sp, &txn, "round2", 0, txnStart, err)
+		tr.spanID = spanID
+		c.stampRTT(t, sp, &txn, "round2", 0, txnStart, err, tr)
 		if err != nil {
 			// Quarantine and degrade: these items fall to the loader or
 			// come back absent.
