@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint fix-check test race chaos chaos-resize stress-binary bench-alloc obs-smoke trace-smoke smoke-placement ci bench-skew bench-pool bench-topology bench-placement bench-trace
+.PHONY: build vet lint lint-annotate lint-regress fix-check test race chaos chaos-resize stress-binary bench-alloc obs-smoke trace-smoke smoke-placement ci bench-skew bench-pool bench-topology bench-placement bench-trace
 
 build:
 	$(GO) build ./...
@@ -9,11 +9,35 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific static analysis (internal/lint via cmd/rnblint):
-# lock discipline, atomic-only fields, seeded RNGs, metric-name
-# hygiene, %w wrapping, t.Helper(). Suppress a finding with
-# //rnblint:ignore <analyzer> <reason> — the reason is mandatory.
+# interprocedural lock-order cycles, publish-freeze enforcement,
+# blocked-forever goroutines, lock discipline, atomic-only fields,
+# seeded RNGs, metric-name hygiene, %w wrapping, t.Helper(). Suppress
+# a finding with //rnblint:ignore <analyzer> <reason> — the reason is
+# mandatory, and a directive that stops matching anything is itself an
+# error. The whole-repo run carries a wall-clock budget: the suite is
+# meant to run on every push, and an analysis that creeps past
+# $(LINT_BUDGET_SECS)s stops being one people run.
+LINT_BUDGET_SECS ?= 120
 lint:
-	$(GO) run ./cmd/rnblint ./...
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/rnblint ./... || exit $$?; \
+	elapsed=$$(( $$(date +%s) - start )); \
+	echo "rnblint: clean in $${elapsed}s (budget $(LINT_BUDGET_SECS)s)"; \
+	if [ $$elapsed -gt $(LINT_BUDGET_SECS) ]; then \
+		echo "rnblint: exceeded the $(LINT_BUDGET_SECS)s budget — profile the analyzers before adding more"; \
+		exit 1; \
+	fi
+
+# CI variant of lint: same run, but findings are re-emitted as GitHub
+# Actions ::error annotations so they land inline on the PR diff.
+lint-annotate:
+	./scripts/lint_annotate.sh
+
+# Regression lint: the distilled reproductions of bugs this repo
+# actually shipped (dial-slot cond misuse, SetBase published-snapshot
+# mutation) must keep tripping their analyzers forever.
+lint-regress:
+	$(GO) test -count=1 -run 'TestHistoricalRegressions' -v ./internal/lint
 
 # Fail if any file is not gofmt-formatted (fixtures included).
 fix-check:

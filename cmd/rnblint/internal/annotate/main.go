@@ -1,0 +1,77 @@
+// Command annotate converts rnblint -json output (one JSON object per
+// line on stdin) into GitHub Actions ::error workflow commands, so CI
+// findings render as inline annotations on the PR diff. It exists so
+// scripts/lint_annotate.sh needs no jq: the repo is zero-dependency
+// and stays that way.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+type diag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// escapeData applies the workflow-command data escaping rules: %, CR,
+// and LF must be URL-style encoded or the runner truncates the message
+// at the first newline.
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeProp additionally encodes the property delimiters : and , .
+func escapeProp(s string) string {
+	s = escapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}
+
+func main() {
+	// rnblint reports absolute paths; GitHub matches annotations to the
+	// diff by repo-relative path, so strip the working directory (the
+	// script runs from the repo root).
+	cwd, _ := os.Getwd()
+	relify := func(p string) string {
+		if cwd != "" {
+			if r, err := filepath.Rel(cwd, p); err == nil && !strings.HasPrefix(r, "..") {
+				return filepath.ToSlash(r)
+			}
+		}
+		return p
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var d diag
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			fmt.Fprintf(os.Stderr, "annotate: bad input line %q: %v\n", line, err)
+			os.Exit(2)
+		}
+		fmt.Printf("::error file=%s,line=%d,col=%d,title=%s::%s\n",
+			escapeProp(relify(d.File)), d.Line, d.Column,
+			escapeProp("rnblint/"+d.Analyzer), escapeData(d.Message))
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "annotate:", err)
+		os.Exit(2)
+	}
+}

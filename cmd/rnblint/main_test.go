@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -91,9 +92,42 @@ func TestRnblintList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"atomiconly", "errwrap", "lockheld", "metricname", "seededrand", "thelper"} {
+	for _, name := range []string{
+		"atomiconly", "blockleak", "errwrap", "frozen", "lockheld",
+		"lockorder", "metricname", "seededrand", "thelper",
+	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestRnblintJSONOutput(t *testing.T) {
+	bin := buildRnblint(t)
+	stdout, _, code := runRnblint(t, bin, "-json", "./internal/lint/testdata/src/errwrap/bad")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s", code, stdout)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d JSON lines, want 4:\n%s", len(lines), stdout)
+	}
+	for _, line := range lines {
+		var rec struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if rec.File == "" || rec.Line == 0 || rec.Column == 0 {
+			t.Errorf("record missing position: %q", line)
+		}
+		if rec.Analyzer != "errwrap" || rec.Message == "" {
+			t.Errorf("record missing analyzer/message: %q", line)
 		}
 	}
 }

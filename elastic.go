@@ -78,6 +78,8 @@ func (s *slot) do(fn func(memcache.Conn) error) error {
 
 // tier is one immutable routing snapshot: everything a request needs,
 // captured at a single membership epoch.
+//
+//rnb:frozen-after-publish
 type tier struct {
 	// epoch is the membership state machine's epoch this tier reflects.
 	epoch uint64

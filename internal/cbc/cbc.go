@@ -60,6 +60,8 @@ const maxSampleAttempts = 200
 // guarantee is stated per distinct class (requests that repeat a class
 // are the multiset regime — each repetition re-reads the same
 // r-subset). It implements hashring.Placement.
+//
+//rnb:frozen-after-publish
 type Placement struct {
 	servers  int
 	replicas int // declared level; effective level is min(replicas, servers)

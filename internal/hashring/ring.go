@@ -30,6 +30,10 @@ type point struct {
 
 // Ring is a consistent-hashing continuum over a set of named servers.
 // It is not safe for concurrent mutation; concurrent reads are safe.
+// Construction mutates (New, Clone-then-AddServer); once a ring is
+// handed to readers it must never change again.
+//
+//rnb:frozen-after-publish
 type Ring struct {
 	vnodes  int
 	points  []point

@@ -156,6 +156,8 @@ func (a *AdaptivePlacement) Base() hashring.Placement { return a.base }
 // tier snapshot really is immutable, while promotions and demotions
 // (which only add or shed boosted replicas inside that space) still
 // flow through from the shared heat table.
+//
+//rnb:frozen-after-publish
 type Bound struct {
 	a    *AdaptivePlacement
 	base hashring.Placement

@@ -38,7 +38,8 @@ var atomicFns = map[string]bool{
 	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
 }
 
-func runAtomicOnly(pkgs []*Package, report ReportFunc) {
+func runAtomicOnly(pass *Pass) {
+	pkgs, report := pass.Pkgs, pass.Report
 	// Pass 1: every field (or field-element) that is an atomic operand,
 	// and the selector nodes that are legitimate atomic accesses.
 	atomicFields := make(map[string]bool) // fieldKey -> scalar use

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadSCCFixture loads the synthetic sccgraph package and builds its
+// call graph.
+func loadSCCFixture(t *testing.T) *CallGraph {
+	t.Helper()
+	pkgs, err := Load(".", "./testdata/src/sccgraph")
+	if err != nil {
+		t.Fatalf("load sccgraph fixture: %v", err)
+	}
+	return BuildCallGraph(pkgs)
+}
+
+// sccOf returns the index within BottomUp's output of the component
+// containing the named function (matched by key suffix).
+func sccOf(t *testing.T, g *CallGraph, suffix string) int {
+	t.Helper()
+	for i, comp := range g.BottomUp() {
+		for _, n := range comp {
+			if strings.HasSuffix(string(n.Key), suffix) {
+				return i
+			}
+		}
+	}
+	t.Fatalf("no SCC contains a function with key suffix %q", suffix)
+	return -1
+}
+
+// TestSCCBottomUpOrder pins the callees-first contract on a known
+// topology: leaf <- {evenStep, oddStep} (mutually recursive), leaf <-
+// selfRec (self-recursive), and Top calling into both components.
+func TestSCCBottomUpOrder(t *testing.T) {
+	g := loadSCCFixture(t)
+
+	leaf := sccOf(t, g, ".leaf")
+	even := sccOf(t, g, ".evenStep")
+	odd := sccOf(t, g, ".oddStep")
+	self := sccOf(t, g, ".selfRec")
+	top := sccOf(t, g, ".Top")
+
+	if even != odd {
+		t.Errorf("mutually recursive evenStep (SCC %d) and oddStep (SCC %d) must share a component", even, odd)
+	}
+	if comp := g.BottomUp()[even]; len(comp) != 2 {
+		t.Errorf("the evenStep/oddStep component has %d members, want 2", len(comp))
+	}
+	if comp := g.BottomUp()[self]; len(comp) != 1 {
+		t.Errorf("selfRec's component has %d members, want 1 (self-recursion is a singleton SCC)", len(comp))
+	}
+	if comp := g.BottomUp()[top]; len(comp) != 1 {
+		t.Errorf("Top's component has %d members, want 1", len(comp))
+	}
+
+	// Callees-first: every callee's component strictly precedes its
+	// caller's.
+	if !(leaf < even) {
+		t.Errorf("leaf (SCC %d) must precede its caller oddStep's component (SCC %d)", leaf, even)
+	}
+	if !(leaf < self) {
+		t.Errorf("leaf (SCC %d) must precede its caller selfRec's component (SCC %d)", leaf, self)
+	}
+	if !(even < top) {
+		t.Errorf("evenStep/oddStep (SCC %d) must precede Top's component (SCC %d)", even, top)
+	}
+	if !(self < top) {
+		t.Errorf("selfRec (SCC %d) must precede Top's component (SCC %d)", self, top)
+	}
+}
+
+// TestSCCSelfRecursionDetected pins selfRecursive, which Converge uses
+// to decide whether a singleton component needs fixpoint iteration.
+func TestSCCSelfRecursionDetected(t *testing.T) {
+	g := loadSCCFixture(t)
+	for _, comp := range g.BottomUp() {
+		if len(comp) != 1 {
+			continue
+		}
+		n := comp[0]
+		isSelf := selfRecursive(n)
+		wantSelf := strings.HasSuffix(string(n.Key), ".selfRec")
+		if isSelf != wantSelf {
+			t.Errorf("selfRecursive(%s) = %v, want %v", n.Key, isSelf, wantSelf)
+		}
+	}
+}
+
+// TestRunDeterministic runs the full suite twice over the entire
+// fixture corpus and requires byte-identical rendered output: analyzer
+// scheduling, call-graph construction, and fact propagation must not
+// leak map-iteration order into diagnostics.
+func TestRunDeterministic(t *testing.T) {
+	render := func() string {
+		pkgs, err := Load(".", fixtureDirs(t)...)
+		if err != nil {
+			t.Fatalf("load fixtures: %v", err)
+		}
+		var b strings.Builder
+		for _, d := range Run(pkgs, Analyzers()) {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("fixture corpus produced no diagnostics; determinism test is vacuous")
+	}
+	second := render()
+	if first != second {
+		t.Errorf("two identical runs produced different output:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}

@@ -18,7 +18,8 @@ var ErrWrap = &Analyzer{
 	Run:  runErrWrap,
 }
 
-func runErrWrap(pkgs []*Package, report ReportFunc) {
+func runErrWrap(pass *Pass) {
+	pkgs, report := pass.Pkgs, pass.Report
 	for _, pkg := range pkgs {
 		info := pkg.Info
 		for _, f := range pkg.Files {

@@ -1,0 +1,73 @@
+package lint
+
+// Per-function facts: the summaries interprocedural analyzers attach
+// to FuncKeys and propagate bottom-up over the call graph's strongly
+// connected components, modeled on how go/analysis facts attach to
+// objects and flow to dependents. A fact must only ever grow (set
+// union, map insert) so the SCC fixpoint below terminates.
+
+// Facts holds one summary type per function.
+type Facts[T any] struct {
+	m map[FuncKey]T
+	// mk builds the zero summary for a function on first access.
+	mk func() T
+}
+
+// NewFacts returns an empty fact table whose entries are initialized
+// by mk.
+func NewFacts[T any](mk func() T) *Facts[T] {
+	return &Facts[T]{m: make(map[FuncKey]T), mk: mk}
+}
+
+// Get returns the summary for key, creating it on first access.
+func (f *Facts[T]) Get(key FuncKey) T {
+	v, ok := f.m[key]
+	if !ok {
+		v = f.mk()
+		f.m[key] = v
+	}
+	return v
+}
+
+// Peek returns the summary for key without creating one.
+func (f *Facts[T]) Peek(key FuncKey) (T, bool) {
+	v, ok := f.m[key]
+	return v, ok
+}
+
+// Converge runs compute over every function bottom-up: strictly after
+// all callees outside the function's SCC, and iterating mutually
+// recursive components until no member reports a change. compute must
+// return whether it grew any summary; it is called at least once per
+// function. maxRounds bounds a single component's iteration as a
+// defensive backstop — monotone facts converge long before it.
+func Converge(g *CallGraph, compute func(n *FuncNode) bool) {
+	const maxRounds = 64
+	for _, comp := range g.BottomUp() {
+		for round := 0; round < maxRounds; round++ {
+			changed := false
+			for _, n := range comp {
+				if compute(n) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+			if len(comp) == 1 && !selfRecursive(comp[0]) {
+				// A lone, non-recursive function cannot feed itself.
+				break
+			}
+		}
+	}
+}
+
+// selfRecursive reports whether the node calls itself.
+func selfRecursive(n *FuncNode) bool {
+	for _, cs := range n.Calls {
+		if cs.Callee == n.Key {
+			return true
+		}
+	}
+	return false
+}

@@ -6,12 +6,19 @@
 // The framework loads packages with go/parser, type-checks them with
 // go/types against compiler export data (load.go), runs each Analyzer
 // over every loaded compilation unit, and filters the diagnostics
-// through //rnblint:ignore suppression directives. Analyzers are
-// intraprocedural and best-effort by design: they encode the specific
-// invariants this codebase relies on — lock discipline around blocking
-// calls, atomic-only field access, seeded randomness in experiment
-// packages, Prometheus metric-name hygiene, error wrapping, test
-// helper marking — not general-purpose soundness.
+// through //rnblint:ignore suppression directives.
+//
+// Two analyzer generations coexist. The first-generation checks
+// (lockheld, atomiconly, seededrand, metricname, errwrap, thelper) are
+// intraprocedural AST passes. The second generation (lockorder,
+// frozen, blockleak) is interprocedural: callgraph.go builds a static
+// call graph over every loaded unit and facts.go runs per-function
+// summary computations bottom-up over its strongly connected
+// components, the way go/analysis facts flow between packages — so a
+// lock acquired three calls deep, or a frozen-type mutation hidden in
+// a helper, is visible at the outermost call site. All analyzers are
+// best-effort by design: they encode the specific invariants this
+// codebase relies on, not general-purpose soundness.
 package lint
 
 import (
@@ -20,6 +27,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one analyzer finding at a source position.
@@ -33,15 +41,50 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one invariant checker. Run receives every loaded
-// compilation unit at once (some analyzers, like atomiconly, need a
-// whole-program collection pass before they can judge a single use)
-// and reports findings through report.
+// Analyzer is one invariant checker. Run receives a Pass holding every
+// loaded compilation unit at once (some analyzers, like atomiconly,
+// need a whole-program collection pass before they can judge a single
+// use; the interprocedural ones share the Pass's call graph) and
+// reports findings through pass.Report.
 type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the enforced invariant.
 	Doc string
-	Run func(pkgs []*Package, report ReportFunc)
+	// ExemptTestFiles opts the analyzer out of _test.go files: its
+	// diagnostics positioned in test files are dropped by Run. This is
+	// a per-analyzer policy decision (metricname uses it — tests
+	// register throwaway metric names on purpose), not a loader
+	// property: every analyzer sees test files unless it declares
+	// otherwise.
+	ExemptTestFiles bool
+	Run             func(pass *Pass)
+}
+
+// Pass is the per-analyzer view of one Run: the loaded units, the
+// reporting sink, and lazily built whole-program structures shared by
+// every analyzer of the run (the call graph is built once, not once
+// per interprocedural analyzer).
+type Pass struct {
+	Pkgs   []*Package
+	Report ReportFunc
+
+	shared *sharedState
+}
+
+// sharedState caches whole-program structures across the analyzers of
+// one Run call.
+type sharedState struct {
+	graphOnce sync.Once
+	graph     *CallGraph
+}
+
+// CallGraph returns the run-wide static call graph, built on first use
+// and shared by every analyzer of the run.
+func (p *Pass) CallGraph() *CallGraph {
+	p.shared.graphOnce.Do(func() {
+		p.shared.graph = BuildCallGraph(p.Pkgs)
+	})
+	return p.shared.graph
 }
 
 // ReportFunc records one diagnostic for the named analyzer.
@@ -51,8 +94,11 @@ type ReportFunc func(pkg *Package, pos token.Pos, format string, args ...any)
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AtomicOnly,
+		BlockLeak,
 		ErrWrap,
+		Frozen,
 		LockHeld,
+		LockOrder,
 		MetricName,
 		SeededRand,
 		THelper,
@@ -80,19 +126,32 @@ func ByName(names []string) ([]*Analyzer, error) {
 // Run executes the analyzers over pkgs and returns the surviving
 // diagnostics sorted by position: suppressed findings are dropped,
 // malformed suppression directives are themselves diagnostics (from
-// the pseudo-analyzer "rnblint").
+// the pseudo-analyzer "rnblint"), and so are dead ones — a directive
+// that suppresses nothing is stale documentation and must be deleted
+// (the dead check only judges a directive when every analyzer it names
+// actually ran, so -only subsets cannot produce false staleness).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	shared := &sharedState{}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		a := a
 		report := func(pkg *Package, pos token.Pos, format string, args ...any) {
+			p := pkg.Fset.Position(pos)
+			if a.ExemptTestFiles && strings.HasSuffix(p.Filename, "_test.go") {
+				return
+			}
 			diags = append(diags, Diagnostic{
-				Pos:      pkg.Fset.Position(pos),
+				Pos:      p,
 				Analyzer: a.Name,
 				Message:  fmt.Sprintf(format, args...),
 			})
 		}
-		a.Run(pkgs, report)
+		a.Run(&Pass{Pkgs: pkgs, Report: report, shared: shared})
+	}
+
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
 	}
 
 	sup, supDiags := collectSuppressions(pkgs)
@@ -100,6 +159,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	for _, d := range diags {
 		if !sup.matches(d) {
 			kept = append(kept, d)
+		}
+	}
+	for i := range sup {
+		s := &sup[i]
+		if s.hits > 0 {
+			continue
+		}
+		all := true
+		for name := range s.analyzers {
+			if !ran[name] {
+				all = false
+				break
+			}
+		}
+		if all {
+			kept = append(kept, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "rnblint",
+				Message:  fmt.Sprintf("ignore directive for %s suppresses nothing; delete it", s.names),
+			})
 		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
@@ -127,19 +206,25 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // comment and on a line of its own above the flagged statement). The
 // reason is mandatory: an ignore that does not say why is itself a
 // diagnostic — reviewers should never have to archaeology a bare
-// suppression.
+// suppression. A directive must also still earn its keep: one that
+// matches no current finding is reported as dead by Run.
 var ignoreRE = regexp.MustCompile(`^//rnblint:ignore(?:\s+(\S+))?(?:\s+(.*))?$`)
 
 type suppression struct {
 	file      string
 	line      int
+	pos       token.Position
+	names     string // the directive's analyzer list, verbatim
 	analyzers map[string]bool
+	hits      int
 }
 
 type suppressions []suppression
 
 func (s suppressions) matches(d Diagnostic) bool {
-	for _, sup := range s {
+	matched := false
+	for i := range s {
+		sup := &s[i]
 		if sup.file != d.Pos.Filename {
 			continue
 		}
@@ -147,10 +232,11 @@ func (s suppressions) matches(d Diagnostic) bool {
 			continue
 		}
 		if sup.analyzers[d.Analyzer] {
-			return true
+			sup.hits++
+			matched = true
 		}
 	}
-	return false
+	return matched
 }
 
 func collectSuppressions(pkgs []*Package) (suppressions, []Diagnostic) {
@@ -198,7 +284,7 @@ func collectSuppressions(pkgs []*Package) (suppressions, []Diagnostic) {
 						bad("ignore directive for %s is missing a reason", m[1])
 						continue
 					}
-					sups = append(sups, suppression{file: pos.Filename, line: pos.Line, analyzers: set})
+					sups = append(sups, suppression{file: pos.Filename, line: pos.Line, pos: pos, names: m[1], analyzers: set})
 				}
 			}
 		}

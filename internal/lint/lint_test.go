@@ -165,13 +165,16 @@ func TestSuppressionDirectives(t *testing.T) {
 	if errwrap != 3 {
 		t.Errorf("got %d errwrap diagnostics, want 3 (malformed directives must not suppress)", errwrap)
 	}
-	if rnblint != 3 {
-		t.Errorf("got %d rnblint diagnostics, want 3 (one per malformed directive)", rnblint)
+	// One rnblint diagnostic per malformed directive, plus one for the
+	// well-formed directive that suppresses nothing.
+	if rnblint != 4 {
+		t.Errorf("got %d rnblint diagnostics, want 4 (three malformed directives + one dead one)", rnblint)
 	}
 	for _, substr := range []string{
 		"names no analyzer",
 		`unknown analyzer "nosuchanalyzer"`,
 		"missing a reason",
+		"suppresses nothing; delete it",
 	} {
 		if !hasDiag(diags, "rnblint", substr) {
 			t.Errorf("missing rnblint diagnostic containing %q", substr)

@@ -39,15 +39,14 @@ type Package struct {
 
 // listedPkg is the subset of `go list -json` output the loader needs.
 type listedPkg struct {
-	ImportPath   string
-	Dir          string
-	Export       string
-	ForTest      string
-	DepOnly      bool
-	Standard     bool
-	GoFiles      []string
-	XTestGoFiles []string
-	Error        *struct{ Err string }
+	ImportPath string
+	Dir        string
+	Export     string
+	ForTest    string
+	DepOnly    bool
+	Standard   bool
+	GoFiles    []string
+	Error      *struct{ Err string }
 }
 
 // Load type-checks the packages matching patterns (as the go tool
@@ -97,7 +96,12 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		case p.ForTest == "" && variants[p.ImportPath]:
 			continue // superseded by its test variant
 		case p.ForTest != "" && strings.HasSuffix(path, "_test"):
-			units = append(units, unit{path: path, dir: p.Dir, files: p.XTestGoFiles, forTest: p.ForTest})
+			// External test packages ("p_test [p.test]"): go list puts
+			// their sources under GoFiles on the bracketed record —
+			// XTestGoFiles is only populated on the plain "p" record.
+			// Reading the wrong field here made every external test
+			// package load as zero files and silently skip analysis.
+			units = append(units, unit{path: path, dir: p.Dir, files: p.GoFiles, forTest: p.ForTest})
 		default:
 			units = append(units, unit{path: path, dir: p.Dir, files: p.GoFiles})
 		}

@@ -3,7 +3,6 @@ package lint
 import (
 	"go/ast"
 	"go/token"
-	"go/types"
 )
 
 // LockHeld flags blocking operations performed while a sync.Mutex or
@@ -15,7 +14,9 @@ import (
 // pooled transport, breaker, and hotspot controller all depend on
 // their critical sections staying O(memory access).
 //
-// The analysis is intraprocedural and tracks lock state through
+// The analysis is intraprocedural (the interprocedural complement is
+// lockorder, which follows lock acquisitions through call chains) and
+// rides the shared lockWalker CFG engine: lock state flows through
 // straight-line code, branches (a path that unlocks and returns does
 // not poison the code after the branch), and loops. sync.Cond.Wait is
 // deliberately not a violation: it releases the mutex while waiting —
@@ -26,313 +27,41 @@ var LockHeld = &Analyzer{
 	Run:  runLockHeld,
 }
 
-func runLockHeld(pkgs []*Package, report ReportFunc) {
-	for _, pkg := range pkgs {
-		lh := &lockHeld{pkg: pkg, report: report}
+func runLockHeld(pass *Pass) {
+	for _, pkg := range pass.Pkgs {
+		lh := &lockHeld{pkg: pkg, report: pass.Report}
+		w := &lockWalker{pkg: pkg, hooks: lh}
 		for _, f := range pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				switch fn := n.(type) {
-				case *ast.FuncDecl:
-					if fn.Body != nil {
-						lh.block(fn.Body.List, newHeldSet())
-					}
-					return false // function literals inside are visited by block
+			for _, decl := range f.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+					w.walkFunc(fn.Body)
 				}
-				return true
-			})
+			}
 		}
 	}
 }
 
+// lockHeld implements lockHooks: report any blocking event whose held
+// set is non-empty.
 type lockHeld struct {
 	pkg    *Package
 	report ReportFunc
 }
 
-// heldSet maps the printed form of a mutex expression ("c.mu") to the
-// position where it was locked.
-type heldSet map[string]token.Pos
+func (l *lockHeld) acquire(recv ast.Expr, op string, call *ast.CallExpr, held heldSet) {}
 
-func newHeldSet() heldSet { return heldSet{} }
-
-func (h heldSet) clone() heldSet {
-	c := make(heldSet, len(h))
-	for k, v := range h {
-		c[k] = v
+func (l *lockHeld) blocking(pos token.Pos, label string, held heldSet) {
+	if len(held) > 0 {
+		l.reportBlocked(pos, held, label)
 	}
-	return c
 }
 
-// intersect keeps only mutexes held in both sets — the merge rule at
-// control-flow joins, chosen to under-approximate "held" so a branch
-// that unlocks cannot cause false positives downstream.
-func (h heldSet) intersect(o heldSet) heldSet {
-	c := make(heldSet)
-	for k, v := range h {
-		if _, ok := o[k]; ok {
-			c[k] = v
-		}
-	}
-	return c
-}
-
-// block processes a statement list sequentially, threading lock state
-// through it, and returns the state at its end.
-func (l *lockHeld) block(stmts []ast.Stmt, held heldSet) heldSet {
-	for _, s := range stmts {
-		held = l.stmt(s, held)
-	}
-	return held
-}
-
-// terminates reports whether a statement list ends by leaving the
-// enclosing flow (return, branch, panic), so its lock state cannot
-// reach the code after the construct it belongs to.
-func terminates(stmts []ast.Stmt) bool {
-	if len(stmts) == 0 {
-		return false
-	}
-	switch s := stmts[len(stmts)-1].(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-func (l *lockHeld) stmt(s ast.Stmt, held heldSet) heldSet {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if name, ok := l.mutexOp(call); ok {
-				switch name {
-				case "Lock", "RLock":
-					held[types.ExprString(mutexRecv(call))] = call.Pos()
-				case "Unlock", "RUnlock":
-					delete(held, types.ExprString(mutexRecv(call)))
-				}
-				return held
-			}
-		}
-		l.checkExpr(s.X, held)
-		return held
-	case *ast.DeferStmt:
-		// A deferred unlock keeps the mutex held to the end of the
-		// function (correct: later statements still run locked). The
-		// deferred call's own body, if a literal, starts lock-free.
-		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			l.block(lit.Body.List, newHeldSet())
-		}
-		return held
-	case *ast.GoStmt:
-		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			l.block(lit.Body.List, newHeldSet())
-		}
-		l.checkArgs(s.Call, held)
-		return held
-	case *ast.SendStmt:
-		if len(held) > 0 {
-			l.reportBlocked(s.Pos(), held, "channel send")
-		}
-		return held
-	case *ast.SelectStmt:
-		hasDefault := false
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
-				hasDefault = true
-			}
-		}
-		if !hasDefault && len(held) > 0 {
-			l.reportBlocked(s.Pos(), held, "blocking select")
-		}
-		out := held.clone()
-		first := true
-		for _, c := range s.Body.List {
-			cc := c.(*ast.CommClause)
-			after := l.block(cc.Body, held.clone())
-			if terminates(cc.Body) {
-				continue
-			}
-			if first {
-				out, first = after, false
-			} else {
-				out = out.intersect(after)
-			}
-		}
-		return out
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			l.checkExpr(e, held)
-		}
-		for _, e := range s.Lhs {
-			l.checkExpr(e, held)
-		}
-		return held
-	case *ast.DeclStmt:
-		ast.Inspect(s, func(n ast.Node) bool {
-			if e, ok := n.(ast.Expr); ok {
-				l.checkExpr(e, held)
-				return false
-			}
-			return true
-		})
-		return held
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			l.checkExpr(e, held)
-		}
-		return held
-	case *ast.IfStmt:
-		if s.Init != nil {
-			held = l.stmt(s.Init, held)
-		}
-		l.checkExpr(s.Cond, held)
-		thenOut := l.block(s.Body.List, held.clone())
-		thenTerm := terminates(s.Body.List)
-		elseOut := held.clone()
-		elseTerm := false
-		if s.Else != nil {
-			switch e := s.Else.(type) {
-			case *ast.BlockStmt:
-				elseOut = l.block(e.List, held.clone())
-				elseTerm = terminates(e.List)
-			default:
-				elseOut = l.stmt(s.Else, held.clone())
-			}
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return held
-		case thenTerm:
-			return elseOut
-		case elseTerm:
-			return thenOut
-		default:
-			return thenOut.intersect(elseOut)
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			held = l.stmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			l.checkExpr(s.Cond, held)
-		}
-		body := l.block(s.Body.List, held.clone())
-		if s.Post != nil {
-			l.stmt(s.Post, body)
-		}
-		return held.intersect(body)
-	case *ast.RangeStmt:
-		l.checkExpr(s.X, held)
-		if len(held) > 0 {
-			if tv, ok := l.pkg.Info.Types[s.X]; ok {
-				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
-					l.reportBlocked(s.Pos(), held, "range over channel")
-				}
-			}
-		}
-		body := l.block(s.Body.List, held.clone())
-		return held.intersect(body)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			held = l.stmt(s.Init, held)
-		}
-		if s.Tag != nil {
-			l.checkExpr(s.Tag, held)
-		}
-		return l.caseClauses(s.Body.List, held)
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			held = l.stmt(s.Init, held)
-		}
-		return l.caseClauses(s.Body.List, held)
-	case *ast.BlockStmt:
-		return l.block(s.List, held.clone()).intersect(held.clone())
-	case *ast.LabeledStmt:
-		return l.stmt(s.Stmt, held)
-	}
-	return held
-}
-
-func (l *lockHeld) caseClauses(clauses []ast.Stmt, held heldSet) heldSet {
-	out := held.clone() // no case may match (or empty switch)
-	for _, c := range clauses {
-		cc, ok := c.(*ast.CaseClause)
-		if !ok {
-			continue
-		}
-		for _, e := range cc.List {
-			l.checkExpr(e, held)
-		}
-		after := l.block(cc.Body, held.clone())
-		if !terminates(cc.Body) {
-			out = out.intersect(after)
-		}
-	}
-	return out
-}
-
-// mutexOp reports whether call is Lock/RLock/Unlock/RUnlock on a
-// sync.Mutex or sync.RWMutex receiver.
-func (l *lockHeld) mutexOp(call *ast.CallExpr) (string, bool) {
-	recv, name, ok := callReceiver(l.pkg.Info, call)
-	if !ok {
-		return "", false
-	}
-	switch name {
-	case "Lock", "Unlock", "RLock", "RUnlock":
-	default:
-		return "", false
-	}
-	if isNamedType(recv, "sync", "Mutex") || isNamedType(recv, "sync", "RWMutex") {
-		return name, true
-	}
-	return "", false
-}
-
-// mutexRecv returns the receiver expression of a method call
-// ("c.mu" in "c.mu.Lock()").
-func mutexRecv(call *ast.CallExpr) ast.Expr {
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-		return sel.X
-	}
-	return call.Fun
-}
-
-// checkExpr walks an expression flagging blocking operations when any
-// mutex is held. Function literals start with a clean slate.
-func (l *lockHeld) checkExpr(e ast.Expr, held heldSet) {
-	if e == nil {
+func (l *lockHeld) call(call *ast.CallExpr, held heldSet, inLoop bool) {
+	if len(held) == 0 {
 		return
 	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			l.block(n.Body.List, newHeldSet())
-			return false
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW && len(held) > 0 {
-				l.reportBlocked(n.Pos(), held, "channel receive")
-			}
-		case *ast.CallExpr:
-			if len(held) > 0 {
-				if what, ok := l.blockingCall(n); ok {
-					l.reportBlocked(n.Pos(), held, what)
-				}
-			}
-		}
-		return true
-	})
-}
-
-func (l *lockHeld) checkArgs(call *ast.CallExpr, held heldSet) {
-	for _, a := range call.Args {
-		l.checkExpr(a, held)
+	if what, ok := l.blockingCall(call); ok {
+		l.reportBlocked(call.Pos(), held, what)
 	}
 }
 

@@ -1,0 +1,342 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockWalker is the CFG engine shared by lockheld and lockorder: it
+// threads a held-mutex set through a function body — straight-line
+// code, branches (a path that unlocks and returns does not poison the
+// code after the branch), and loops — and fires hooks at mutex
+// acquisitions, blocking operations, and call sites. Function literals
+// start with a clean slate: they run at some other time, under some
+// other goroutine's locks.
+type lockWalker struct {
+	pkg   *Package
+	hooks lockHooks
+	loop  int // current for/range nesting depth, literals reset it
+}
+
+// lockHooks receives the walker's events. Every hook gets the held set
+// at the event point; hooks decide what held-state means.
+type lockHooks interface {
+	// acquire fires just before a sync.Mutex/RWMutex Lock or RLock
+	// takes effect; held is the set already held at that point.
+	acquire(recv ast.Expr, op string, call *ast.CallExpr, held heldSet)
+	// blocking fires at channel sends and receives, blocking selects,
+	// and ranges over channels.
+	blocking(pos token.Pos, label string, held heldSet)
+	// call fires at every synchronous call expression (mutex ops, `go`
+	// calls, and deferred calls excluded). inLoop reports whether the
+	// call sits inside a for/range body of the same function — the
+	// lexical signal lockorder's Cond.Wait recheck rule keys on.
+	call(call *ast.CallExpr, held heldSet, inLoop bool)
+}
+
+// heldLock records one held mutex: where it was locked and the
+// receiver expression it was locked through.
+type heldLock struct {
+	pos  token.Pos
+	expr ast.Expr
+}
+
+// heldSet maps the printed form of a mutex expression ("c.mu") to its
+// acquisition record.
+type heldSet map[string]heldLock
+
+func newHeldSet() heldSet { return heldSet{} }
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only mutexes held in both sets — the merge rule at
+// control-flow joins, chosen to under-approximate "held" so a branch
+// that unlocks cannot cause false positives downstream.
+func (h heldSet) intersect(o heldSet) heldSet {
+	c := make(heldSet)
+	for k, v := range h {
+		if _, ok := o[k]; ok {
+			c[k] = v
+		}
+	}
+	return c
+}
+
+// walkFunc runs the walker over one function body.
+func (l *lockWalker) walkFunc(body *ast.BlockStmt) {
+	l.block(body.List, newHeldSet())
+}
+
+// block processes a statement list sequentially, threading lock state
+// through it, and returns the state at its end.
+func (l *lockWalker) block(stmts []ast.Stmt, held heldSet) heldSet {
+	for _, s := range stmts {
+		held = l.stmt(s, held)
+	}
+	return held
+}
+
+// terminates reports whether a statement list ends by leaving the
+// enclosing flow (return, branch, panic), so its lock state cannot
+// reach the code after the construct it belongs to.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (l *lockWalker) stmt(s ast.Stmt, held heldSet) heldSet {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if name, ok := l.mutexOp(call); ok {
+				switch name {
+				case "Lock", "RLock":
+					l.hooks.acquire(mutexRecv(call), name, call, held)
+					held[types.ExprString(mutexRecv(call))] = heldLock{pos: call.Pos(), expr: mutexRecv(call)}
+				case "Unlock", "RUnlock":
+					delete(held, types.ExprString(mutexRecv(call)))
+				}
+				return held
+			}
+		}
+		l.checkExpr(s.X, held)
+		return held
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the mutex held to the end of the
+		// function (correct: later statements still run locked). The
+		// deferred call's own body, if a literal, starts lock-free.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			l.walkLit(lit)
+		}
+		return held
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			l.walkLit(lit)
+		}
+		l.checkArgs(s.Call, held)
+		return held
+	case *ast.SendStmt:
+		l.hooks.blocking(s.Pos(), "channel send", held)
+		return held
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			l.hooks.blocking(s.Pos(), "blocking select", held)
+		}
+		out := held.clone()
+		first := true
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			after := l.block(cc.Body, held.clone())
+			if terminates(cc.Body) {
+				continue
+			}
+			if first {
+				out, first = after, false
+			} else {
+				out = out.intersect(after)
+			}
+		}
+		return out
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			l.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			l.checkExpr(e, held)
+		}
+		return held
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				l.checkExpr(e, held)
+				return false
+			}
+			return true
+		})
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			l.checkExpr(e, held)
+		}
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = l.stmt(s.Init, held)
+		}
+		l.checkExpr(s.Cond, held)
+		thenOut := l.block(s.Body.List, held.clone())
+		thenTerm := terminates(s.Body.List)
+		elseOut := held.clone()
+		elseTerm := false
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseOut = l.block(e.List, held.clone())
+				elseTerm = terminates(e.List)
+			default:
+				elseOut = l.stmt(s.Else, held.clone())
+			}
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held
+		case thenTerm:
+			return elseOut
+		case elseTerm:
+			return thenOut
+		default:
+			return thenOut.intersect(elseOut)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = l.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			l.checkExpr(s.Cond, held)
+		}
+		l.loop++
+		body := l.block(s.Body.List, held.clone())
+		l.loop--
+		if s.Post != nil {
+			l.stmt(s.Post, body)
+		}
+		return held.intersect(body)
+	case *ast.RangeStmt:
+		l.checkExpr(s.X, held)
+		if tv, ok := l.pkg.Info.Types[s.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				l.hooks.blocking(s.Pos(), "range over channel", held)
+			}
+		}
+		l.loop++
+		body := l.block(s.Body.List, held.clone())
+		l.loop--
+		return held.intersect(body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = l.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			l.checkExpr(s.Tag, held)
+		}
+		return l.caseClauses(s.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = l.stmt(s.Init, held)
+		}
+		return l.caseClauses(s.Body.List, held)
+	case *ast.BlockStmt:
+		return l.block(s.List, held.clone()).intersect(held.clone())
+	case *ast.LabeledStmt:
+		return l.stmt(s.Stmt, held)
+	}
+	return held
+}
+
+func (l *lockWalker) caseClauses(clauses []ast.Stmt, held heldSet) heldSet {
+	out := held.clone() // no case may match (or empty switch)
+	for _, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			l.checkExpr(e, held)
+		}
+		after := l.block(cc.Body, held.clone())
+		if !terminates(cc.Body) {
+			out = out.intersect(after)
+		}
+	}
+	return out
+}
+
+// walkLit analyzes a function literal's body with a clean slate: no
+// held locks and a loop depth of zero (the literal may run far from
+// the loop it is written in).
+func (l *lockWalker) walkLit(lit *ast.FuncLit) {
+	outer := l.loop
+	l.loop = 0
+	l.block(lit.Body.List, newHeldSet())
+	l.loop = outer
+}
+
+// mutexOp reports whether call is Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex receiver.
+func (l *lockWalker) mutexOp(call *ast.CallExpr) (string, bool) {
+	recv, name, ok := callReceiver(l.pkg.Info, call)
+	if !ok {
+		return "", false
+	}
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", false
+	}
+	if isNamedType(recv, "sync", "Mutex") || isNamedType(recv, "sync", "RWMutex") {
+		return name, true
+	}
+	return "", false
+}
+
+// mutexRecv returns the receiver expression of a method call
+// ("c.mu" in "c.mu.Lock()").
+func mutexRecv(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return call.Fun
+}
+
+// checkExpr walks an expression firing receive/call hooks. Function
+// literals start with a clean slate.
+func (l *lockWalker) checkExpr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			l.walkLit(n)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				l.hooks.blocking(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			l.hooks.call(n, held, l.loop > 0)
+		}
+		return true
+	})
+}
+
+func (l *lockWalker) checkArgs(call *ast.CallExpr, held heldSet) {
+	for _, a := range call.Args {
+		l.checkExpr(a, held)
+	}
+}

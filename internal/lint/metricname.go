@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"regexp"
 	"strings"
 )
@@ -20,12 +19,15 @@ import (
 // sanctioned namespaces (rnb_, proxy_, memd_ — e.g. the rnb_trace_*
 // sampling counters and the memd_* server phase histograms), so a new
 // family can't silently open a fourth namespace or drop the prefix the
-// dashboards key on. Test files are exempt: they register throwaway
-// names on purpose.
+// dashboards key on. Test files are exempt — they register throwaway
+// names on purpose — via the framework's per-analyzer opt-out
+// (ExemptTestFiles), not a loader gap: the loader hands every analyzer
+// the test files, and each analyzer declares its own test-file policy.
 var MetricName = &Analyzer{
-	Name: "metricname",
-	Doc:  "metric registration literals must match the Prometheus grammar, use a sanctioned namespace, and name duration families *_seconds",
-	Run:  runMetricName,
+	Name:            "metricname",
+	Doc:             "metric registration literals must match the Prometheus grammar, use a sanctioned namespace, and name duration families *_seconds",
+	ExemptTestFiles: true,
+	Run:             runMetricName,
 }
 
 // metricNamespaces are the sanctioned family prefixes: client (rnb_,
@@ -51,7 +53,8 @@ var registryMethods = map[string]bool{ // method -> isPrefix
 	"RegisterUint64Map": true, "RegisterInt64Map": true,
 }
 
-func runMetricName(pkgs []*Package, report ReportFunc) {
+func runMetricName(pass *Pass) {
+	pkgs, report := pass.Pkgs, pass.Report
 	for _, pkg := range pkgs {
 		info := pkg.Info
 		for _, f := range pkg.Files {
@@ -86,7 +89,7 @@ func runMetricName(pkgs []*Package, report ReportFunc) {
 						"duration histogram %q must be named *_seconds (durations are exported in seconds)", name)
 					return true
 				}
-				if !inTestFile(pkg, call.Pos()) && !hasMetricNamespace(name) {
+				if !hasMetricNamespace(name) {
 					report(pkg, call.Args[0].Pos(),
 						"metric %s %q is outside the sanctioned namespaces (%s)",
 						argKind(isPrefix), name, strings.Join(metricNamespaces, ", "))
@@ -121,15 +124,6 @@ func hasMetricNamespace(name string) bool {
 		if strings.HasPrefix(name, ns) {
 			return true
 		}
-	}
-	return false
-}
-
-// inTestFile reports whether pos falls in a _test.go file; tests
-// register throwaway names outside the production namespaces.
-func inTestFile(pkg *Package, pos token.Pos) bool {
-	if f := pkg.Fset.File(pos); f != nil {
-		return strings.HasSuffix(f.Name(), "_test.go")
 	}
 	return false
 }

@@ -45,7 +45,8 @@ func seededRandApplies(path string) bool {
 	return false
 }
 
-func runSeededRand(pkgs []*Package, report ReportFunc) {
+func runSeededRand(pass *Pass) {
+	pkgs, report := pass.Pkgs, pass.Report
 	for _, pkg := range pkgs {
 		if !seededRandApplies(strings.TrimSuffix(pkg.Path, "_test")) {
 			continue

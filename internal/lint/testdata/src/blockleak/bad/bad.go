@@ -1,0 +1,93 @@
+// Package bad leaks goroutines: blocking operations reachable from a
+// go statement with no escape edge anywhere in the program — receives
+// nobody sends to, sends nobody receives, ranges over channels never
+// closed, Cond.Waits never notified, WaitGroup.Waits never Done'd —
+// both directly in goroutine literals and through called functions.
+package bad
+
+import "sync"
+
+type worker struct {
+	quit chan struct{}
+	jobs chan int
+	n    int
+}
+
+// recvNoSender parks forever: nothing ever sends on or closes idle.
+func recvNoSender() {
+	idle := make(chan struct{})
+	go func() {
+		<-idle // want blockleak "has no send or close"
+	}()
+}
+
+// sendNoReceiver parks forever: the channel is unbuffered and nobody
+// receives.
+func sendNoReceiver() {
+	res := make(chan int)
+	go func() {
+		res <- 42 // want blockleak "has no receiver or buffer"
+	}()
+}
+
+// rangeNeverClosed can never leave the loop: no close(w.jobs) exists.
+func rangeNeverClosed(w *worker) {
+	go func() {
+		for j := range w.jobs { // want blockleak "never closed"
+			w.n += j
+		}
+	}()
+}
+
+// blockInCallee leaks through a call: the go statement launches a
+// named function whose body blocks on the quit field nothing closes.
+func blockInCallee(w *worker) {
+	go awaitQuit(w)
+}
+
+func awaitQuit(w *worker) {
+	<-w.quit // want blockleak "has no send or close"
+}
+
+type gate struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+}
+
+func newGate() *gate {
+	g := &gate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// waitNeverNotified: no Signal or Broadcast on gate.cond exists
+// anywhere, so the waiter sleeps forever.
+func waitNeverNotified(g *gate) {
+	go func() {
+		g.mu.Lock()
+		for !g.ready {
+			g.cond.Wait() // want blockleak "no Signal or Broadcast"
+		}
+		g.mu.Unlock()
+	}()
+}
+
+// wgNeverDone: Add without a single Done leaves Wait parked forever.
+func wgNeverDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		wg.Wait() // want blockleak "Done is never called"
+	}()
+}
+
+// selectNoViableArm: every arm is trackable and none can ever fire.
+func selectNoViableArm() {
+	never := make(chan int)
+	go func() {
+		select { // want blockleak "no select arm can ever proceed"
+		case <-never:
+		}
+	}()
+}

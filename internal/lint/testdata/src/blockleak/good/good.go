@@ -1,0 +1,102 @@
+// Package good holds goroutine shapes blockleak must accept: shutdown
+// select arms, channels closed or drained elsewhere, buffered error
+// sends, WaitGroups with Done, channels handed to foreign code
+// (signal.Notify), and parameters (whose escape edges belong to the
+// caller).
+package good
+
+import (
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+)
+
+type server struct {
+	quit chan struct{}
+	jobs chan int
+	n    int
+}
+
+// loopWithShutdown blocks only in a select that carries a shutdown
+// arm; Stop closes quit.
+func (s *server) loopWithShutdown() {
+	go func() {
+		for {
+			select {
+			case j := <-s.jobs:
+				s.n += j
+			case <-s.quit:
+				return
+			}
+		}
+	}()
+}
+
+// Stop is the escape edge for quit.
+func (s *server) Stop() {
+	close(s.quit)
+}
+
+// Feed is the escape edge for jobs.
+func (s *server) Feed(j int) {
+	s.jobs <- j
+}
+
+// bufferedErrSend never blocks: capacity one, sender is the only
+// writer.
+func bufferedErrSend(run func() error) {
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run()
+	}()
+}
+
+// timerFallback's second arm is a call result the analyzer cannot
+// track — exactly the shutdown/timeout arm convention.
+func (s *server) timerFallback() {
+	go func() {
+		select {
+		case j := <-s.jobs:
+			s.n += j
+		case <-time.After(time.Second):
+		}
+	}()
+}
+
+// wgWithDone: every Add is paired with a deferred Done.
+func wgWithDone(work []func()) {
+	var wg sync.WaitGroup
+	for _, f := range work {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	go func() {
+		wg.Wait()
+	}()
+}
+
+// signalWait hands its channel to the runtime: foreign code sends on
+// it, so the receive is escapable even though no send is visible.
+func signalWait() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	go func() {
+		<-sigs
+	}()
+}
+
+// paramBlock blocks on a parameter: the caller wired it up (and closes
+// it), so the callee's view is not a leak.
+func paramBlock(stop <-chan struct{}) {
+	<-stop
+}
+
+func launchParamBlock() {
+	stop := make(chan struct{})
+	go paramBlock(stop)
+	close(stop)
+}

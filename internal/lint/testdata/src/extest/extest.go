@@ -1,0 +1,9 @@
+// Package extest exists to prove external test packages
+// ("package extest_test") are loaded and analyzed: for a long time the
+// loader read the wrong go list field for them and they silently
+// loaded as zero files. The library half is clean; the violation lives
+// in extest_test.go.
+package extest
+
+// Double is just enough API for the external test to import.
+func Double(n int) int { return 2 * n }

@@ -1,0 +1,20 @@
+// External test package: if the loader drops these files (the
+// historical XTestGoFiles/GoFiles mixup), the want below goes
+// unmatched and the golden test fails.
+package extest_test
+
+import (
+	"testing"
+
+	"rnb/internal/lint/testdata/src/extest"
+)
+
+func mustDouble(t *testing.T, n, want int) { // want thelper "test helper mustDouble must call t.Helper()"
+	if got := extest.Double(n); got != want {
+		t.Fatalf("Double(%d) = %d, want %d", n, got, want)
+	}
+}
+
+func TestDouble(t *testing.T) {
+	mustDouble(t, 2, 4)
+}

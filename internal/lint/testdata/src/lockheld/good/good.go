@@ -68,6 +68,10 @@ func (s *server) goUnderLock() {
 	}()
 }
 
+// drain receives what goUnderLock's goroutine sends, giving the send
+// its escape edge.
+func (s *server) drain() int { return <-s.ch }
+
 // deferredUnlockNoBlocking is the common pattern: a pure in-memory
 // critical section under a deferred unlock.
 func (s *server) deferredUnlockNoBlocking() int {

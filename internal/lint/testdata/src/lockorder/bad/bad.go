@@ -1,0 +1,127 @@
+// Package bad holds lock-order violations: an AB-BA cycle spelled
+// directly, the same cycle hidden behind helper calls (visible only
+// through acquisition summaries), a guaranteed self-deadlock, and the
+// sync.Cond misuse shapes — Wait outside a rechecked-condition loop
+// and notification without the guarding lock.
+package bad
+
+import "sync"
+
+type left struct {
+	mu sync.Mutex
+	n  int
+}
+
+type right struct {
+	mu sync.Mutex
+	n  int
+}
+
+var gl left
+var gr right
+
+// lockLR and lockRL together form the classic AB-BA cycle; the report
+// anchors at the earliest witnessing acquisition.
+func lockLR() {
+	gl.mu.Lock()
+	gr.mu.Lock() // want lockorder "lock ordering cycle"
+	gr.n++
+	gr.mu.Unlock()
+	gl.mu.Unlock()
+}
+
+func lockRL() {
+	gr.mu.Lock()
+	gl.mu.Lock()
+	gl.n++
+	gl.mu.Unlock()
+	gr.mu.Unlock()
+}
+
+type up struct {
+	mu sync.Mutex
+	n  int
+}
+
+type down struct {
+	mu sync.Mutex
+	n  int
+}
+
+var gu up
+var gd down
+
+// The same cycle, laced through helpers: holdUpThenDown holds up.mu
+// and calls a helper that (transitively) locks down.mu; the mirror
+// function inverts the order. Neither function names both locks.
+func holdUpThenDown() {
+	gu.mu.Lock()
+	bumpDown() // want lockorder "lock ordering cycle"
+	gu.mu.Unlock()
+}
+
+func bumpDown() {
+	gd.mu.Lock()
+	gd.n++
+	gd.mu.Unlock()
+}
+
+func holdDownThenUp() {
+	gd.mu.Lock()
+	bumpUp()
+	gd.mu.Unlock()
+}
+
+func bumpUp() {
+	gu.mu.Lock()
+	gu.n++
+	gu.mu.Unlock()
+}
+
+// relock takes the same mutex twice without unlocking: a guaranteed
+// self-deadlock, reported at the second acquisition.
+func relock() {
+	gl.mu.Lock()
+	gl.mu.Lock() // want lockorder "guaranteed self-deadlock"
+	gl.mu.Unlock()
+}
+
+type queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready int
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// waitNoLoop re-checks the predicate only once: a spurious or stale
+// wakeup slips straight past the check.
+func (q *queue) waitNoLoop() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.ready == 0 {
+		q.cond.Wait() // want lockorder "outside a rechecked-condition loop"
+	}
+	q.ready--
+}
+
+// signalUnlocked wakes waiters without holding the guard: the wake can
+// land between a waiter's re-check and its Wait and be lost.
+func (q *queue) signalUnlocked() {
+	q.mu.Lock()
+	q.ready++
+	q.mu.Unlock()
+	q.cond.Signal() // want lockorder "without the guarding lock"
+}
+
+// waitWithoutLock calls Wait without its lock held at all — that
+// panics at runtime.
+func (q *queue) waitWithoutLock() {
+	for q.ready == 0 {
+		q.cond.Wait() // want lockorder "without holding its lock"
+	}
+}

@@ -1,0 +1,95 @@
+// Package good holds lock patterns lockorder must accept: a
+// consistent two-lock acquisition order (directly and through
+// helpers), release-before-inverse-order, reader locks taken twice on
+// different instances, and the full correct sync.Cond discipline.
+package good
+
+import "sync"
+
+type outer struct {
+	mu sync.Mutex
+	n  int
+}
+
+type inner struct {
+	mu sync.Mutex
+	n  int
+}
+
+var go1 outer
+var gi inner
+
+// Everyone locks outer before inner: a DAG, not a cycle.
+func outerThenInner() {
+	go1.mu.Lock()
+	gi.mu.Lock()
+	gi.n++
+	gi.mu.Unlock()
+	go1.mu.Unlock()
+}
+
+func outerThenInnerViaHelper() {
+	go1.mu.Lock()
+	bumpInner()
+	go1.mu.Unlock()
+}
+
+func bumpInner() {
+	gi.mu.Lock()
+	gi.n++
+	gi.mu.Unlock()
+}
+
+// releaseThenInverse drops outer before taking inner on the "reverse"
+// path, so no edge inner->outer ever forms.
+func releaseThenInverse() {
+	gi.mu.Lock()
+	gi.n++
+	gi.mu.Unlock()
+	go1.mu.Lock()
+	go1.n++
+	go1.mu.Unlock()
+}
+
+// relockAfterUnlock reuses the same mutex sequentially: not a
+// self-deadlock.
+func relockAfterUnlock() {
+	go1.mu.Lock()
+	go1.n++
+	go1.mu.Unlock()
+	go1.mu.Lock()
+	go1.n--
+	go1.mu.Unlock()
+}
+
+type waiter struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready int
+}
+
+func newWaiter() *waiter {
+	w := &waiter{}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// take is the canonical consumer: Wait under the lock, inside a loop
+// that re-checks the predicate.
+func (w *waiter) take() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.ready == 0 {
+		w.cond.Wait()
+	}
+	w.ready--
+}
+
+// put is the canonical producer: state change and notification both
+// under the guard, so no wake can fall into a waiter's re-check gap.
+func (w *waiter) put() {
+	w.mu.Lock()
+	w.ready++
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}

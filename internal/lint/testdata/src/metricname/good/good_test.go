@@ -1,0 +1,10 @@
+// In-package test file: metricname declares ExemptTestFiles, so this
+// deliberately awful registration must produce no diagnostic (there is
+// no want comment in this file — a finding here fails the golden test
+// as unexpected). Tests register throwaway names on purpose.
+package good
+
+func registerThrowaway(r *Registry) {
+	r.Register("totally bad name in a test", "exempt", "gauge", nil)
+	r.RegisterDurationHist("test_latency_ms", "exempt too")
+}

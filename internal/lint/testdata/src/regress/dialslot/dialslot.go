@@ -1,0 +1,56 @@
+// Package dialslot is the distilled reproduction of the pooled
+// transport's historical dial-slot deadlock. The pool capped
+// concurrent dials with a sync.Cond; the release path notified AFTER
+// dropping the lock, and one waiter re-checked the predicate outside a
+// loop. Under load, a release's wake landed in the window between a
+// waiter's re-check and its Wait and was lost — every router then
+// queued behind a slot nobody would ever signal again. lockorder must
+// flag both halves of the shape forever.
+package dialslot
+
+import "sync"
+
+const maxDialing = 2
+
+type pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	dialing int
+}
+
+func newPool() *pool {
+	p := &pool{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// acquireSlot is the correct waiter: loop plus lock.
+func (p *pool) acquireSlot() {
+	p.mu.Lock()
+	for p.dialing >= maxDialing {
+		p.cond.Wait()
+	}
+	p.dialing++
+	p.mu.Unlock()
+}
+
+// releaseSlot is the bug's first half: the broadcast runs outside the
+// guard, so it can fall into a waiter's re-check gap and vanish.
+func (p *pool) releaseSlot() {
+	p.mu.Lock()
+	p.dialing--
+	p.mu.Unlock()
+	p.cond.Broadcast() // want lockorder "without the guarding lock"
+}
+
+// acquireSlotOnce is the bug's second half: the predicate is checked
+// once, so a wake taken by another goroutine (or a spurious one)
+// slips straight through into an over-admitted dial.
+func (p *pool) acquireSlotOnce() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dialing >= maxDialing {
+		p.cond.Wait() // want lockorder "outside a rechecked-condition loop"
+	}
+	p.dialing++
+}

@@ -1,0 +1,36 @@
+// Package setbase is the distilled reproduction of the adaptive
+// placement's historical SetBase snapshot leak. Rebasing loaded the
+// currently published placement snapshot and wrote the new base into
+// it in place — mutating the very value in-flight requests had
+// already loaded, so a request could see a base naming server indices
+// its slot table had never heard of. frozen must flag the
+// Load-then-mutate shape forever; the fixed path clones.
+package setbase
+
+import "sync/atomic"
+
+// placement is the published routing snapshot.
+//
+//rnb:frozen-after-publish
+type placement struct {
+	base    []int
+	boosted map[uint64][]int
+}
+
+type adaptive struct {
+	cur atomic.Pointer[placement]
+}
+
+// SetBaseLeaky is the bug: the published snapshot is edited in place
+// under every concurrent reader.
+func (a *adaptive) SetBaseLeaky(base []int) {
+	p := a.cur.Load()
+	p.base = base // want frozen "write to field base of a published setbase.placement value"
+}
+
+// SetBaseFixed is the fix that shipped: build a successor, republish.
+func (a *adaptive) SetBaseFixed(base []int) {
+	old := a.cur.Load()
+	next := &placement{base: base, boosted: old.boosted}
+	a.cur.Store(next)
+}

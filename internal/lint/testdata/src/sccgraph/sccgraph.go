@@ -1,0 +1,39 @@
+// Package sccgraph is a synthetic call topology for the SCC-ordering
+// unit test (callgraph_test.go): a mutually recursive pair, a
+// self-recursive function, a shared leaf, and a root calling into all
+// of it. No analyzer should report anything here — the package exists
+// purely to pin BottomUp's callees-first contract.
+package sccgraph
+
+func leaf() int { return 1 }
+
+// evenStep and oddStep are mutually recursive: they must land in the
+// same strongly connected component.
+func evenStep(n int) int {
+	if n <= 0 {
+		return leaf()
+	}
+	return oddStep(n - 1)
+}
+
+func oddStep(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return evenStep(n-1) + leaf()
+}
+
+// selfRec is directly recursive: a singleton component that still
+// counts as cyclic.
+func selfRec(n int) int {
+	if n <= 0 {
+		return leaf()
+	}
+	return selfRec(n - 1)
+}
+
+// Top is the root: every other component must be emitted before its
+// own.
+func Top(n int) int {
+	return evenStep(n) + selfRec(n)
+}

@@ -36,3 +36,8 @@ func missingReason(err error) error {
 	//rnblint:ignore errwrap
 	return fmt.Errorf("op: %v", err)
 }
+
+func deadDirective(err error) error {
+	//rnblint:ignore lockheld well-formed but suppresses nothing: this line holds no lock
+	return fmt.Errorf("op: %w", err)
+}

@@ -21,7 +21,8 @@ var THelper = &Analyzer{
 
 var testEntryRE = regexp.MustCompile(`^(Test|Benchmark|Fuzz|Example)`)
 
-func runTHelper(pkgs []*Package, report ReportFunc) {
+func runTHelper(pass *Pass) {
+	pkgs, report := pass.Pkgs, pass.Report
 	for _, pkg := range pkgs {
 		info := pkg.Info
 		for _, f := range pkg.Files {

@@ -82,6 +82,11 @@ func namedTypePkgPath(t types.Type) string {
 	return n.Obj().Pkg().Path()
 }
 
+// pkgLevel reports whether v is declared at package scope.
+func pkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
 // stringLit returns the value of a compile-time string constant
 // (literals, literal concatenation, named constants), with ok=false
 // for anything runtime-computed.

@@ -78,10 +78,10 @@ func TestRegistryPanics(t *testing.T) {
 		r.RegisterFunc("dup_total", "x.", Counter, func() float64 { return 0 })
 	})
 	mustPanic(t, "invalid name", func() {
-		r.RegisterFunc("bad name", "x.", Counter, func() float64 { return 0 }) //rnblint:ignore metricname this test proves the registry panics on a bad name
+		r.RegisterFunc("bad name", "x.", Counter, func() float64 { return 0 })
 	})
 	mustPanic(t, "duration histogram without _seconds suffix", func() {
-		r.RegisterDurationHist("latency_ms", "x.", &Hist{}) //rnblint:ignore metricname this test proves the registry panics on unit drift
+		r.RegisterDurationHist("latency_ms", "x.", &Hist{})
 	})
 	mustPanic(t, "odd Labels", func() { Labels("key") })
 }

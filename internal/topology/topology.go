@@ -73,6 +73,8 @@ type Member struct {
 
 // View is an immutable, epoch-stamped membership snapshot. Members is
 // in index order and includes gone slots, so Members[i].Index == i.
+//
+//rnb:frozen-after-publish
 type View struct {
 	Epoch   uint64
 	Members []Member

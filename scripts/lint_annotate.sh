@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# lint_annotate.sh — run rnblint with -json and re-emit each finding as
+# a GitHub Actions ::error workflow command, so findings show up as
+# inline annotations on the PR diff. Exits with rnblint's own exit
+# code (0 clean, 1 findings, 2 load failure), so the CI step still
+# fails when the tree is dirty.
+#
+# Usage: scripts/lint_annotate.sh [rnblint args...]
+# With no args, checks ./... . Outside GitHub Actions the annotations
+# are still printed (they are harmless plain lines locally).
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+go run ./cmd/rnblint -json "${@:-./...}" >"$out"
+code=$?
+
+# One JSON object per line: {"file":...,"line":...,"column":...,
+# "analyzer":...,"message":...}. Stdlib-only parse: go run a tiny
+# program rather than depending on jq.
+if [ -s "$out" ]; then
+	go run ./cmd/rnblint/internal/annotate <"$out"
+fi
+
+exit "$code"
